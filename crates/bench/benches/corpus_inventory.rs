@@ -1,0 +1,98 @@
+//! Dataset inventory: the reproduction's analogue of the paper's dataset
+//! table — per dataset: category, |V|, |E|, average/max degree, degeneracy,
+//! the true clique number ω (from the DFS baseline) and its multiplicity
+//! (from the breadth-first enumerator, where it fits in memory).
+
+use gmc_bench::{load_corpus, print_table, run_solver, save_json, BenchEnv, RunOutcome};
+use gmc_mce::SolverConfig;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct InventoryRow {
+    dataset: String,
+    category: String,
+    vertices: usize,
+    edges: usize,
+    avg_degree: f64,
+    max_degree: usize,
+    degeneracy: u32,
+    omega: u32,
+    multiplicity: Option<usize>,
+}
+
+fn main() {
+    let env = BenchEnv::from_env();
+    env.banner("Corpus inventory (the paper's dataset table)");
+    let datasets = load_corpus(&env);
+
+    let mut rows = Vec::new();
+    for dataset in &datasets {
+        let omega = gmc_bench::true_omega(&env, &dataset.graph);
+        let degeneracy = gmc_graph::kcore::degeneracy(&dataset.graph);
+        let device = env.device();
+        let multiplicity = match run_solver(&device, &dataset.graph, SolverConfig::default())
+            .expect("solver runs")
+        {
+            RunOutcome::Solved(rec) => {
+                assert_eq!(rec.omega, omega, "{}: solver vs baseline ω", dataset.name());
+                Some(rec.multiplicity)
+            }
+            RunOutcome::Oom => None,
+        };
+        rows.push(InventoryRow {
+            dataset: dataset.name().to_string(),
+            category: dataset.spec.category.to_string(),
+            vertices: dataset.graph.num_vertices(),
+            edges: dataset.graph.num_edges(),
+            avg_degree: dataset.avg_degree(),
+            max_degree: dataset.graph.max_degree(),
+            degeneracy,
+            omega,
+            multiplicity,
+        });
+    }
+
+    print_table(
+        &[
+            "Dataset", "Cat", "|V|", "|E|", "avg d", "max d", "degen", "ω", "#max",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.dataset.clone(),
+                    r.category.clone(),
+                    r.vertices.to_string(),
+                    r.edges.to_string(),
+                    format!("{:.1}", r.avg_degree),
+                    r.max_degree.to_string(),
+                    r.degeneracy.to_string(),
+                    r.omega.to_string(),
+                    r.multiplicity.map_or("OOM".into(), |m| m.to_string()),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    // Category summary.
+    let mut categories: Vec<String> = rows.iter().map(|r| r.category.clone()).collect();
+    categories.sort();
+    categories.dedup();
+    println!("\nPer-category means:");
+    for cat in categories {
+        let selected: Vec<&InventoryRow> = rows.iter().filter(|r| r.category == cat).collect();
+        let mean = |f: fn(&InventoryRow) -> f64| {
+            selected.iter().map(|r| f(r)).sum::<f64>() / selected.len() as f64
+        };
+        println!(
+            "  {:>6}: {} datasets, avg |E| {:.0}, avg degree {:.1}, avg ω {:.1}",
+            cat,
+            selected.len(),
+            mean(|r| r.edges as f64),
+            mean(|r| r.avg_degree),
+            mean(|r| r.omega as f64),
+        );
+    }
+
+    save_json(&env, "corpus_inventory", &rows);
+}

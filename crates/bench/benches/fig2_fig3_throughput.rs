@@ -1,0 +1,211 @@
+//! Figures 2 and 3: throughput of the fastest configuration per dataset,
+//! for the plain breadth-first solver and the windowed variant.
+//!
+//! Fig. 2 plots edges/second against average vertex degree; Fig. 3 plots it
+//! against |E|. The paper's findings: throughput falls as average degree
+//! rises, and rises with graph size. This bench prints both series (sorted
+//! each way) and the rank correlation between throughput and the x-axis.
+
+use gmc_bench::{load_corpus, print_table, save_json, BenchEnv, RunOutcome};
+use gmc_heuristic::HeuristicKind;
+use gmc_mce::{SolverConfig, WindowConfig};
+use serde::Serialize;
+
+#[derive(Serialize, Clone)]
+struct ThroughputPoint {
+    dataset: String,
+    category: String,
+    edges: usize,
+    avg_degree: f64,
+    bfs_eps: Option<f64>,
+    bfs_config: Option<String>,
+    windowed_eps: Option<f64>,
+    windowed_size: Option<usize>,
+}
+
+#[derive(Serialize)]
+struct Record {
+    points: Vec<ThroughputPoint>,
+    spearman_tput_vs_degree_bfs: f64,
+    spearman_tput_vs_edges_bfs: f64,
+}
+
+/// Heuristics tried for the "fastest configuration", simplest first (the
+/// paper's recommendation in §V-B4).
+const CONFIG_LADDER: [HeuristicKind; 4] = [
+    HeuristicKind::None,
+    HeuristicKind::SingleDegree,
+    HeuristicKind::MultiDegree,
+    HeuristicKind::MultiCore,
+];
+
+const WINDOW_SIZES: [usize; 3] = [1024, 8192, 32768];
+
+fn main() {
+    let env = BenchEnv::from_env();
+    env.banner("Figures 2 & 3: throughput vs average degree and graph size");
+    let datasets = load_corpus(&env);
+
+    let mut points: Vec<ThroughputPoint> = Vec::new();
+    for dataset in &datasets {
+        // Fastest successful full-BFS configuration.
+        let mut bfs_best: Option<(f64, String)> = None;
+        for kind in CONFIG_LADDER {
+            let outcome = env.run_averaged(
+                &dataset.graph,
+                &SolverConfig {
+                    heuristic: kind,
+                    ..SolverConfig::default()
+                },
+            );
+            if let RunOutcome::Solved(rec) = outcome {
+                if bfs_best
+                    .as_ref()
+                    .is_none_or(|(best, _)| rec.throughput_eps > *best)
+                {
+                    bfs_best = Some((rec.throughput_eps, kind.name().to_string()));
+                }
+            }
+        }
+
+        // Fastest successful windowed configuration (multi-degree heuristic,
+        // find-one mode — the paper's windowed setting).
+        let mut win_best: Option<(f64, usize)> = None;
+        for size in WINDOW_SIZES {
+            let outcome = env.run_averaged(
+                &dataset.graph,
+                &SolverConfig {
+                    heuristic: HeuristicKind::MultiDegree,
+                    window: Some(WindowConfig::with_size(size)),
+                    ..SolverConfig::default()
+                },
+            );
+            if let RunOutcome::Solved(rec) = outcome {
+                if win_best
+                    .as_ref()
+                    .is_none_or(|(best, _)| rec.throughput_eps > *best)
+                {
+                    win_best = Some((rec.throughput_eps, size));
+                }
+            }
+        }
+
+        points.push(ThroughputPoint {
+            dataset: dataset.name().to_string(),
+            category: dataset.spec.category.to_string(),
+            edges: dataset.graph.num_edges(),
+            avg_degree: dataset.avg_degree(),
+            bfs_eps: bfs_best.as_ref().map(|(t, _)| *t),
+            bfs_config: bfs_best.map(|(_, c)| c),
+            windowed_eps: win_best.as_ref().map(|(t, _)| *t),
+            windowed_size: win_best.map(|(_, s)| s),
+        });
+    }
+
+    // Fig. 2 view: sorted by average degree.
+    let mut by_degree = points.clone();
+    by_degree.sort_by(|a, b| a.avg_degree.total_cmp(&b.avg_degree));
+    println!("\n-- Fig. 2 series: throughput vs average degree --");
+    print_series(&by_degree, |p| format!("{:.1}", p.avg_degree), "avg_deg");
+
+    // Fig. 3 view: sorted by edge count.
+    let mut by_edges = points.clone();
+    by_edges.sort_by_key(|p| p.edges);
+    println!("\n-- Fig. 3 series: throughput vs |E| --");
+    print_series(&by_edges, |p| p.edges.to_string(), "|E|");
+
+    // The paper's claims as rank correlations.
+    let bfs_points: Vec<&ThroughputPoint> = points.iter().filter(|p| p.bfs_eps.is_some()).collect();
+    let rho_degree = spearman(
+        &bfs_points.iter().map(|p| p.avg_degree).collect::<Vec<_>>(),
+        &bfs_points
+            .iter()
+            .map(|p| p.bfs_eps.unwrap())
+            .collect::<Vec<_>>(),
+    );
+    let rho_edges = spearman(
+        &bfs_points
+            .iter()
+            .map(|p| p.edges as f64)
+            .collect::<Vec<_>>(),
+        &bfs_points
+            .iter()
+            .map(|p| p.bfs_eps.unwrap())
+            .collect::<Vec<_>>(),
+    );
+    println!("\nSpearman(throughput, avg degree) = {rho_degree:.2}  (paper: strongly negative)");
+    println!("Spearman(throughput, |E|)        = {rho_edges:.2}  (paper: positive)");
+
+    save_json(
+        &env,
+        "fig2_fig3_throughput",
+        &Record {
+            points,
+            spearman_tput_vs_degree_bfs: rho_degree,
+            spearman_tput_vs_edges_bfs: rho_edges,
+        },
+    );
+}
+
+fn print_series(points: &[ThroughputPoint], x: impl Fn(&ThroughputPoint) -> String, x_name: &str) {
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.dataset.clone(),
+                x(p),
+                p.bfs_eps.map_or("OOM".into(), |t| format!("{:.2e}", t)),
+                p.windowed_eps
+                    .map_or("OOM".into(), |t| format!("{:.2e}", t)),
+            ]
+        })
+        .collect();
+    print_table(
+        &["Dataset", x_name, "BFS edges/s", "Windowed edges/s"],
+        &rows,
+    );
+}
+
+/// Spearman rank correlation (average ranks for ties).
+fn spearman(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len());
+    let n = x.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let rx = ranks(x);
+    let ry = ranks(y);
+    let mean = (n as f64 + 1.0) / 2.0;
+    let (mut num, mut dx, mut dy) = (0.0, 0.0, 0.0);
+    for i in 0..n {
+        let a = rx[i] - mean;
+        let b = ry[i] - mean;
+        num += a * b;
+        dx += a * a;
+        dy += b * b;
+    }
+    if dx == 0.0 || dy == 0.0 {
+        0.0
+    } else {
+        num / (dx * dy).sqrt()
+    }
+}
+
+fn ranks(values: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..values.len()).collect();
+    idx.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
+    let mut out = vec![0.0; values.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && values[idx[j + 1]] == values[idx[i]] {
+            j += 1;
+        }
+        let rank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = rank;
+        }
+        i = j + 1;
+    }
+    out
+}

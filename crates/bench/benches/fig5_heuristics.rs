@@ -1,0 +1,174 @@
+//! Figure 5: heuristic runtime and pruning-quality characterisation.
+//!
+//! * 5a — heuristic runtime vs. |E| (runtime grows with edges; the k-core
+//!   pass makes the core-number variants markedly slower).
+//! * 5b — pruning fraction vs. heuristic accuracy (pruning tracks accuracy).
+//! * 5c — heuristic runtime vs. average degree (no strong trend).
+//!
+//! Heuristics run standalone (no exact phase) on an unlimited device, then
+//! setup is replayed to measure the pruned 2-clique volume each bound
+//! achieves.
+
+use gmc_bench::{load_corpus, millis, print_table, save_json, BenchEnv};
+use gmc_heuristic::HeuristicKind;
+use gmc_mce::SolverConfig;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct HeuristicPoint {
+    dataset: String,
+    edges: usize,
+    avg_degree: f64,
+    true_omega: u32,
+    heuristic: String,
+    runtime_ms: f64,
+    core_ms: f64,
+    lower_bound: u32,
+    accuracy: f64,
+    pruning_fraction: f64,
+}
+
+#[derive(Serialize)]
+struct Record {
+    points: Vec<HeuristicPoint>,
+}
+
+fn main() {
+    let env = BenchEnv::from_env();
+    env.banner("Figure 5: heuristic runtime, accuracy and pruning quality");
+    let datasets = load_corpus(&env);
+    let kinds = [
+        HeuristicKind::SingleDegree,
+        HeuristicKind::SingleCore,
+        HeuristicKind::MultiDegree,
+        HeuristicKind::MultiCore,
+    ];
+
+    let mut points: Vec<HeuristicPoint> = Vec::new();
+    for dataset in &datasets {
+        let omega = gmc_bench::true_omega(&env, &dataset.graph);
+        for kind in kinds {
+            let device = env.unlimited_device();
+            let heuristic =
+                gmc_heuristic::run_heuristic(&device, &dataset.graph, kind, None).expect("no oom");
+            let (_, setup) = gmc_mce::preview_setup(
+                &device,
+                &dataset.graph,
+                &SolverConfig {
+                    heuristic: kind,
+                    ..SolverConfig::default()
+                },
+            )
+            .expect("no oom");
+            let pruning = if setup.total_oriented_edges == 0 {
+                0.0
+            } else {
+                1.0 - setup.initial_entries as f64 / setup.total_oriented_edges as f64
+            };
+            points.push(HeuristicPoint {
+                dataset: dataset.name().to_string(),
+                edges: dataset.graph.num_edges(),
+                avg_degree: dataset.avg_degree(),
+                true_omega: omega,
+                heuristic: kind.name().to_string(),
+                runtime_ms: millis(heuristic.total_time),
+                core_ms: millis(heuristic.core_time),
+                lower_bound: heuristic.lower_bound(),
+                accuracy: if omega == 0 {
+                    1.0
+                } else {
+                    heuristic.lower_bound() as f64 / omega as f64
+                },
+                pruning_fraction: pruning,
+            });
+        }
+    }
+
+    // 5a: runtime vs |E| per heuristic.
+    println!("\n-- Fig. 5a: heuristic runtime (ms) vs |E| --");
+    let mut by_edges: Vec<&HeuristicPoint> = points.iter().collect();
+    by_edges.sort_by_key(|p| (p.edges, p.heuristic.clone()));
+    print_table(
+        &["Dataset", "|E|", "Heuristic", "Runtime ms", "k-core ms"],
+        &by_edges
+            .iter()
+            .map(|p| {
+                vec![
+                    p.dataset.clone(),
+                    p.edges.to_string(),
+                    p.heuristic.clone(),
+                    format!("{:.2}", p.runtime_ms),
+                    format!("{:.2}", p.core_ms),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    // 5b: pruning vs accuracy summary per heuristic.
+    println!("\n-- Fig. 5b: mean accuracy vs mean pruning fraction --");
+    let mut summary_rows = Vec::new();
+    for kind in kinds {
+        let selected: Vec<&HeuristicPoint> = points
+            .iter()
+            .filter(|p| p.heuristic == kind.name())
+            .collect();
+        let mean = |f: fn(&HeuristicPoint) -> f64| {
+            selected.iter().map(|p| f(p)).sum::<f64>() / selected.len().max(1) as f64
+        };
+        summary_rows.push(vec![
+            kind.name().to_string(),
+            format!("{:.3}", mean(|p| p.accuracy)),
+            format!("{:.3}", mean(|p| p.pruning_fraction)),
+            format!("{:.2}", mean(|p| p.runtime_ms)),
+        ]);
+    }
+    print_table(
+        &[
+            "Heuristic",
+            "Mean accuracy",
+            "Mean pruning",
+            "Mean runtime ms",
+        ],
+        &summary_rows,
+    );
+
+    // 5c: runtime vs average degree (correlation summary).
+    println!("\n-- Fig. 5c: runtime grows with |E| but not with avg degree --");
+    for kind in kinds {
+        let selected: Vec<&HeuristicPoint> = points
+            .iter()
+            .filter(|p| p.heuristic == kind.name())
+            .collect();
+        let xs: Vec<f64> = selected.iter().map(|p| p.edges as f64).collect();
+        let ds: Vec<f64> = selected.iter().map(|p| p.avg_degree).collect();
+        let ts: Vec<f64> = selected.iter().map(|p| p.runtime_ms).collect();
+        println!(
+            "{:>14}: corr(runtime, |E|) = {:+.2}   corr(runtime, avg_deg) = {:+.2}",
+            kind.name(),
+            pearson(&xs, &ts),
+            pearson(&ds, &ts)
+        );
+    }
+
+    save_json(&env, "fig5_heuristics", &Record { points });
+}
+
+fn pearson(x: &[f64], y: &[f64]) -> f64 {
+    let n = x.len() as f64;
+    if n < 2.0 {
+        return 0.0;
+    }
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let (mut num, mut dx, mut dy) = (0.0, 0.0, 0.0);
+    for (a, b) in x.iter().zip(y) {
+        num += (a - mx) * (b - my);
+        dx += (a - mx) * (a - mx);
+        dy += (b - my) * (b - my);
+    }
+    if dx == 0.0 || dy == 0.0 {
+        0.0
+    } else {
+        num / (dx * dy).sqrt()
+    }
+}

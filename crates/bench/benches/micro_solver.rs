@@ -1,0 +1,88 @@
+//! Criterion micro-benchmarks for the solver phases: heuristics, setup and
+//! end-to-end solves on representative corpus datasets, plus the PMC
+//! baseline on the same instances.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gmc_corpus::{by_name, Tier};
+use gmc_dpp::Device;
+use gmc_graph::Csr;
+use gmc_heuristic::HeuristicKind;
+use gmc_mce::{MaxCliqueSolver, SolverConfig, WindowConfig};
+use gmc_pmc::ParallelBranchBound;
+
+fn dataset(name: &str) -> Csr {
+    by_name(Tier::Smoke, name)
+        .unwrap_or_else(|| panic!("dataset {name}"))
+        .load()
+}
+
+fn bench_heuristics(c: &mut Criterion) {
+    let device = Device::unlimited();
+    let graph = dataset("soc-sphere-05");
+    let mut group = c.benchmark_group("heuristic");
+    for kind in [
+        HeuristicKind::SingleDegree,
+        HeuristicKind::SingleCore,
+        HeuristicKind::MultiDegree,
+        HeuristicKind::MultiCore,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| gmc_heuristic::run_heuristic(&device, &graph, kind, None).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_setup(c: &mut Criterion) {
+    let device = Device::unlimited();
+    let graph = dataset("socfb-campus-07");
+    c.bench_function("setup/preview_socfb", |b| {
+        b.iter(|| gmc_mce::preview_setup(&device, &graph, &SolverConfig::default()).unwrap());
+    });
+}
+
+fn bench_full_solve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solve");
+    for name in [
+        "road-grid-02",
+        "ca-papers-03",
+        "socfb-campus-04",
+        "web-crawl-03",
+    ] {
+        let graph = dataset(name);
+        group.bench_with_input(BenchmarkId::new("bfs", name), &graph, |b, graph| {
+            let solver = MaxCliqueSolver::new(Device::unlimited());
+            b.iter(|| solver.solve(graph).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("windowed", name), &graph, |b, graph| {
+            let solver =
+                MaxCliqueSolver::new(Device::unlimited()).windowed(WindowConfig::with_size(1024));
+            b.iter(|| solver.solve(graph).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("pmc", name), &graph, |b, graph| {
+            let pmc = ParallelBranchBound::with_default_parallelism();
+            b.iter(|| pmc.solve(graph));
+        });
+    }
+    group.finish();
+}
+
+fn bench_expansion_heavy(c: &mut Criterion) {
+    // A denser instance exercising multiple expansion levels.
+    let graph = gmc_graph::generators::gnp(400, 0.15, 99);
+    c.bench_function("solve/gnp_400_dense", |b| {
+        let solver = MaxCliqueSolver::new(Device::unlimited());
+        b.iter(|| solver.solve(&graph).unwrap());
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_heuristics, bench_setup, bench_full_solve, bench_expansion_heavy
+);
+criterion_main!(benches);

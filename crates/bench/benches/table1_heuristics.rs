@@ -1,0 +1,171 @@
+//! Table I: heuristic accuracy, solved-graph counts and OOM rates.
+//!
+//! For each of the five heuristic options (none, single-run degree,
+//! single-run core, multi-run degree, multi-run core) the full breadth-first
+//! solver runs on every corpus dataset under the device-memory budget. The
+//! paper reports, per heuristic: the mean relative error of the lower bound
+//! vs. the true clique number, how many of the 58 graphs solve without OOM,
+//! and the OOM percentage. A PMC row (its own greedy bound, never
+//! memory-limited) closes the table as in the paper.
+
+use gmc_bench::{
+    geometric_mean, load_corpus, print_table, run_solver, save_json, BenchEnv, RunOutcome,
+};
+use gmc_heuristic::HeuristicKind;
+use gmc_mce::SolverConfig;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Table1Row {
+    heuristic: String,
+    mean_error_pct: f64,
+    solved: usize,
+    total: usize,
+    oom_pct: f64,
+    geomean_solve_ms: f64,
+}
+
+#[derive(Serialize)]
+struct Table1Record {
+    rows: Vec<Table1Row>,
+    per_dataset: Vec<PerDataset>,
+}
+
+#[derive(Serialize)]
+struct PerDataset {
+    dataset: String,
+    category: String,
+    edges: usize,
+    avg_degree: f64,
+    true_omega: u32,
+    outcomes: Vec<(String, RunOutcome)>,
+}
+
+fn main() {
+    let env = BenchEnv::from_env();
+    env.banner("Table I: heuristic comparison (error / solved / OOM)");
+    let datasets = load_corpus(&env);
+
+    // True ω per dataset from the DFS baseline (memory-unconstrained).
+    let omegas: Vec<u32> = datasets
+        .iter()
+        .map(|d| gmc_bench::true_omega(&env, &d.graph))
+        .collect();
+
+    let mut per_dataset: Vec<PerDataset> = datasets
+        .iter()
+        .zip(&omegas)
+        .map(|(d, &omega)| PerDataset {
+            dataset: d.name().to_string(),
+            category: d.spec.category.to_string(),
+            edges: d.graph.num_edges(),
+            avg_degree: d.avg_degree(),
+            true_omega: omega,
+            outcomes: Vec::new(),
+        })
+        .collect();
+
+    let mut rows: Vec<Table1Row> = Vec::new();
+    for kind in HeuristicKind::all() {
+        let mut errors: Vec<f64> = Vec::new();
+        let mut solved = 0usize;
+        let mut oom = 0usize;
+        let mut solve_ms: Vec<f64> = Vec::new();
+        for (i, dataset) in datasets.iter().enumerate() {
+            let device = env.device();
+            let outcome = run_solver(
+                &device,
+                &dataset.graph,
+                SolverConfig {
+                    heuristic: kind,
+                    ..SolverConfig::default()
+                },
+            )
+            .expect("solver runs");
+            match &outcome {
+                RunOutcome::Solved(rec) => {
+                    solved += 1;
+                    solve_ms.push(rec.total_ms);
+                    errors.push(error_pct(rec.lower_bound, omegas[i]));
+                }
+                RunOutcome::Oom => {
+                    oom += 1;
+                    // Accuracy is still measurable: re-run only the
+                    // heuristic without the exact phase.
+                    let unlimited = env.unlimited_device();
+                    let bound =
+                        gmc_heuristic::run_heuristic(&unlimited, &dataset.graph, kind, None)
+                            .map(|h| h.lower_bound())
+                            .unwrap_or(0);
+                    errors.push(error_pct(bound, omegas[i]));
+                }
+            }
+            per_dataset[i]
+                .outcomes
+                .push((kind.name().to_string(), outcome));
+        }
+        rows.push(Table1Row {
+            heuristic: kind.name().to_string(),
+            mean_error_pct: errors.iter().sum::<f64>() / errors.len().max(1) as f64,
+            solved,
+            total: datasets.len(),
+            oom_pct: 100.0 * oom as f64 / datasets.len() as f64,
+            geomean_solve_ms: geometric_mean(&solve_ms),
+        });
+    }
+
+    // PMC row: its greedy initial bound vs. ω; it never OOMs.
+    {
+        let mut errors: Vec<f64> = Vec::new();
+        let mut solve_ms: Vec<f64> = Vec::new();
+        for (i, dataset) in datasets.iter().enumerate() {
+            let r = gmc_pmc::ParallelBranchBound::new(env.pmc_threads).solve(&dataset.graph);
+            errors.push(error_pct(r.stats.initial_bound, omegas[i]));
+            solve_ms.push(r.stats.total_time.as_secs_f64() * 1e3);
+        }
+        rows.push(Table1Row {
+            heuristic: "rossi-pmc".to_string(),
+            mean_error_pct: errors.iter().sum::<f64>() / errors.len().max(1) as f64,
+            solved: datasets.len(),
+            total: datasets.len(),
+            oom_pct: 0.0,
+            geomean_solve_ms: geometric_mean(&solve_ms),
+        });
+    }
+
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.heuristic.clone(),
+                format!("{:.1}%", r.mean_error_pct),
+                format!("{}/{}", r.solved, r.total),
+                format!("{:.1}%", r.oom_pct),
+                format!("{:.1}", r.geomean_solve_ms),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "Heuristic",
+            "Mean Error",
+            "Solved Graphs",
+            "OOM",
+            "Geomean ms",
+        ],
+        &table_rows,
+    );
+    save_json(
+        &env,
+        "table1_heuristics",
+        &Table1Record { rows, per_dataset },
+    );
+}
+
+fn error_pct(lower_bound: u32, omega: u32) -> f64 {
+    if omega == 0 {
+        0.0
+    } else {
+        100.0 * (omega.saturating_sub(lower_bound)) as f64 / omega as f64
+    }
+}

@@ -1,0 +1,104 @@
+//! Table II: geometric-mean speedups between heuristic options.
+//!
+//! The paper groups datasets by the *weakest* heuristic that lets the full
+//! breadth-first search finish without OOM (the table's four baselines),
+//! then reports the geometric-mean speedup obtained by upgrading each group
+//! to every more complex heuristic. Values below 1.0 mean the extra
+//! preprocessing costs more than it saves — the paper's headline finding
+//! that "better pruning does not dependably improve runtimes".
+
+use gmc_bench::{geometric_mean, load_corpus, print_table, run_solver, save_json, BenchEnv};
+use gmc_heuristic::HeuristicKind;
+use gmc_mce::SolverConfig;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Table2Record {
+    baselines: Vec<BaselineRow>,
+}
+
+#[derive(Serialize)]
+struct BaselineRow {
+    baseline: String,
+    group_size: usize,
+    speedups: Vec<(String, f64)>,
+}
+
+fn main() {
+    let env = BenchEnv::from_env();
+    env.banner("Table II: geometric-mean speedups between heuristics");
+    let datasets = load_corpus(&env);
+    let kinds = HeuristicKind::all();
+
+    // Solve every dataset with every heuristic once; remember times.
+    // times[d][k] = Some(total_ms) when solved without OOM.
+    let mut times: Vec<Vec<Option<f64>>> = Vec::with_capacity(datasets.len());
+    for dataset in &datasets {
+        let mut row = Vec::with_capacity(kinds.len());
+        for kind in kinds {
+            let device = env.device();
+            let outcome = run_solver(
+                &device,
+                &dataset.graph,
+                SolverConfig {
+                    heuristic: kind,
+                    ..SolverConfig::default()
+                },
+            )
+            .expect("solver runs");
+            row.push(outcome.solved().map(|r| r.total_ms));
+        }
+        times.push(row);
+    }
+
+    // Group datasets by the weakest heuristic (in complexity order) that
+    // avoids OOM; datasets that always OOM are excluded as in the paper.
+    let mut rows: Vec<BaselineRow> = Vec::new();
+    let mut printable: Vec<Vec<String>> = Vec::new();
+    for (b, baseline) in kinds.iter().enumerate().take(kinds.len() - 1) {
+        let group: Vec<usize> = (0..datasets.len())
+            .filter(|&d| times[d][b].is_some() && (0..b).all(|earlier| times[d][earlier].is_none()))
+            .collect();
+        let mut speedups: Vec<(String, f64)> = Vec::new();
+        let mut cells = vec![baseline.name().to_string(), group.len().to_string()];
+        // Leading blanks for the staircase shape.
+        for _ in 0..b {
+            cells.push(String::new());
+        }
+        for (u, upgrade) in kinds.iter().enumerate().skip(b + 1) {
+            let ratios: Vec<f64> = group
+                .iter()
+                .filter_map(|&d| match (times[d][b], times[d][u]) {
+                    (Some(base), Some(up)) if up > 0.0 => Some(base / up),
+                    _ => None,
+                })
+                .collect();
+            let gm = geometric_mean(&ratios);
+            speedups.push((upgrade.name().to_string(), gm));
+            cells.push(if ratios.is_empty() {
+                "-".to_string()
+            } else {
+                format!("{gm:.1}x")
+            });
+        }
+        printable.push(cells);
+        rows.push(BaselineRow {
+            baseline: baseline.name().to_string(),
+            group_size: group.len(),
+            speedups,
+        });
+    }
+
+    print_table(
+        &[
+            "Baseline",
+            "Group",
+            "Single Deg",
+            "Single Core",
+            "Multi Deg",
+            "Multi Core",
+        ],
+        &printable,
+    );
+    save_json(&env, "table2_speedups", &Table2Record { baselines: rows });
+}

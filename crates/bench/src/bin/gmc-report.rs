@@ -1,0 +1,12 @@
+//! Renders a Markdown summary from the experiment records in
+//! `target/experiments/` (or a directory given as the first argument).
+
+fn main() {
+    let dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "target/experiments".to_string());
+    print!(
+        "{}",
+        gmc_bench::report::render_report(std::path::Path::new(&dir))
+    );
+}

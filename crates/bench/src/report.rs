@@ -1,0 +1,249 @@
+//! Markdown report renderer for the experiment JSON records.
+//!
+//! Every harness target writes a machine-readable record under
+//! `target/experiments/`; the `gmc-report` binary (and this module's
+//! [`render_report`]) turns whatever records exist into one Markdown
+//! summary — the raw material for EXPERIMENTS.md and for comparing runs
+//! across environments.
+
+use serde_json::Value;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Renders a Markdown report from all recognised record files in `dir`.
+/// Missing records are skipped; unparseable ones are reported inline.
+pub fn render_report(dir: &Path) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# Experiment report\n");
+    let _ = writeln!(out, "Source: `{}`\n", dir.display());
+
+    let mut any = false;
+    for (file, renderer) in SECTIONS {
+        match load(dir, file) {
+            Some(Ok(value)) => {
+                any = true;
+                renderer(&mut out, &value);
+            }
+            Some(Err(e)) => {
+                any = true;
+                let _ = writeln!(out, "## {file}\n\n*unreadable record: {e}*\n");
+            }
+            None => {}
+        }
+    }
+    if !any {
+        let _ = writeln!(
+            out,
+            "*No records found — run `cargo bench -p gmc-bench` first.*"
+        );
+    }
+    out
+}
+
+type SectionRenderer = fn(&mut String, &Value);
+
+const SECTIONS: &[(&str, SectionRenderer)] = &[
+    ("table1_heuristics", render_table1),
+    ("table2_speedups", render_table2),
+    ("fig2_fig3_throughput", render_fig23),
+    ("fig4_speedup_vs_pmc", render_fig4),
+    ("fig6_window_memory", render_fig6),
+    ("warp_divergence", render_divergence),
+];
+
+fn load(dir: &Path, name: &str) -> Option<Result<Value, String>> {
+    let path = dir.join(format!("{name}.json"));
+    if !path.exists() {
+        return None;
+    }
+    Some(
+        std::fs::read_to_string(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| serde_json::from_str(&text).map_err(|e| e.to_string())),
+    )
+}
+
+fn render_table1(out: &mut String, value: &Value) {
+    let _ = writeln!(out, "## Table I — heuristic comparison\n");
+    let _ = writeln!(out, "| Heuristic | Mean error | Solved | OOM |");
+    let _ = writeln!(out, "|---|---|---|---|");
+    for row in value["rows"].as_array().into_iter().flatten() {
+        let _ = writeln!(
+            out,
+            "| {} | {:.1}% | {}/{} | {:.1}% |",
+            row["heuristic"].as_str().unwrap_or("?"),
+            row["mean_error_pct"].as_f64().unwrap_or(f64::NAN),
+            row["solved"].as_u64().unwrap_or(0),
+            row["total"].as_u64().unwrap_or(0),
+            row["oom_pct"].as_f64().unwrap_or(f64::NAN),
+        );
+    }
+    let _ = writeln!(out);
+}
+
+fn render_table2(out: &mut String, value: &Value) {
+    let _ = writeln!(out, "## Table II — heuristic upgrade speedups (geomean)\n");
+    for row in value["baselines"].as_array().into_iter().flatten() {
+        let upgrades: Vec<String> = row["speedups"]
+            .as_array()
+            .into_iter()
+            .flatten()
+            .map(|pair| {
+                format!(
+                    "{} {:.1}×",
+                    pair[0].as_str().unwrap_or("?"),
+                    pair[1].as_f64().unwrap_or(f64::NAN)
+                )
+            })
+            .collect();
+        let _ = writeln!(
+            out,
+            "* baseline `{}` ({} datasets): {}",
+            row["baseline"].as_str().unwrap_or("?"),
+            row["group_size"].as_u64().unwrap_or(0),
+            upgrades.join(", ")
+        );
+    }
+    let _ = writeln!(out);
+}
+
+fn render_fig23(out: &mut String, value: &Value) {
+    let _ = writeln!(out, "## Figures 2–3 — throughput trends\n");
+    let _ = writeln!(
+        out,
+        "* Spearman(throughput, avg degree) = {:.2} (paper: strongly negative)",
+        value["spearman_tput_vs_degree_bfs"]
+            .as_f64()
+            .unwrap_or(f64::NAN)
+    );
+    let _ = writeln!(
+        out,
+        "* Spearman(throughput, |E|) = {:.2} (paper: positive)\n",
+        value["spearman_tput_vs_edges_bfs"]
+            .as_f64()
+            .unwrap_or(f64::NAN)
+    );
+}
+
+fn render_fig4(out: &mut String, value: &Value) {
+    let _ = writeln!(out, "## Figure 4 — speedup over PMC\n");
+    for (label, key) in [
+        ("overall geomean", "geomean_bfs_speedup"),
+        ("windowed geomean", "geomean_windowed_speedup"),
+        ("low-degree half", "geomean_low_degree_bfs_speedup"),
+        ("high-degree half", "geomean_high_degree_bfs_speedup"),
+    ] {
+        let _ = writeln!(
+            out,
+            "* {label}: {:.2}×",
+            value[key].as_f64().unwrap_or(f64::NAN)
+        );
+    }
+    let _ = writeln!(out);
+}
+
+fn render_fig6(out: &mut String, value: &Value) {
+    let _ = writeln!(out, "## Figure 6 — windowed memory\n");
+    for pair in value["mean_reduction_pct"].as_array().into_iter().flatten() {
+        let _ = writeln!(
+            out,
+            "* window {}: {:.1}% mean peak-memory reduction",
+            pair[0].as_u64().unwrap_or(0),
+            pair[1].as_f64().unwrap_or(f64::NAN)
+        );
+    }
+    let _ = writeln!(out);
+}
+
+fn render_divergence(out: &mut String, value: &Value) {
+    let _ = writeln!(out, "## §II-C — mean lane utilisation\n");
+    let rows = value.as_array().cloned().unwrap_or_default();
+    let mean = |key: &str| {
+        let vals: Vec<f64> = rows.iter().filter_map(|r| r[key].as_f64()).collect();
+        vals.iter().sum::<f64>() / vals.len().max(1) as f64
+    };
+    let _ = writeln!(
+        out,
+        "* breadth-first: {:.1}%",
+        100.0 * mean("bfs_utilization")
+    );
+    let _ = writeln!(
+        out,
+        "* warp-parallel DFS: {:.1}%",
+        100.0 * mean("warp_dfs_utilization")
+    );
+    let _ = writeln!(
+        out,
+        "* thread-parallel DFS: {:.1}%\n",
+        100.0 * mean("thread_dfs_utilization")
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("gmc_report_{name}"));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn empty_directory_reports_no_records() {
+        let dir = temp_dir("empty");
+        let report = render_report(&dir);
+        assert!(report.contains("No records found"));
+    }
+
+    #[test]
+    fn renders_table1_rows() {
+        let dir = temp_dir("t1");
+        std::fs::write(
+            dir.join("table1_heuristics.json"),
+            r#"{"rows":[{"heuristic":"none","mean_error_pct":100.0,"solved":28,"total":58,"oom_pct":51.7,"geomean_solve_ms":6.0}],"per_dataset":[]}"#,
+        )
+        .unwrap();
+        let report = render_report(&dir);
+        assert!(report.contains("Table I"));
+        assert!(report.contains("| none | 100.0% | 28/58 | 51.7% |"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn renders_fig4_summary() {
+        let dir = temp_dir("f4");
+        std::fs::write(
+            dir.join("fig4_speedup_vs_pmc.json"),
+            r#"{"points":[],"geomean_bfs_speedup":0.78,"geomean_windowed_speedup":0.52,
+               "geomean_low_degree_bfs_speedup":0.98,"geomean_high_degree_bfs_speedup":0.50}"#,
+        )
+        .unwrap();
+        let report = render_report(&dir);
+        assert!(report.contains("low-degree half: 0.98×"), "{report}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_records_are_reported_not_fatal() {
+        let dir = temp_dir("bad");
+        std::fs::write(dir.join("table2_speedups.json"), "not json").unwrap();
+        let report = render_report(&dir);
+        assert!(report.contains("unreadable record"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn renders_divergence_means() {
+        let dir = temp_dir("div");
+        std::fs::write(
+            dir.join("warp_divergence.json"),
+            r#"[{"bfs_utilization":0.9,"warp_dfs_utilization":0.3,"thread_dfs_utilization":0.2},
+                {"bfs_utilization":0.8,"warp_dfs_utilization":0.5,"thread_dfs_utilization":0.4}]"#,
+        )
+        .unwrap();
+        let report = render_report(&dir);
+        assert!(report.contains("breadth-first: 85.0%"), "{report}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,351 @@
+//! # gmc-cliquelist: the paper's clique-list data structure (§IV-B)
+//!
+//! A breadth-first clique search must store *every* candidate clique of the
+//! current level simultaneously. The paper introduces the *clique list* for
+//! this: a linked list with one node per search level, where each node holds
+//! two parallel arrays:
+//!
+//! * `vertex_id[i]` — the candidate vertex entry `i` adds to its clique;
+//! * `sublist_id[i]` — the index in the *previous* level's arrays of the
+//!   entry this candidate extends (a back-pointer).
+//!
+//! Entries extending the same parent are contiguous, forming *sublists*.
+//! The first node is special: it packs the first two levels of the search
+//! tree by storing the source vertex of each 2-clique directly in
+//! `sublist_id`. A clique is read out by walking back-pointers from the head
+//! node (see the paper's Fig. 1 walk-through, reproduced in
+//! [`CliqueList::read_clique`]'s tests).
+//!
+//! Every level's arrays are charged against a [`DeviceMemory`] budget: the
+//! clique list is precisely the allocation that makes breadth-first search
+//! memory-hungry, so its footprint is what the paper's OOM results measure.
+
+#![warn(missing_docs)]
+
+use gmc_dpp::{DeviceBuffer, DeviceMemory, DeviceOom};
+
+/// One node of the clique list: all candidate entries for a single level of
+/// the breadth-first search. Level `L` (0-based) holds `(L + 2)`-cliques.
+pub struct CliqueLevel {
+    vertex_id: DeviceBuffer<u32>,
+    sublist_id: DeviceBuffer<u32>,
+}
+
+impl CliqueLevel {
+    /// Wraps the two parallel arrays, charging their bytes to `memory`.
+    ///
+    /// # Panics
+    /// Panics if the arrays differ in length.
+    pub fn from_vecs(
+        memory: &DeviceMemory,
+        vertex_id: Vec<u32>,
+        sublist_id: Vec<u32>,
+    ) -> Result<Self, DeviceOom> {
+        assert_eq!(
+            vertex_id.len(),
+            sublist_id.len(),
+            "vertex_id and sublist_id must be parallel arrays"
+        );
+        Ok(Self {
+            vertex_id: DeviceBuffer::from_vec(memory, vertex_id)?,
+            sublist_id: DeviceBuffer::from_vec(memory, sublist_id)?,
+        })
+    }
+
+    /// Number of candidate entries in this level.
+    pub fn len(&self) -> usize {
+        self.vertex_id.len()
+    }
+
+    /// Whether the level holds no candidates.
+    pub fn is_empty(&self) -> bool {
+        self.vertex_id.is_empty()
+    }
+
+    /// The candidate vertex array.
+    pub fn vertex_ids(&self) -> &[u32] {
+        self.vertex_id.as_slice()
+    }
+
+    /// The back-pointer array (source vertices for the first level).
+    pub fn sublist_ids(&self) -> &[u32] {
+        self.sublist_id.as_slice()
+    }
+
+    /// Whether entry `i` is the last entry of its sublist.
+    #[inline]
+    pub fn is_sublist_end(&self, i: usize) -> bool {
+        i + 1 == self.len() || self.sublist_id[i] != self.sublist_id[i + 1]
+    }
+
+    /// Start indices of every sublist (entries sharing a `sublist_id` run).
+    pub fn sublist_starts(&self) -> Vec<usize> {
+        let ids = self.sublist_id.as_slice();
+        let mut starts = Vec::new();
+        for i in 0..ids.len() {
+            if i == 0 || ids[i] != ids[i - 1] {
+                starts.push(i);
+            }
+        }
+        starts
+    }
+
+    /// Number of sublists in this level.
+    pub fn num_sublists(&self) -> usize {
+        self.sublist_starts().len()
+    }
+
+    /// The end (exclusive) of the last complete sublist whose final entry is
+    /// at or before `nominal_end - 1`; returns 0 when no sublist completes
+    /// within the prefix.
+    ///
+    /// This is the paper's window-boundary snap (§IV-E): the GPU version has
+    /// threads scan a chunk of `sublist_id` values and `atomicMin` the first
+    /// boundary at or below the nominal cut; here the scan is sequential
+    /// backwards from the cut, which visits the same entries.
+    pub fn snap_window_end(&self, nominal_end: usize) -> usize {
+        let n = self.len();
+        if nominal_end >= n {
+            return n;
+        }
+        // Walk left from the nominal cut until the entry before the cut is a
+        // sublist end.
+        let mut end = nominal_end;
+        while end > 0 && !self.is_sublist_end(end - 1) {
+            end -= 1;
+        }
+        end
+    }
+}
+
+impl std::fmt::Debug for CliqueLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CliqueLevel")
+            .field("entries", &self.len())
+            .finish()
+    }
+}
+
+/// The full linked list of levels for one breadth-first search.
+#[derive(Default)]
+pub struct CliqueList {
+    levels: Vec<CliqueLevel>,
+}
+
+impl CliqueList {
+    /// An empty clique list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends the next level (the new head).
+    pub fn push_level(&mut self, level: CliqueLevel) {
+        self.levels.push(level);
+    }
+
+    /// Drops the head level (used when a window's expansion is rolled back).
+    pub fn pop_level(&mut self) -> Option<CliqueLevel> {
+        self.levels.pop()
+    }
+
+    /// Number of levels currently stored.
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The most recently added level, if any.
+    pub fn head(&self) -> Option<&CliqueLevel> {
+        self.levels.last()
+    }
+
+    /// Level `i` (0 = the packed 2-clique node).
+    pub fn level(&self, i: usize) -> &CliqueLevel {
+        &self.levels[i]
+    }
+
+    /// The clique size represented by entries of level `i`.
+    pub fn clique_size_at(&self, i: usize) -> usize {
+        i + 2
+    }
+
+    /// Total entries across all levels (× 8 bytes ≈ device footprint).
+    pub fn total_entries(&self) -> usize {
+        self.levels.iter().map(CliqueLevel::len).sum()
+    }
+
+    /// Reads out the clique represented by entry `entry` of level
+    /// `level_idx` by walking back-pointers, exactly as the paper's Fig. 1
+    /// walk-through describes. Vertices are returned in ascending search
+    /// order (source vertex first).
+    pub fn read_clique(&self, level_idx: usize, entry: usize) -> Vec<u32> {
+        let mut clique = Vec::with_capacity(level_idx + 2);
+        let mut ptr = entry;
+        for lvl in (0..=level_idx).rev() {
+            let level = &self.levels[lvl];
+            clique.push(level.vertex_ids()[ptr]);
+            if lvl == 0 {
+                // The first node packs the source vertex into sublist_id.
+                clique.push(level.sublist_ids()[ptr]);
+            } else {
+                ptr = level.sublist_ids()[ptr] as usize;
+            }
+        }
+        clique.reverse();
+        clique
+    }
+
+    /// Reads out every clique stored at level `level_idx`.
+    pub fn read_all_cliques(&self, level_idx: usize) -> Vec<Vec<u32>> {
+        (0..self.levels[level_idx].len())
+            .map(|entry| self.read_clique(level_idx, entry))
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for CliqueList {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CliqueList")
+            .field("levels", &self.levels.len())
+            .field("total_entries", &self.total_entries())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the clique list from the paper's Fig. 1 example graph:
+    /// vertices A..E = 0..4 with maximum clique {B, C, D, E} = {1, 2, 3, 4}.
+    ///
+    /// Level 0 (2-cliques, sublist_id = source vertex):
+    ///   sublist: A A B B B C C D
+    ///   vertex:  B C C D E D E E
+    /// Level 1 (3-cliques, pointers into level 0):
+    ///   parent entries: A→B gives C; A→C …; matching the paper's figure in
+    ///   spirit (exact layout below).
+    fn figure1_list(memory: &DeviceMemory) -> CliqueList {
+        let mut list = CliqueList::new();
+        // A=0, B=1, C=2, D=3, E=4.
+        list.push_level(
+            CliqueLevel::from_vecs(
+                memory,
+                vec![1, 2, 2, 3, 4, 3, 4, 4], // vertex_id
+                vec![0, 0, 1, 1, 1, 2, 2, 3], // sublist_id = source vertex
+            )
+            .unwrap(),
+        );
+        // 3-cliques: {A,B,C} from entry0+C?, etc. We store: entries
+        // extending level-0 entries (index shown in comment).
+        list.push_level(
+            CliqueLevel::from_vecs(
+                memory,
+                vec![2, 3, 4, 4, 4], // vertex added
+                vec![0, 2, 2, 3, 5], // parent entry in level 0
+            )
+            .unwrap(),
+        );
+        // 4-cliques: {B,C,D,E} — extends level-1 entry 1 ({B,C,D}) with E.
+        list.push_level(CliqueLevel::from_vecs(memory, vec![4], vec![1]).unwrap());
+        list
+    }
+
+    #[test]
+    fn readout_matches_figure_walkthrough() {
+        let memory = DeviceMemory::unlimited();
+        let list = figure1_list(&memory);
+        assert_eq!(list.num_levels(), 3);
+        assert_eq!(list.clique_size_at(2), 4);
+        // Head level has a single 4-clique {B, C, D, E} = {1, 2, 3, 4}.
+        assert_eq!(list.read_clique(2, 0), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn readout_of_lower_levels() {
+        let memory = DeviceMemory::unlimited();
+        let list = figure1_list(&memory);
+        // Level 0 entry 0 is the 2-clique {A, B}.
+        assert_eq!(list.read_clique(0, 0), vec![0, 1]);
+        // Level 1 entry 0 extends {A, B} with C.
+        assert_eq!(list.read_clique(1, 0), vec![0, 1, 2]);
+        // Level 1 entry 4 extends {C, D} with E.
+        assert_eq!(list.read_clique(1, 4), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn read_all_cliques_at_level() {
+        let memory = DeviceMemory::unlimited();
+        let list = figure1_list(&memory);
+        let triangles = list.read_all_cliques(1);
+        assert_eq!(triangles.len(), 5);
+        assert!(triangles.contains(&vec![1, 2, 3]));
+        assert!(triangles.contains(&vec![1, 2, 4]));
+    }
+
+    #[test]
+    fn sublist_structure() {
+        let memory = DeviceMemory::unlimited();
+        let list = figure1_list(&memory);
+        let level0 = list.level(0);
+        assert_eq!(level0.sublist_starts(), vec![0, 2, 5, 7]);
+        assert_eq!(level0.num_sublists(), 4);
+        assert!(level0.is_sublist_end(1));
+        assert!(!level0.is_sublist_end(2));
+        assert!(level0.is_sublist_end(7));
+    }
+
+    #[test]
+    fn window_snapping_lands_on_boundaries() {
+        let memory = DeviceMemory::unlimited();
+        let list = figure1_list(&memory);
+        let level0 = list.level(0);
+        // Boundaries after entries 1, 4, 6, 7 → valid window ends 2, 5, 7, 8.
+        assert_eq!(level0.snap_window_end(0), 0);
+        assert_eq!(level0.snap_window_end(1), 0);
+        assert_eq!(level0.snap_window_end(2), 2);
+        assert_eq!(level0.snap_window_end(3), 2);
+        assert_eq!(level0.snap_window_end(4), 2);
+        assert_eq!(level0.snap_window_end(5), 5);
+        assert_eq!(level0.snap_window_end(6), 5);
+        assert_eq!(level0.snap_window_end(7), 7);
+        assert_eq!(level0.snap_window_end(8), 8);
+        assert_eq!(level0.snap_window_end(100), 8);
+    }
+
+    #[test]
+    fn memory_is_charged_and_released() {
+        let memory = DeviceMemory::new(1024);
+        {
+            let _list = figure1_list(&memory);
+            // 8 + 5 + 1 entries × 2 arrays × 4 bytes.
+            assert_eq!(memory.live(), 14 * 8);
+        }
+        assert_eq!(memory.live(), 0);
+        assert_eq!(memory.peak(), 14 * 8);
+    }
+
+    #[test]
+    fn oom_propagates_from_level_allocation() {
+        let memory = DeviceMemory::new(32);
+        let big = vec![0u32; 100];
+        assert!(CliqueLevel::from_vecs(&memory, big.clone(), big).is_err());
+    }
+
+    #[test]
+    fn pop_level_rolls_back() {
+        let memory = DeviceMemory::unlimited();
+        let mut list = figure1_list(&memory);
+        assert_eq!(list.total_entries(), 14);
+        let popped = list.pop_level().unwrap();
+        assert_eq!(popped.len(), 1);
+        assert_eq!(list.num_levels(), 2);
+        assert_eq!(list.total_entries(), 13);
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel arrays")]
+    fn mismatched_arrays_rejected() {
+        let memory = DeviceMemory::unlimited();
+        let _ = CliqueLevel::from_vecs(&memory, vec![1, 2], vec![0]);
+    }
+}

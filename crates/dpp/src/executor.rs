@@ -1,0 +1,431 @@
+use crate::stats::{LaunchStats, StatsCells};
+use parking_lot::{Condvar, Mutex};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Launches below this element count run inline on the calling thread. Real
+/// GPU launches have a fixed overhead that dwarfs tiny grids; here the
+/// analogue is condvar wake-up latency, so small grids are executed
+/// sequentially. Results are identical either way.
+const SEQUENTIAL_GRID_LIMIT: usize = 2048;
+
+/// A task dispatched to the pool: invoked once per worker with the worker's
+/// index. Stored as a raw fat pointer so that borrowed captures are allowed;
+/// the launcher blocks until every worker has finished, which keeps the
+/// borrow alive for the full execution.
+#[derive(Clone, Copy)]
+struct TaskPtr(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is `Sync` and the launch protocol guarantees it
+// outlives every use (the launching thread blocks until `pending == 0`).
+unsafe impl Send for TaskPtr {}
+
+struct PoolState {
+    task: Option<TaskPtr>,
+    /// Incremented per launch; workers run each generation exactly once.
+    generation: u64,
+    /// Workers that have not yet finished the current generation.
+    pending: usize,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    work_ready: Condvar,
+    work_done: Condvar,
+    panicked: AtomicBool,
+}
+
+struct ExecutorInner {
+    shared: Arc<PoolShared>,
+    workers: Vec<JoinHandle<()>>,
+    num_workers: usize,
+    stats: StatsCells,
+    /// Simulated fixed cost per launch, in nanoseconds (see
+    /// [`Executor::set_launch_overhead`]).
+    launch_overhead_ns: std::sync::atomic::AtomicU64,
+}
+
+/// Bulk-synchronous parallel executor: the reproduction's stand-in for a GPU.
+///
+/// Each launch models one CUDA kernel: a grid of `n` virtual threads, each
+/// running the same closure on its own index, with an implicit barrier at the
+/// end. Virtual threads are mapped onto a persistent pool of OS workers in
+/// contiguous chunks, so output is deterministic and independent of the
+/// worker count.
+///
+/// Cloning an `Executor` is cheap and shares the pool.
+#[derive(Clone)]
+pub struct Executor {
+    inner: Arc<ExecutorInner>,
+}
+
+impl Executor {
+    /// Creates an executor with `num_workers` OS worker threads (minimum 1).
+    pub fn new(num_workers: usize) -> Self {
+        let num_workers = num_workers.max(1);
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                task: None,
+                generation: 0,
+                pending: 0,
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+            work_done: Condvar::new(),
+            panicked: AtomicBool::new(false),
+        });
+        let workers = (0..num_workers)
+            .map(|id| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("gmc-dpp-worker-{id}"))
+                    .spawn(move || worker_loop(&shared, id))
+                    .expect("failed to spawn dpp worker thread")
+            })
+            .collect();
+        Self {
+            inner: Arc::new(ExecutorInner {
+                shared,
+                workers,
+                num_workers,
+                stats: StatsCells::default(),
+                launch_overhead_ns: std::sync::atomic::AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Creates an executor sized to the machine's available parallelism.
+    pub fn with_default_parallelism() -> Self {
+        let n = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(4);
+        Self::new(n)
+    }
+
+    /// Number of OS worker threads backing the pool.
+    pub fn num_workers(&self) -> usize {
+        self.inner.num_workers
+    }
+
+    /// Snapshot of launch counters accumulated so far.
+    pub fn stats(&self) -> LaunchStats {
+        self.inner.stats.snapshot()
+    }
+
+    /// Resets launch counters to zero.
+    pub fn reset_stats(&self) {
+        self.inner.stats.reset();
+    }
+
+    /// Models a fixed per-launch cost (CUDA kernel launch + synchronisation
+    /// latency, typically a handful of microseconds). Zero by default.
+    ///
+    /// Real GPU programs pay this cost once per kernel; algorithms that
+    /// multiply launch counts — like the paper's windowed search, which
+    /// reruns the expansion loop per window — feel it directly. The
+    /// experiment harness enables this so the windowed-vs-full runtime
+    /// trade-off (paper §V-C2) has its physical cause represented.
+    pub fn set_launch_overhead(&self, overhead: std::time::Duration) {
+        self.inner
+            .launch_overhead_ns
+            .store(overhead.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Current simulated per-launch overhead.
+    pub fn launch_overhead(&self) -> std::time::Duration {
+        std::time::Duration::from_nanos(self.inner.launch_overhead_ns.load(Ordering::Relaxed))
+    }
+
+    /// Spin-waits the configured per-launch overhead (sleep granularity is
+    /// far too coarse for microsecond costs).
+    fn pay_launch_overhead(&self) {
+        let ns = self.inner.launch_overhead_ns.load(Ordering::Relaxed);
+        if ns == 0 {
+            return;
+        }
+        let deadline = std::time::Instant::now() + std::time::Duration::from_nanos(ns);
+        while std::time::Instant::now() < deadline {
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Launches a grid of `n` virtual threads; virtual thread `i` runs
+    /// `kernel(i)`. Blocks until all virtual threads complete (the kernel
+    /// boundary barrier).
+    pub fn for_each_indexed<F>(&self, n: usize, kernel: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        self.inner.stats.record_launch(n);
+        self.pay_launch_overhead();
+        if n == 0 {
+            return;
+        }
+        if n <= SEQUENTIAL_GRID_LIMIT || self.inner.num_workers == 1 {
+            for i in 0..n {
+                kernel(i);
+            }
+            return;
+        }
+        let workers = self.inner.num_workers;
+        let chunk = n.div_ceil(workers);
+        self.run_on_pool(&|worker_id: usize| {
+            let start = worker_id * chunk;
+            let end = (start + chunk).min(n);
+            for i in start..end {
+                kernel(i);
+            }
+        });
+    }
+
+    /// Partitions `0..n` into one contiguous range per worker and runs
+    /// `body(range)` on each. Used by primitives that need per-chunk partial
+    /// results; `num_chunks(n)` gives the number of ranges produced.
+    pub fn for_each_chunk<F>(&self, n: usize, body: F)
+    where
+        F: Fn(usize, std::ops::Range<usize>) + Sync,
+    {
+        self.inner.stats.record_launch(n);
+        self.pay_launch_overhead();
+        if n == 0 {
+            return;
+        }
+        let chunks = self.num_chunks(n);
+        if chunks == 1 {
+            body(0, 0..n);
+            return;
+        }
+        let chunk = n.div_ceil(chunks);
+        self.run_on_pool(&|worker_id: usize| {
+            let start = worker_id * chunk;
+            if start < n {
+                let end = (start + chunk).min(n);
+                body(worker_id, start..end);
+            }
+        });
+    }
+
+    /// The number of chunks [`Executor::for_each_chunk`] will produce for an
+    /// `n`-element problem.
+    pub fn num_chunks(&self, n: usize) -> usize {
+        if n <= SEQUENTIAL_GRID_LIMIT || self.inner.num_workers == 1 {
+            1
+        } else {
+            self.inner.num_workers
+        }
+    }
+
+    /// Fills `out[i] = kernel(i)` for every `i`.
+    pub fn fill_indexed<T, F>(&self, out: &mut [T], kernel: F)
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let shared = crate::SharedSlice::new(out);
+        self.for_each_indexed(shared.len(), |i| {
+            // SAFETY: each virtual thread writes exactly its own index.
+            unsafe { shared.write(i, kernel(i)) };
+        });
+    }
+
+    /// Allocates a vector of length `n` with `v[i] = kernel(i)`.
+    pub fn map_indexed<T, F>(&self, n: usize, kernel: F) -> Vec<T>
+    where
+        T: Send + Copy + Default,
+        F: Fn(usize) -> T + Sync,
+    {
+        let mut out = vec![T::default(); n];
+        self.fill_indexed(&mut out, kernel);
+        out
+    }
+
+    fn run_on_pool(&self, task: &(dyn Fn(usize) + Sync)) {
+        let shared = &self.inner.shared;
+        // SAFETY: the lifetime is erased here, but this function does not
+        // return until every worker has finished running the task, so the
+        // borrow outlives all uses.
+        let ptr = TaskPtr(unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync)>(task)
+        });
+        {
+            let mut st = shared.state.lock();
+            debug_assert_eq!(st.pending, 0, "overlapping launches are not allowed");
+            st.task = Some(ptr);
+            st.generation += 1;
+            st.pending = self.inner.num_workers;
+            shared.work_ready.notify_all();
+            while st.pending > 0 {
+                shared.work_done.wait(&mut st);
+            }
+            st.task = None;
+        }
+        if shared.panicked.swap(false, Ordering::Relaxed) {
+            panic!("a gmc-dpp worker thread panicked during a launch");
+        }
+    }
+}
+
+impl Drop for ExecutorInner {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock();
+            st.shutdown = true;
+            self.shared.work_ready.notify_all();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for Executor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Executor")
+            .field("num_workers", &self.inner.num_workers)
+            .finish()
+    }
+}
+
+fn worker_loop(shared: &PoolShared, worker_id: usize) {
+    let mut last_generation = 0u64;
+    loop {
+        let task = {
+            let mut st = shared.state.lock();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if let Some(task) = st.task {
+                    if st.generation != last_generation {
+                        last_generation = st.generation;
+                        break task;
+                    }
+                }
+                shared.work_ready.wait(&mut st);
+            }
+        };
+        // SAFETY: the launcher keeps the task alive until `pending == 0`,
+        // which we only signal after the call returns.
+        let call = AssertUnwindSafe(|| unsafe { (*task.0)(worker_id) });
+        if std::panic::catch_unwind(call).is_err() {
+            shared.panicked.store(true, Ordering::Relaxed);
+        }
+        let mut st = shared.state.lock();
+        st.pending -= 1;
+        if st.pending == 0 {
+            shared.work_done.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn for_each_visits_every_index_once() {
+        let exec = Executor::new(4);
+        let n = 100_000;
+        let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        exec.for_each_indexed(n, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn map_indexed_matches_sequential() {
+        let exec = Executor::new(3);
+        let out = exec.map_indexed(50_000, |i| (i * i) as u64);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, (i * i) as u64);
+        }
+    }
+
+    #[test]
+    fn small_grids_run_inline() {
+        let exec = Executor::new(8);
+        let before = exec.stats();
+        let out = exec.map_indexed(10, |i| i as u32);
+        assert_eq!(out, (0..10u32).collect::<Vec<_>>());
+        let after = exec.stats();
+        assert_eq!(after.since(before).launches, 1);
+        assert_eq!(after.since(before).virtual_threads, 10);
+    }
+
+    #[test]
+    fn repeated_launches_are_stable() {
+        let exec = Executor::new(4);
+        for round in 0..50 {
+            let out = exec.map_indexed(10_000, |i| (i + round) as u64);
+            assert_eq!(out[0], round as u64);
+            assert_eq!(out[9999], (9999 + round) as u64);
+        }
+    }
+
+    #[test]
+    fn single_worker_executor_works() {
+        let exec = Executor::new(1);
+        let out = exec.map_indexed(5000, |i| i as u32 * 2);
+        assert_eq!(out[4999], 9998);
+    }
+
+    #[test]
+    fn chunks_cover_range_disjointly() {
+        let exec = Executor::new(4);
+        let n = 100_000;
+        let covered: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        exec.for_each_chunk(n, |_, range| {
+            for i in range {
+                covered[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(covered.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn executor_clone_shares_stats() {
+        let exec = Executor::new(2);
+        let clone = exec.clone();
+        exec.for_each_indexed(10, |_| {});
+        assert_eq!(clone.stats().launches, 1);
+    }
+
+    #[test]
+    fn launch_overhead_is_paid_per_launch() {
+        let exec = Executor::new(1);
+        exec.set_launch_overhead(std::time::Duration::from_micros(200));
+        assert_eq!(
+            exec.launch_overhead(),
+            std::time::Duration::from_micros(200)
+        );
+        let start = std::time::Instant::now();
+        for _ in 0..50 {
+            exec.for_each_indexed(1, |_| {});
+        }
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed >= std::time::Duration::from_millis(10),
+            "50 launches at 200µs each should take ≥ 10ms, took {elapsed:?}"
+        );
+        exec.set_launch_overhead(std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let exec = Executor::new(2);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            exec.for_each_indexed(100_000, |i| {
+                assert!(i < 50_000, "boom");
+            });
+        }));
+        assert!(result.is_err());
+        // The pool must still be usable afterwards.
+        let out = exec.map_indexed(10_000, |i| i as u32);
+        assert_eq!(out[123], 123);
+    }
+}

@@ -1,0 +1,104 @@
+//! # gmc-dpp: virtual-GPU data-parallel primitives
+//!
+//! This crate is the execution substrate for the GPU maximum clique
+//! reproduction. The paper's implementation is a sequence of CUDA kernel
+//! launches interleaved with calls into NVIDIA's CUB library (scan, select,
+//! segmented reduce, sort). Here the same execution model is provided on the
+//! CPU:
+//!
+//! * [`Executor`] — a bulk-synchronous parallel executor backed by a
+//!   persistent worker pool. Each [`Executor::for_each_indexed`] call is the
+//!   analogue of one kernel launch: one *virtual thread* per element, a
+//!   barrier at the end, and deterministic results regardless of worker
+//!   count.
+//! * [`exclusive_scan`], [`select_if`], [`segmented_argmax_by_key`],
+//!   [`sort_pairs_u32`], [`histogram_u32`], [`run_length_encode`] — the
+//!   CUB-style primitives the paper's Algorithms 1 and 2 are built from.
+//! * [`DeviceMemory`] / [`DeviceBuffer`] — a capacity-bounded accounting
+//!   allocator standing in for the GPU's on-board RAM. Exhausting it yields
+//!   [`DeviceOom`], which is how the reproduction models the paper's
+//!   out-of-memory outcomes (Table I, Fig. 6).
+//!
+//! Determinism: every primitive in this crate returns byte-identical output
+//! for a given input regardless of how many workers the executor has; all
+//! parallel reductions combine partial results in chunk order.
+
+#![warn(missing_docs)]
+
+mod executor;
+mod histogram;
+mod memory;
+mod rle;
+mod scan;
+mod segmented;
+mod select;
+mod shared;
+mod sort;
+mod stats;
+
+pub use executor::Executor;
+pub use histogram::histogram_u32;
+pub use memory::{DeviceBuffer, DeviceMemory, DeviceOom, MemoryGuard};
+pub use rle::{run_length_encode, run_starts};
+pub use scan::{exclusive_scan, exclusive_scan_by, inclusive_scan, reduce, reduce_by};
+pub use segmented::{
+    remove_empty_segments, segment_lengths, segmented_argmax_by_key, segmented_sum,
+};
+pub use select::{select_count, select_flagged, select_if, select_indices};
+pub use shared::SharedSlice;
+pub use sort::{sort_pairs_u32, sort_u32, sort_u32_desc};
+pub use stats::LaunchStats;
+
+/// Bundles an executor with a device-memory budget: the "device" everything
+/// in the reproduction runs on. Cloning shares both.
+#[derive(Clone)]
+pub struct Device {
+    exec: Executor,
+    memory: DeviceMemory,
+}
+
+impl Device {
+    /// A device with `workers` parallel workers and `capacity_bytes` of
+    /// accountable memory.
+    pub fn new(workers: usize, capacity_bytes: usize) -> Self {
+        Self {
+            exec: Executor::new(workers),
+            memory: DeviceMemory::new(capacity_bytes),
+        }
+    }
+
+    /// A device with default parallelism and effectively unlimited memory.
+    pub fn unlimited() -> Self {
+        Self {
+            exec: Executor::with_default_parallelism(),
+            memory: DeviceMemory::unlimited(),
+        }
+    }
+
+    /// A device with default parallelism and the given memory budget.
+    pub fn with_memory_budget(capacity_bytes: usize) -> Self {
+        Self {
+            exec: Executor::with_default_parallelism(),
+            memory: DeviceMemory::new(capacity_bytes),
+        }
+    }
+
+    /// The bulk-synchronous executor.
+    pub fn exec(&self) -> &Executor {
+        &self.exec
+    }
+
+    /// The device memory accountant.
+    pub fn memory(&self) -> &DeviceMemory {
+        &self.memory
+    }
+}
+
+impl std::fmt::Debug for Device {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Device")
+            .field("workers", &self.exec.num_workers())
+            .field("memory_capacity", &self.memory.capacity())
+            .finish()
+    }
+}

@@ -1,0 +1,286 @@
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Error returned when a device allocation would exceed the configured
+/// capacity — the reproduction's analogue of a CUDA `cudaErrorMemoryAllocation`.
+///
+/// The paper reports per-dataset OOM outcomes (Table I) and peak-memory
+/// comparisons (Fig. 6); both are driven by this accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceOom {
+    /// Bytes the failed allocation requested.
+    pub requested: usize,
+    /// Bytes live at the time of the failure.
+    pub live: usize,
+    /// Configured device capacity in bytes.
+    pub capacity: usize,
+}
+
+impl std::fmt::Display for DeviceOom {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "device out of memory: requested {} B with {} B live of {} B capacity",
+            self.requested, self.live, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for DeviceOom {}
+
+struct MemoryCells {
+    capacity: usize,
+    live: AtomicUsize,
+    peak: AtomicUsize,
+}
+
+/// Capacity-bounded accounting allocator modelling GPU on-board RAM.
+///
+/// No real memory is reserved; instead every buffer that would live in GPU
+/// global memory in the paper's implementation charges its byte size here and
+/// releases it on drop. Exceeding the capacity fails the charge with
+/// [`DeviceOom`]. Peak usage is tracked so experiments can report
+/// paper-style memory curves.
+///
+/// Cloning shares the accountant.
+#[derive(Clone)]
+pub struct DeviceMemory {
+    cells: Arc<MemoryCells>,
+}
+
+impl DeviceMemory {
+    /// An accountant with the given capacity in bytes.
+    pub fn new(capacity_bytes: usize) -> Self {
+        Self {
+            cells: Arc::new(MemoryCells {
+                capacity: capacity_bytes,
+                live: AtomicUsize::new(0),
+                peak: AtomicUsize::new(0),
+            }),
+        }
+    }
+
+    /// An accountant that never reports OOM.
+    pub fn unlimited() -> Self {
+        Self::new(usize::MAX)
+    }
+
+    /// Configured capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.cells.capacity
+    }
+
+    /// Bytes currently charged.
+    pub fn live(&self) -> usize {
+        self.cells.live.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of charged bytes since creation or the last
+    /// [`DeviceMemory::reset_peak`].
+    pub fn peak(&self) -> usize {
+        self.cells.peak.load(Ordering::Relaxed)
+    }
+
+    /// Resets the high-water mark to the current live total.
+    pub fn reset_peak(&self) {
+        self.cells.peak.store(self.live(), Ordering::Relaxed);
+    }
+
+    /// Attempts to charge `bytes`, returning a guard that releases the charge
+    /// when dropped.
+    pub fn try_charge(&self, bytes: usize) -> Result<MemoryGuard, DeviceOom> {
+        let prev = self.cells.live.fetch_add(bytes, Ordering::Relaxed);
+        let new_live = prev.saturating_add(bytes);
+        if new_live > self.cells.capacity {
+            self.cells.live.fetch_sub(bytes, Ordering::Relaxed);
+            return Err(DeviceOom {
+                requested: bytes,
+                live: prev,
+                capacity: self.cells.capacity,
+            });
+        }
+        self.cells.peak.fetch_max(new_live, Ordering::Relaxed);
+        Ok(MemoryGuard {
+            cells: Arc::clone(&self.cells),
+            bytes,
+        })
+    }
+}
+
+impl std::fmt::Debug for DeviceMemory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DeviceMemory")
+            .field("capacity", &self.capacity())
+            .field("live", &self.live())
+            .field("peak", &self.peak())
+            .finish()
+    }
+}
+
+/// RAII guard for a device-memory charge; releases the bytes on drop.
+pub struct MemoryGuard {
+    cells: Arc<MemoryCells>,
+    bytes: usize,
+}
+
+impl MemoryGuard {
+    /// The number of bytes this guard holds.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+}
+
+impl Drop for MemoryGuard {
+    fn drop(&mut self) {
+        self.cells.live.fetch_sub(self.bytes, Ordering::Relaxed);
+    }
+}
+
+impl std::fmt::Debug for MemoryGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemoryGuard")
+            .field("bytes", &self.bytes)
+            .finish()
+    }
+}
+
+/// A host vector whose byte footprint is charged against a [`DeviceMemory`]
+/// budget, standing in for an array in GPU global memory.
+pub struct DeviceBuffer<T> {
+    data: Vec<T>,
+    _guard: MemoryGuard,
+}
+
+impl<T> DeviceBuffer<T> {
+    /// Wraps `data`, charging `data.len() * size_of::<T>()` bytes.
+    pub fn from_vec(memory: &DeviceMemory, data: Vec<T>) -> Result<Self, DeviceOom> {
+        let guard = memory.try_charge(std::mem::size_of_val(data.as_slice()))?;
+        Ok(Self {
+            data,
+            _guard: guard,
+        })
+    }
+
+    /// Allocates a zero-initialised buffer of `len` elements.
+    pub fn zeroed(memory: &DeviceMemory, len: usize) -> Result<Self, DeviceOom>
+    where
+        T: Default + Clone,
+    {
+        let guard = memory.try_charge(len * std::mem::size_of::<T>())?;
+        Ok(Self {
+            data: vec![T::default(); len],
+            _guard: guard,
+        })
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Read-only view of the contents.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable view of the contents.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consumes the buffer, releasing the charge and returning the host data.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for DeviceBuffer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DeviceBuffer")
+            .field("len", &self.data.len())
+            .finish()
+    }
+}
+
+impl<T> std::ops::Deref for DeviceBuffer<T> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        &self.data
+    }
+}
+
+impl<T> std::ops::DerefMut for DeviceBuffer<T> {
+    fn deref_mut(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_and_release() {
+        let mem = DeviceMemory::new(1000);
+        let g = mem.try_charge(600).unwrap();
+        assert_eq!(mem.live(), 600);
+        assert_eq!(mem.peak(), 600);
+        drop(g);
+        assert_eq!(mem.live(), 0);
+        assert_eq!(mem.peak(), 600, "peak survives release");
+    }
+
+    #[test]
+    fn oom_when_over_capacity() {
+        let mem = DeviceMemory::new(1000);
+        let _g = mem.try_charge(800).unwrap();
+        let err = mem.try_charge(300).unwrap_err();
+        assert_eq!(err.requested, 300);
+        assert_eq!(err.live, 800);
+        assert_eq!(err.capacity, 1000);
+        // The failed charge must not leak accounting.
+        assert_eq!(mem.live(), 800);
+    }
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let mem = DeviceMemory::new(10_000);
+        let a = mem.try_charge(4000).unwrap();
+        let b = mem.try_charge(5000).unwrap();
+        drop(a);
+        let _c = mem.try_charge(1000).unwrap();
+        assert_eq!(mem.peak(), 9000);
+        drop(b);
+        mem.reset_peak();
+        assert_eq!(mem.peak(), mem.live());
+    }
+
+    #[test]
+    fn device_buffer_charges_by_bytes() {
+        let mem = DeviceMemory::new(64);
+        let buf = DeviceBuffer::from_vec(&mem, vec![0u32; 16]).unwrap();
+        assert_eq!(mem.live(), 64);
+        assert!(DeviceBuffer::from_vec(&mem, vec![0u8; 1]).is_err());
+        drop(buf);
+        assert_eq!(mem.live(), 0);
+    }
+
+    #[test]
+    fn zeroed_buffer() {
+        let mem = DeviceMemory::unlimited();
+        let buf: DeviceBuffer<u32> = DeviceBuffer::zeroed(&mem, 8).unwrap();
+        assert_eq!(buf.as_slice(), &[0u32; 8]);
+    }
+
+    #[test]
+    fn unlimited_never_ooms() {
+        let mem = DeviceMemory::unlimited();
+        let _g = mem.try_charge(1 << 40).unwrap();
+        assert!(mem.try_charge(1 << 40).is_ok());
+    }
+}

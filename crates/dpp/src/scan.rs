@@ -1,0 +1,206 @@
+//! Prefix-scan and reduction primitives (CUB `DeviceScan` / `DeviceReduce`
+//! analogues).
+//!
+//! All scans are deterministic two-phase chunked algorithms: each worker
+//! produces a partial aggregate for its contiguous chunk, the chunk
+//! aggregates are scanned sequentially, and a second pass writes the final
+//! prefixes. Because chunk boundaries depend only on the input length and
+//! the executor's chunk policy, output is identical for any worker count.
+
+use crate::executor::Executor;
+use crate::shared::SharedSlice;
+
+/// Generic exclusive scan with a caller-supplied associative operator.
+///
+/// Returns the scanned vector and the total aggregate (the value that would
+/// occupy index `n` — CUB's "carry-out"). The paper's Algorithm 2 relies on
+/// exactly this shape: `offsets = scan(counts)` plus the total to size the
+/// next clique-list level.
+pub fn exclusive_scan_by<T, Op>(exec: &Executor, input: &[T], identity: T, op: Op) -> (Vec<T>, T)
+where
+    T: Copy + Send + Sync,
+    Op: Fn(T, T) -> T + Sync,
+{
+    let n = input.len();
+    if n == 0 {
+        return (Vec::new(), identity);
+    }
+    let chunks = exec.num_chunks(n);
+    if chunks == 1 {
+        let mut out = Vec::with_capacity(n);
+        let mut acc = identity;
+        for &v in input {
+            out.push(acc);
+            acc = op(acc, v);
+        }
+        return (out, acc);
+    }
+
+    // Phase 1: per-chunk aggregates.
+    let mut partials = vec![identity; chunks];
+    {
+        let partials_shared = SharedSlice::new(&mut partials);
+        exec.for_each_chunk(n, |chunk_id, range| {
+            let mut acc = identity;
+            for &v in &input[range] {
+                acc = op(acc, v);
+            }
+            // SAFETY: one write per chunk id.
+            unsafe { partials_shared.write(chunk_id, acc) };
+        });
+    }
+
+    // Sequential scan of the (small) aggregate array.
+    let mut carry = identity;
+    let mut chunk_offsets = Vec::with_capacity(chunks);
+    for &p in &partials {
+        chunk_offsets.push(carry);
+        carry = op(carry, p);
+    }
+
+    // Phase 2: write final prefixes.
+    let mut out = vec![identity; n];
+    {
+        let out_shared = SharedSlice::new(&mut out);
+        exec.for_each_chunk(n, |chunk_id, range| {
+            let mut acc = chunk_offsets[chunk_id];
+            for i in range {
+                // SAFETY: chunks are disjoint index ranges.
+                unsafe { out_shared.write(i, acc) };
+                acc = op(acc, input[i]);
+            }
+        });
+    }
+    (out, carry)
+}
+
+/// Exclusive prefix sum over `usize` values; returns `(prefixes, total)`.
+pub fn exclusive_scan(exec: &Executor, input: &[usize]) -> (Vec<usize>, usize) {
+    exclusive_scan_by(exec, input, 0usize, |a, b| a + b)
+}
+
+/// Inclusive prefix sum over `usize` values.
+pub fn inclusive_scan(exec: &Executor, input: &[usize]) -> Vec<usize> {
+    let (mut out, total) = exclusive_scan(exec, input);
+    if out.is_empty() {
+        return out;
+    }
+    // Shift left by one and append the total.
+    out.remove(0);
+    out.push(total);
+    out
+}
+
+/// Generic deterministic reduction with an associative operator.
+pub fn reduce_by<T, Op>(exec: &Executor, input: &[T], identity: T, op: Op) -> T
+where
+    T: Copy + Send + Sync,
+    Op: Fn(T, T) -> T + Sync,
+{
+    let n = input.len();
+    let chunks = exec.num_chunks(n);
+    if chunks <= 1 {
+        return input.iter().fold(identity, |acc, &v| op(acc, v));
+    }
+    let mut partials = vec![identity; chunks];
+    {
+        let partials_shared = SharedSlice::new(&mut partials);
+        exec.for_each_chunk(n, |chunk_id, range| {
+            let mut acc = identity;
+            for &v in &input[range] {
+                acc = op(acc, v);
+            }
+            // SAFETY: one write per chunk id.
+            unsafe { partials_shared.write(chunk_id, acc) };
+        });
+    }
+    partials.into_iter().fold(identity, op)
+}
+
+/// Sum reduction over `usize` values.
+pub fn reduce(exec: &Executor, input: &[usize]) -> usize {
+    reduce_by(exec, input, 0usize, |a, b| a + b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference_exclusive(input: &[usize]) -> (Vec<usize>, usize) {
+        let mut out = Vec::with_capacity(input.len());
+        let mut acc = 0;
+        for &v in input {
+            out.push(acc);
+            acc += v;
+        }
+        (out, acc)
+    }
+
+    #[test]
+    fn empty_scan() {
+        let exec = Executor::new(4);
+        let (out, total) = exclusive_scan(&exec, &[]);
+        assert!(out.is_empty());
+        assert_eq!(total, 0);
+    }
+
+    #[test]
+    fn small_scan_matches_reference() {
+        let exec = Executor::new(4);
+        let input = [3usize, 1, 4, 1, 5, 9, 2, 6];
+        let (out, total) = exclusive_scan(&exec, &input);
+        assert_eq!(out, vec![0, 3, 4, 8, 9, 14, 23, 25]);
+        assert_eq!(total, 31);
+    }
+
+    #[test]
+    fn large_scan_matches_reference() {
+        let exec = Executor::new(7);
+        let input: Vec<usize> = (0..200_000).map(|i| (i * 2654435761) % 17).collect();
+        let (out, total) = exclusive_scan(&exec, &input);
+        let (expected, expected_total) = reference_exclusive(&input);
+        assert_eq!(out, expected);
+        assert_eq!(total, expected_total);
+    }
+
+    #[test]
+    fn inclusive_scan_matches() {
+        let exec = Executor::new(4);
+        let input = [1usize, 2, 3, 4];
+        assert_eq!(inclusive_scan(&exec, &input), vec![1, 3, 6, 10]);
+        assert!(inclusive_scan(&exec, &[]).is_empty());
+    }
+
+    #[test]
+    fn scan_deterministic_across_worker_counts() {
+        let input: Vec<usize> = (0..100_000).map(|i| i % 7).collect();
+        let baseline = exclusive_scan(&Executor::new(1), &input);
+        for workers in [2, 3, 8] {
+            assert_eq!(exclusive_scan(&Executor::new(workers), &input), baseline);
+        }
+    }
+
+    #[test]
+    fn reduce_sums() {
+        let exec = Executor::new(4);
+        let input: Vec<usize> = (1..=100_000).collect();
+        assert_eq!(reduce(&exec, &input), 100_000 * 100_001 / 2);
+    }
+
+    #[test]
+    fn reduce_by_max() {
+        let exec = Executor::new(4);
+        let input: Vec<u32> = (0..150_000).map(|i| (i * 37) % 99_991).collect();
+        let max = reduce_by(&exec, &input, 0u32, |a, b| a.max(b));
+        assert_eq!(max, *input.iter().max().unwrap());
+    }
+
+    #[test]
+    fn generic_scan_with_max_operator() {
+        let exec = Executor::new(4);
+        let input = [2u32, 9, 1, 7, 3];
+        let (out, total) = exclusive_scan_by(&exec, &input, 0u32, |a, b| a.max(b));
+        assert_eq!(out, vec![0, 2, 9, 9, 9]);
+        assert_eq!(total, 9);
+    }
+}

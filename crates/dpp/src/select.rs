@@ -1,0 +1,164 @@
+//! Stream compaction (CUB `DeviceSelect` analogue).
+//!
+//! Selection is stable: surviving elements keep their relative order, which
+//! the paper's Algorithm 1 depends on (segments must stay contiguous after
+//! filtering).
+
+use crate::executor::Executor;
+use crate::scan::exclusive_scan;
+use crate::shared::SharedSlice;
+
+/// Keeps `data[i]` where `flags[i]` is true. Panics if lengths differ.
+pub fn select_flagged<T>(exec: &Executor, data: &[T], flags: &[bool]) -> Vec<T>
+where
+    T: Copy + Send + Sync + Default,
+{
+    assert_eq!(data.len(), flags.len(), "data/flags length mismatch");
+    select_if(exec, data, |i, _| flags[i])
+}
+
+/// Counts elements satisfying the predicate (no output materialised).
+pub fn select_count<T, P>(exec: &Executor, data: &[T], pred: P) -> usize
+where
+    T: Copy + Send + Sync,
+    P: Fn(usize, T) -> bool + Sync,
+{
+    let counts = per_chunk_counts(exec, data, &pred);
+    counts.iter().sum()
+}
+
+/// Keeps `data[i]` where `pred(i, data[i])` is true; stable.
+pub fn select_if<T, P>(exec: &Executor, data: &[T], pred: P) -> Vec<T>
+where
+    T: Copy + Send + Sync + Default,
+    P: Fn(usize, T) -> bool + Sync,
+{
+    let n = data.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let counts = per_chunk_counts(exec, data, &pred);
+    let (offsets, total) = exclusive_scan(exec, &counts);
+    let mut out = vec![T::default(); total];
+    {
+        let out_shared = SharedSlice::new(&mut out);
+        exec.for_each_chunk(n, |chunk_id, range| {
+            let mut cursor = offsets[chunk_id];
+            for i in range {
+                if pred(i, data[i]) {
+                    // SAFETY: each chunk writes its own disjoint output span.
+                    unsafe { out_shared.write(cursor, data[i]) };
+                    cursor += 1;
+                }
+            }
+        });
+    }
+    out
+}
+
+/// Returns the indices `i` where `pred(i, data[i])` holds, in ascending order.
+pub fn select_indices<T, P>(exec: &Executor, data: &[T], pred: P) -> Vec<usize>
+where
+    T: Copy + Send + Sync,
+    P: Fn(usize, T) -> bool + Sync,
+{
+    let n = data.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let counts = per_chunk_counts(exec, data, &pred);
+    let (offsets, total) = exclusive_scan(exec, &counts);
+    let mut out = vec![0usize; total];
+    {
+        let out_shared = SharedSlice::new(&mut out);
+        exec.for_each_chunk(n, |chunk_id, range| {
+            let mut cursor = offsets[chunk_id];
+            for i in range {
+                if pred(i, data[i]) {
+                    // SAFETY: each chunk writes its own disjoint output span.
+                    unsafe { out_shared.write(cursor, i) };
+                    cursor += 1;
+                }
+            }
+        });
+    }
+    out
+}
+
+fn per_chunk_counts<T, P>(exec: &Executor, data: &[T], pred: &P) -> Vec<usize>
+where
+    T: Copy + Send + Sync,
+    P: Fn(usize, T) -> bool + Sync,
+{
+    let n = data.len();
+    let chunks = exec.num_chunks(n);
+    let mut counts = vec![0usize; chunks];
+    let counts_shared = SharedSlice::new(&mut counts);
+    exec.for_each_chunk(n, |chunk_id, range| {
+        let mut c = 0usize;
+        for i in range {
+            if pred(i, data[i]) {
+                c += 1;
+            }
+        }
+        // SAFETY: one write per chunk id.
+        unsafe { counts_shared.write(chunk_id, c) };
+    });
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flagged_select_small() {
+        let exec = Executor::new(4);
+        let data = [10u32, 20, 30, 40, 50];
+        let flags = [true, false, true, false, true];
+        assert_eq!(select_flagged(&exec, &data, &flags), vec![10, 30, 50]);
+    }
+
+    #[test]
+    fn select_if_large_is_stable() {
+        let exec = Executor::new(5);
+        let data: Vec<u32> = (0..300_000).collect();
+        let out = select_if(&exec, &data, |_, v| v % 3 == 0);
+        let expected: Vec<u32> = (0..300_000).filter(|v| v % 3 == 0).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn select_none_and_all() {
+        let exec = Executor::new(4);
+        let data: Vec<u32> = (0..100_000).collect();
+        assert!(select_if(&exec, &data, |_, _| false).is_empty());
+        assert_eq!(select_if(&exec, &data, |_, _| true), data);
+    }
+
+    #[test]
+    fn select_indices_matches_positions() {
+        let exec = Executor::new(3);
+        let data: Vec<u32> = (0..50_000).map(|i| i % 10).collect();
+        let idx = select_indices(&exec, &data, |_, v| v == 7);
+        assert!(idx.iter().all(|&i| data[i] == 7));
+        assert_eq!(idx.len(), 5_000);
+        assert!(idx.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn select_count_matches_select_if() {
+        let exec = Executor::new(4);
+        let data: Vec<u32> = (0..123_457).map(|i| i * 7 % 13).collect();
+        let count = select_count(&exec, &data, |_, v| v < 4);
+        assert_eq!(count, select_if(&exec, &data, |_, v| v < 4).len());
+    }
+
+    #[test]
+    fn empty_input() {
+        let exec = Executor::new(4);
+        let empty: [u32; 0] = [];
+        assert!(select_if(&exec, &empty, |_, _| true).is_empty());
+        assert!(select_indices(&exec, &empty, |_, _| true).is_empty());
+    }
+}

@@ -1,0 +1,104 @@
+use std::marker::PhantomData;
+
+/// A shared view of a mutable slice that allows scattered writes from many
+/// virtual threads at once.
+///
+/// GPU kernels routinely have each thread write to a distinct, runtime-
+/// computed offset of a shared output array (e.g. the paper's
+/// `OUTPUTNEWCLIQUES` kernel writes each new sublist at an offset produced by
+/// a prefix scan). Rust's aliasing rules cannot express "disjoint at runtime"
+/// directly, so this wrapper provides unchecked writes with the safety
+/// contract pushed to the kernel author — exactly the contract CUDA gives.
+///
+/// # Safety contract
+///
+/// Callers of [`SharedSlice::write`] must guarantee that no two virtual
+/// threads write the same index during one launch, and that nothing reads an
+/// index while it may be written. All launches are bulk-synchronous, so
+/// writes from one launch are visible to subsequent launches.
+pub struct SharedSlice<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: the wrapper only permits access through `unsafe` methods whose
+// contract requires disjoint writes; with that contract upheld, sharing the
+// raw pointer across threads is sound for `T: Send`.
+unsafe impl<T: Send> Sync for SharedSlice<'_, T> {}
+unsafe impl<T: Send> Send for SharedSlice<'_, T> {}
+
+impl<'a, T> SharedSlice<'a, T> {
+    /// Wraps a mutable slice for scattered parallel writes.
+    pub fn new(slice: &'a mut [T]) -> Self {
+        Self {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Number of elements in the underlying slice.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the underlying slice is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Writes `value` at `index`.
+    ///
+    /// # Safety
+    /// `index < len()`, and no other virtual thread writes or reads `index`
+    /// during this launch.
+    #[inline]
+    pub unsafe fn write(&self, index: usize, value: T) {
+        debug_assert!(index < self.len);
+        unsafe { self.ptr.add(index).write(value) };
+    }
+
+    /// Reads the element at `index`.
+    ///
+    /// # Safety
+    /// `index < len()`, and no virtual thread writes `index` during this
+    /// launch.
+    #[inline]
+    pub unsafe fn read(&self, index: usize) -> T
+    where
+        T: Copy,
+    {
+        debug_assert!(index < self.len);
+        unsafe { self.ptr.add(index).read() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scattered_writes_land() {
+        let mut data = vec![0u32; 8];
+        {
+            let shared = SharedSlice::new(&mut data);
+            // Disjoint indices, "parallel" in spirit.
+            for i in 0..8 {
+                unsafe { shared.write(7 - i, i as u32) };
+            }
+        }
+        assert_eq!(data, vec![7, 6, 5, 4, 3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn read_back_is_consistent() {
+        let mut data = vec![41u64, 42, 43];
+        let shared = SharedSlice::new(&mut data);
+        assert_eq!(unsafe { shared.read(1) }, 42);
+        assert_eq!(shared.len(), 3);
+        assert!(!shared.is_empty());
+    }
+}

@@ -1,0 +1,51 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters describing how much virtual-GPU work an [`Executor`] has
+/// performed. The experiment harness reads these to report kernel-launch
+/// counts and total virtual-thread volume alongside wall-clock numbers.
+///
+/// [`Executor`]: crate::Executor
+#[derive(Debug, Default)]
+pub(crate) struct StatsCells {
+    pub launches: AtomicU64,
+    pub virtual_threads: AtomicU64,
+}
+
+impl StatsCells {
+    pub(crate) fn record_launch(&self, virtual_threads: usize) {
+        self.launches.fetch_add(1, Ordering::Relaxed);
+        self.virtual_threads
+            .fetch_add(virtual_threads as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> LaunchStats {
+        LaunchStats {
+            launches: self.launches.load(Ordering::Relaxed),
+            virtual_threads: self.virtual_threads.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn reset(&self) {
+        self.launches.store(0, Ordering::Relaxed);
+        self.virtual_threads.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Snapshot of an executor's launch counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LaunchStats {
+    /// Number of bulk-synchronous launches (one per "kernel").
+    pub launches: u64,
+    /// Total virtual threads across all launches (one per element).
+    pub virtual_threads: u64,
+}
+
+impl LaunchStats {
+    /// Counter deltas between two snapshots (`self` taken after `earlier`).
+    pub fn since(&self, earlier: LaunchStats) -> LaunchStats {
+        LaunchStats {
+            launches: self.launches.saturating_sub(earlier.launches),
+            virtual_threads: self.virtual_threads.saturating_sub(earlier.virtual_threads),
+        }
+    }
+}

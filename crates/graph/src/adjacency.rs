@@ -1,0 +1,261 @@
+//! Alternative edge-membership structures (paper §III-3).
+//!
+//! The choice of graph data structure determines the speed of the set
+//! intersections at the heart of the search. The paper weighs three options
+//! and picks CSR + binary search for its memory economy on large graphs:
+//!
+//! * **Bitset adjacency matrix** — O(1) lookups via bitwise ops, but
+//!   `n²/8` bytes ("very space-inefficient"); the choice of
+//!   VanCompernolle et al. and several CPU solvers.
+//! * **CSR with sorted adjacency + binary search** — `O(log d)` lookups at
+//!   `O(|E|)` space; the paper's choice ([`Csr::has_edge`]).
+//! * **Hash tables** — near-O(1) expected lookups at `O(|E|)` space with a
+//!   constant-factor overhead; the choice of Lessley et al.
+//!
+//! All three implement [`EdgeOracle`], so the solver can be parameterised
+//! over the lookup strategy and the trade-off measured (see the `ablations`
+//! bench target).
+
+use crate::Csr;
+
+/// Edge-membership oracle: the single operation the expansion kernels need.
+pub trait EdgeOracle: Sync {
+    /// Whether the undirected edge `{u, v}` exists.
+    fn connected(&self, u: u32, v: u32) -> bool;
+
+    /// Approximate device-memory footprint of the structure, in bytes
+    /// (charged by the solver when it builds one).
+    fn footprint_bytes(&self) -> usize;
+}
+
+impl EdgeOracle for Csr {
+    #[inline]
+    fn connected(&self, u: u32, v: u32) -> bool {
+        self.has_edge(u, v)
+    }
+
+    fn footprint_bytes(&self) -> usize {
+        // Offsets plus neighbor array (already resident for the CSR).
+        std::mem::size_of_val(self.offsets()) + std::mem::size_of_val(self.neighbor_array())
+    }
+}
+
+/// Dense bitset adjacency matrix: one bit per ordered pair.
+///
+/// `n²/8` bytes — quadratic, so only sensible for graphs up to a few tens
+/// of thousands of vertices, but lookups are a single shift/mask.
+pub struct BitMatrix {
+    n: usize,
+    words_per_row: usize,
+    bits: Vec<u64>,
+}
+
+impl BitMatrix {
+    /// Builds the matrix from a CSR graph.
+    pub fn build(graph: &Csr) -> Self {
+        let n = graph.num_vertices();
+        let words_per_row = n.div_ceil(64);
+        let mut bits = vec![0u64; n * words_per_row];
+        for v in 0..n as u32 {
+            let row = v as usize * words_per_row;
+            for &u in graph.neighbors(v) {
+                bits[row + (u as usize >> 6)] |= 1 << (u as usize & 63);
+            }
+        }
+        Self {
+            n,
+            words_per_row,
+            bits,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of common neighbors of `u` and `v` via word-wise AND +
+    /// popcount — the "fastest intersections use bitwise operations" path
+    /// the paper cites.
+    pub fn intersection_size(&self, u: u32, v: u32) -> usize {
+        let ru = u as usize * self.words_per_row;
+        let rv = v as usize * self.words_per_row;
+        let mut count = 0usize;
+        for w in 0..self.words_per_row {
+            count += (self.bits[ru + w] & self.bits[rv + w]).count_ones() as usize;
+        }
+        count
+    }
+}
+
+impl EdgeOracle for BitMatrix {
+    #[inline]
+    fn connected(&self, u: u32, v: u32) -> bool {
+        let row = u as usize * self.words_per_row;
+        (self.bits[row + (v as usize >> 6)] >> (v as usize & 63)) & 1 == 1
+    }
+
+    fn footprint_bytes(&self) -> usize {
+        self.bits.len() * std::mem::size_of::<u64>()
+    }
+}
+
+/// Open-addressing hash set of edges, keyed on the ordered pair.
+///
+/// A single flat table of 64-bit keys (`(min << 32) | max`), linear
+/// probing, ~50% load factor. Space `O(|E|)` like the CSR, lookups O(1)
+/// expected without the `log d` factor.
+pub struct HashAdjacency {
+    mask: usize,
+    table: Vec<u64>,
+}
+
+/// Sentinel for an empty slot (no valid edge encodes to all-ones: that
+/// would need two vertices equal to `u32::MAX`, which [`Csr`] cannot hold
+/// as a loop-free pair).
+const EMPTY: u64 = u64::MAX;
+
+impl HashAdjacency {
+    /// Builds the table from a CSR graph.
+    pub fn build(graph: &Csr) -> Self {
+        let edges = graph.num_edges();
+        let capacity = (edges.max(1) * 2).next_power_of_two();
+        let mask = capacity - 1;
+        let mut table = vec![EMPTY; capacity];
+        for v in 0..graph.num_vertices() as u32 {
+            for &u in graph.neighbors(v) {
+                if v < u {
+                    let key = Self::key(v, u);
+                    let mut slot = Self::hash(key) & mask;
+                    while table[slot] != EMPTY {
+                        slot = (slot + 1) & mask;
+                    }
+                    table[slot] = key;
+                }
+            }
+        }
+        Self { mask, table }
+    }
+
+    #[inline]
+    fn key(u: u32, v: u32) -> u64 {
+        ((u.min(v) as u64) << 32) | u.max(v) as u64
+    }
+
+    /// Fibonacci multiplicative hash — fast and adequate for edge keys.
+    #[inline]
+    fn hash(key: u64) -> usize {
+        (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 17) as usize
+    }
+}
+
+impl EdgeOracle for HashAdjacency {
+    #[inline]
+    fn connected(&self, u: u32, v: u32) -> bool {
+        if u == v {
+            return false;
+        }
+        let key = Self::key(u, v);
+        let mut slot = Self::hash(key) & self.mask;
+        loop {
+            let entry = self.table[slot];
+            if entry == key {
+                return true;
+            }
+            if entry == EMPTY {
+                return false;
+            }
+            slot = (slot + 1) & self.mask;
+        }
+    }
+
+    fn footprint_bytes(&self) -> usize {
+        self.table.len() * std::mem::size_of::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    fn oracles_agree(graph: &Csr) {
+        let bits = BitMatrix::build(graph);
+        let hash = HashAdjacency::build(graph);
+        let n = graph.num_vertices() as u32;
+        for u in 0..n {
+            for v in 0..n {
+                let expected = graph.has_edge(u, v);
+                assert_eq!(bits.connected(u, v), expected, "bitset ({u},{v})");
+                assert_eq!(hash.connected(u, v), expected, "hash ({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn all_oracles_agree_on_random_graphs() {
+        for seed in 0..5 {
+            oracles_agree(&generators::gnp(60, 0.2, seed));
+        }
+    }
+
+    #[test]
+    fn all_oracles_agree_on_structured_graphs() {
+        oracles_agree(&generators::complete(20));
+        oracles_agree(&Csr::empty(10));
+        oracles_agree(&Csr::from_edges(2, &[(0, 1)]));
+        oracles_agree(&generators::road_mesh(8, 8, 0.9, 0.1, 3));
+    }
+
+    #[test]
+    fn bitmatrix_intersections() {
+        // K4: any two vertices share the other two.
+        let g = generators::complete(4);
+        let bits = BitMatrix::build(&g);
+        assert_eq!(bits.intersection_size(0, 1), 2);
+        // Path 0-1-2: endpoints share the middle.
+        let p = Csr::from_edges(3, &[(0, 1), (1, 2)]);
+        let bits = BitMatrix::build(&p);
+        assert_eq!(bits.intersection_size(0, 2), 1);
+        assert_eq!(bits.intersection_size(0, 1), 0);
+    }
+
+    #[test]
+    fn footprints_have_expected_shape() {
+        let g = generators::gnp(256, 0.1, 7);
+        let csr_bytes = g.footprint_bytes();
+        let bits = BitMatrix::build(&g).footprint_bytes();
+        let hash = HashAdjacency::build(&g).footprint_bytes();
+        // Bitset is n²/8 = 8 KiB regardless of density.
+        assert_eq!(bits, 256 * 4 * 8);
+        // Hash ~ 2|E| slots of 8 bytes, power of two.
+        assert!(hash >= g.num_edges() * 16);
+        assert!(csr_bytes > 0);
+    }
+
+    #[test]
+    fn hash_handles_collision_chains() {
+        // A star forces many keys sharing the low vertex.
+        let mut edges = Vec::new();
+        for v in 1..500u32 {
+            edges.push((0, v));
+        }
+        let g = Csr::from_edges(500, &edges);
+        let hash = HashAdjacency::build(&g);
+        for v in 1..500u32 {
+            assert!(hash.connected(0, v));
+            assert!(hash.connected(v, 0));
+        }
+        assert!(!hash.connected(1, 2));
+        assert!(!hash.connected(0, 0));
+    }
+
+    #[test]
+    fn empty_graph_oracles() {
+        let g = Csr::empty(4);
+        let hash = HashAdjacency::build(&g);
+        assert!(!hash.connected(0, 1));
+        let bits = BitMatrix::build(&g);
+        assert!(!bits.connected(2, 3));
+    }
+}

@@ -1,0 +1,99 @@
+//! Extremal clique bounds used for sizing and sanity checks.
+
+use crate::Csr;
+
+/// Moon–Moser bound: the maximum possible number of maximal cliques in any
+/// graph on `n` vertices (`3^(n/3)` with small residue-class corrections).
+/// Wei et al. — whose windowing strategy the paper builds on — use this to
+/// bound GPU subtree sizes; the auto window sizer does the same. Saturates
+/// at `usize::MAX`.
+pub fn moon_moser_bound(n: usize) -> usize {
+    let (factor, exponent) = match n % 3 {
+        0 => (1usize, n / 3),
+        1 if n >= 4 => (4, (n - 4) / 3),
+        1 => (1, 0),
+        _ => (2, (n - 2) / 3),
+    };
+    let mut bound = factor;
+    for _ in 0..exponent {
+        bound = bound.saturating_mul(3);
+    }
+    bound.max(1)
+}
+
+/// Turán-type lower bound on the clique number: `ω ≥ n / (n − d̄)` where
+/// `d̄` is the average degree (tight for Turán graphs). A free, if weak,
+/// companion to the heuristic lower bounds.
+pub fn turan_lower_bound(graph: &Csr) -> u32 {
+    let n = graph.num_vertices() as f64;
+    if n == 0.0 {
+        return 0;
+    }
+    let d = graph.avg_degree();
+    if d >= n - 1.0 {
+        return n as u32;
+    }
+    (n / (n - d)).ceil() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn moon_moser_known_values() {
+        assert_eq!(moon_moser_bound(0), 1);
+        assert_eq!(moon_moser_bound(1), 1);
+        assert_eq!(moon_moser_bound(2), 2);
+        assert_eq!(moon_moser_bound(3), 3);
+        assert_eq!(moon_moser_bound(4), 4);
+        assert_eq!(moon_moser_bound(5), 6);
+        assert_eq!(moon_moser_bound(6), 9);
+        assert_eq!(moon_moser_bound(7), 12);
+        assert_eq!(moon_moser_bound(9), 27);
+        assert_eq!(moon_moser_bound(10), 36);
+        assert_eq!(moon_moser_bound(10_000), usize::MAX);
+    }
+
+    #[test]
+    fn turan_bound_on_known_graphs() {
+        // Complete graph: bound equals n.
+        assert_eq!(turan_lower_bound(&generators::complete(6)), 6);
+        // Empty graph: every vertex is a 1-clique.
+        assert_eq!(turan_lower_bound(&crate::Csr::empty(5)), 1);
+        assert_eq!(turan_lower_bound(&crate::Csr::empty(0)), 0);
+        // C5: avg degree 2, bound = ceil(5/3) = 2 = ω.
+        let c5 = crate::Csr::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        assert_eq!(turan_lower_bound(&c5), 2);
+    }
+
+    #[test]
+    fn turan_is_a_true_lower_bound_on_random_graphs() {
+        // Cross-check against brute force on small graphs.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for _ in 0..20 {
+            let n = rng.gen_range(3..12);
+            let mut edges = Vec::new();
+            for u in 0..n as u32 {
+                for v in (u + 1)..n as u32 {
+                    if rng.gen_bool(0.5) {
+                        edges.push((u, v));
+                    }
+                }
+            }
+            let g = crate::Csr::from_edges(n, &edges);
+            let bound = turan_lower_bound(&g);
+            // Brute-force ω.
+            let mut omega = 0;
+            for mask in 1u32..(1 << n) {
+                let members: Vec<u32> = (0..n as u32).filter(|v| mask & (1 << v) != 0).collect();
+                if g.is_clique(&members) {
+                    omega = omega.max(members.len() as u32);
+                }
+            }
+            assert!(bound <= omega, "Turán bound {bound} exceeds ω {omega}");
+        }
+    }
+}

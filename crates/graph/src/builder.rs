@@ -1,0 +1,146 @@
+use crate::Csr;
+
+/// Accumulates an edge list and produces a clean undirected [`Csr`].
+///
+/// `build` symmetrises (both directions stored), removes self-loops,
+/// deduplicates parallel edges, and sorts every adjacency list — the
+/// preprocessing the paper applies to all datasets before forming the CSR.
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    num_vertices: usize,
+    edges: Vec<(u32, u32)>,
+}
+
+impl GraphBuilder {
+    /// A builder for a graph on `num_vertices` vertices.
+    pub fn new(num_vertices: usize) -> Self {
+        Self {
+            num_vertices,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Adds the undirected edge `{u, v}`. Self-loops and duplicates are
+    /// accepted here and dropped by [`GraphBuilder::build`].
+    ///
+    /// # Panics
+    /// Panics if either endpoint is out of range.
+    pub fn add_edge(&mut self, u: u32, v: u32) {
+        assert!(
+            (u as usize) < self.num_vertices && (v as usize) < self.num_vertices,
+            "edge ({u}, {v}) out of range for {} vertices",
+            self.num_vertices
+        );
+        self.edges.push((u, v));
+    }
+
+    /// Adds every edge from the iterator.
+    pub fn extend_edges<I: IntoIterator<Item = (u32, u32)>>(&mut self, edges: I) {
+        for (u, v) in edges {
+            self.add_edge(u, v);
+        }
+    }
+
+    /// Number of raw (uncleaned) edges accumulated so far.
+    pub fn raw_edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Produces the cleaned CSR.
+    pub fn build(self) -> Csr {
+        let n = self.num_vertices;
+        // Symmetrise and drop loops.
+        let mut arcs: Vec<(u32, u32)> = Vec::with_capacity(self.edges.len() * 2);
+        for (u, v) in self.edges {
+            if u != v {
+                arcs.push((u, v));
+                arcs.push((v, u));
+            }
+        }
+        // Counting sort by source gives CSR layout directly.
+        let mut counts = vec![0usize; n + 1];
+        for &(u, _) in &arcs {
+            counts[u as usize + 1] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let mut neighbors = vec![0u32; arcs.len()];
+        let mut cursor = counts.clone();
+        for &(u, v) in &arcs {
+            neighbors[cursor[u as usize]] = v;
+            cursor[u as usize] += 1;
+        }
+        // Sort and dedup each adjacency list, then recompact.
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut compacted = Vec::with_capacity(neighbors.len());
+        offsets.push(0);
+        for v in 0..n {
+            let list = &mut neighbors[counts[v]..counts[v + 1]];
+            list.sort_unstable();
+            let mut prev = None;
+            for &u in list.iter() {
+                if prev != Some(u) {
+                    compacted.push(u);
+                    prev = Some(u);
+                }
+            }
+            offsets.push(compacted.len());
+        }
+        Csr::from_parts(offsets, compacted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_clean_graph() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1);
+        b.add_edge(1, 0); // reversed duplicate
+        b.add_edge(0, 1); // duplicate
+        b.add_edge(2, 2); // self-loop
+        b.add_edge(3, 2);
+        assert_eq!(b.raw_edge_count(), 5);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(2), &[3]);
+        assert!(g.neighbors(2).binary_search(&2).is_err());
+    }
+
+    #[test]
+    fn extend_edges_works() {
+        let mut b = GraphBuilder::new(3);
+        b.extend_edges([(0, 1), (1, 2)]);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn empty_builder() {
+        let g = GraphBuilder::new(0).build();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range() {
+        GraphBuilder::new(2).add_edge(0, 5);
+    }
+
+    #[test]
+    fn large_star_graph() {
+        let mut b = GraphBuilder::new(10_001);
+        for v in 1..=10_000u32 {
+            b.add_edge(0, v);
+        }
+        let g = b.build();
+        assert_eq!(g.degree(0), 10_000);
+        assert_eq!(g.degree(5000), 1);
+        assert!(g.has_edge(0, 9999));
+    }
+}

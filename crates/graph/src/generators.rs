@@ -1,0 +1,745 @@
+//! Seeded synthetic graph generators.
+//!
+//! The paper evaluates on 58 real-world Network Repository graphs spanning
+//! social, web, road, biological, technological and collaboration networks.
+//! Those datasets are not redistributable here, so the corpus crate
+//! synthesises stand-ins from these generator families, chosen so that each
+//! category reproduces the structural property the paper's analysis keys on
+//! (average degree vs. clique size, degree skew, prunability). All
+//! generators are deterministic in `(parameters, seed)`.
+
+use crate::{Csr, GraphBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// The complete graph `K_n`.
+pub fn complete(n: usize) -> Csr {
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n as u32 {
+        for v in (u + 1)..n as u32 {
+            b.add_edge(u, v);
+        }
+    }
+    b.build()
+}
+
+/// The complete multipartite graph with the given part sizes: every pair of
+/// vertices in *different* parts is adjacent. With `k` parts the clique
+/// number is exactly `k` (one vertex per part) and the number of maximum
+/// cliques is the product of the part sizes — for parts of size 3 these are
+/// the Moon–Moser extremal graphs whose `3^(n/3)` maximal cliques bound the
+/// breadth-first memory worst case.
+pub fn complete_multipartite(parts: &[usize]) -> Csr {
+    let n: usize = parts.iter().sum();
+    let mut part_of = Vec::with_capacity(n);
+    for (p, &size) in parts.iter().enumerate() {
+        part_of.extend(std::iter::repeat_n(p, size));
+    }
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n as u32 {
+        for v in (u + 1)..n as u32 {
+            if part_of[u as usize] != part_of[v as usize] {
+                b.add_edge(u, v);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Erdős–Rényi `G(n, p)` via the Batagelj–Brandes geometric-skip method,
+/// `O(n + m)` expected time.
+pub fn gnp(n: usize, p: f64, seed: u64) -> Csr {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    if p <= 0.0 || n < 2 {
+        return b.build();
+    }
+    if p >= 1.0 {
+        return complete(n);
+    }
+    let log_1p = (1.0 - p).ln();
+    let mut v: i64 = 1;
+    let mut w: i64 = -1;
+    while (v as usize) < n {
+        let r: f64 = rng.gen_range(f64::EPSILON..1.0);
+        w += 1 + ((1.0 - r).ln() / log_1p) as i64;
+        while w >= v && (v as usize) < n {
+            w -= v;
+            v += 1;
+        }
+        if (v as usize) < n {
+            b.add_edge(w as u32, v as u32);
+        }
+    }
+    b.build()
+}
+
+/// Erdős–Rényi `G(n, m)`: exactly `m` distinct random edges (capped at the
+/// number of possible pairs).
+pub fn gnm(n: usize, m: usize, seed: u64) -> Csr {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let possible = n.saturating_mul(n.saturating_sub(1)) / 2;
+    let m = m.min(possible);
+    let mut chosen: HashSet<u64> = HashSet::with_capacity(m * 2);
+    let mut b = GraphBuilder::new(n);
+    while chosen.len() < m {
+        let u = rng.gen_range(0..n as u32);
+        let v = rng.gen_range(0..n as u32);
+        if u == v {
+            continue;
+        }
+        let (lo, hi) = (u.min(v), u.max(v));
+        if chosen.insert(((lo as u64) << 32) | hi as u64) {
+            b.add_edge(lo, hi);
+        }
+    }
+    b.build()
+}
+
+/// Barabási–Albert preferential attachment: each new vertex attaches to `m`
+/// distinct existing vertices with probability proportional to degree.
+/// Produces the heavy-tailed degree distributions typical of social and web
+/// graphs.
+pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Csr {
+    assert!(m >= 1, "attachment count must be positive");
+    assert!(n > m, "need more vertices than attachments");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    // Seed: a star on the first m + 1 vertices (connected, minimal bias).
+    let mut targets: Vec<u32> = Vec::new(); // repeated-endpoint urn
+    for v in 1..=m as u32 {
+        b.add_edge(0, v);
+        targets.push(0);
+        targets.push(v);
+    }
+    for v in (m + 1)..n {
+        // `m` is small, so a Vec with linear membership checks is both
+        // faster than a HashSet and — unlike HashSet iteration — keeps the
+        // urn updates deterministic.
+        let mut picked: Vec<u32> = Vec::with_capacity(m);
+        while picked.len() < m {
+            let t = targets[rng.gen_range(0..targets.len())];
+            if !picked.contains(&t) {
+                picked.push(t);
+            }
+        }
+        for &t in &picked {
+            b.add_edge(v as u32, t);
+            targets.push(v as u32);
+            targets.push(t);
+        }
+    }
+    b.build()
+}
+
+/// Holme–Kim powerlaw-cluster model: Barabási–Albert plus triad formation.
+/// After each preferential attachment, with probability `p_triad` the next
+/// link closes a triangle with a neighbor of the previous target. High
+/// clustering plus heavy tails — the structure of friendship networks,
+/// where sizeable cliques emerge.
+pub fn holme_kim(n: usize, m: usize, p_triad: f64, seed: u64) -> Csr {
+    assert!(m >= 1, "attachment count must be positive");
+    assert!(n > m, "need more vertices than attachments");
+    assert!(
+        (0.0..=1.0).contains(&p_triad),
+        "p_triad must be a probability"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    let mut adjacency: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut targets: Vec<u32> = Vec::new();
+    let connect = |b: &mut GraphBuilder,
+                   adjacency: &mut Vec<Vec<u32>>,
+                   targets: &mut Vec<u32>,
+                   u: u32,
+                   v: u32| {
+        b.add_edge(u, v);
+        adjacency[u as usize].push(v);
+        adjacency[v as usize].push(u);
+        targets.push(u);
+        targets.push(v);
+    };
+    for v in 1..=m as u32 {
+        connect(&mut b, &mut adjacency, &mut targets, 0, v);
+    }
+    for v in (m + 1)..n {
+        let v = v as u32;
+        let mut last_target: Option<u32> = None;
+        let mut linked: Vec<u32> = Vec::with_capacity(m);
+        for _ in 0..m {
+            let mut done = false;
+            if let Some(prev) = last_target {
+                if rng.gen_bool(p_triad) {
+                    // Triad step: link to a random neighbor of `prev`.
+                    let nbrs = &adjacency[prev as usize];
+                    if !nbrs.is_empty() {
+                        let w = nbrs[rng.gen_range(0..nbrs.len())];
+                        if w != v && !linked.contains(&w) {
+                            connect(&mut b, &mut adjacency, &mut targets, v, w);
+                            linked.push(w);
+                            last_target = Some(w);
+                            done = true;
+                        }
+                    }
+                }
+            }
+            if !done {
+                // Preferential attachment step.
+                for _ in 0..32 {
+                    let t = targets[rng.gen_range(0..targets.len())];
+                    if t != v && !linked.contains(&t) {
+                        connect(&mut b, &mut adjacency, &mut targets, v, t);
+                        linked.push(t);
+                        last_target = Some(t);
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+/// Holme–Kim with *mixed* attachment counts: each arriving vertex draws its
+/// own `m` uniformly from `m_min..=m_max`. The result keeps the powerlaw
+/// hubs and triadic clustering of [`holme_kim`] but spreads core numbers
+/// across `m_min..m_max` while degrees range far higher — the
+/// degree-vs-core-number gap that makes core-based pruning visibly tighter
+/// than degree-based pruning (paper §II-B2 and the multi-core rows of
+/// Table I).
+pub fn holme_kim_mixed(
+    n: usize,
+    m_min: usize,
+    m_max: usize,
+    p_triad: f64,
+    seed: u64,
+) -> Csr {
+    assert!(m_min >= 1 && m_max >= m_min, "need 1 <= m_min <= m_max");
+    assert!(n > m_max, "need more vertices than attachments");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    let mut adjacency: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut targets: Vec<u32> = Vec::new();
+    let connect = |b: &mut GraphBuilder,
+                   adjacency: &mut Vec<Vec<u32>>,
+                   targets: &mut Vec<u32>,
+                   u: u32,
+                   v: u32| {
+        b.add_edge(u, v);
+        adjacency[u as usize].push(v);
+        adjacency[v as usize].push(u);
+        targets.push(u);
+        targets.push(v);
+    };
+    for v in 1..=m_max as u32 {
+        connect(&mut b, &mut adjacency, &mut targets, 0, v);
+    }
+    for v in (m_max + 1)..n {
+        let v = v as u32;
+        let m = rng.gen_range(m_min..=m_max);
+        let mut last_target: Option<u32> = None;
+        let mut linked: Vec<u32> = Vec::with_capacity(m);
+        for _ in 0..m {
+            let mut done = false;
+            if let Some(prev) = last_target {
+                if rng.gen_bool(p_triad) {
+                    let nbrs = &adjacency[prev as usize];
+                    if !nbrs.is_empty() {
+                        let w = nbrs[rng.gen_range(0..nbrs.len())];
+                        if w != v && !linked.contains(&w) {
+                            connect(&mut b, &mut adjacency, &mut targets, v, w);
+                            linked.push(w);
+                            last_target = Some(w);
+                            done = true;
+                        }
+                    }
+                }
+            }
+            if !done {
+                for _ in 0..32 {
+                    let t = targets[rng.gen_range(0..targets.len())];
+                    if t != v && !linked.contains(&t) {
+                        connect(&mut b, &mut adjacency, &mut targets, v, t);
+                        linked.push(t);
+                        last_target = Some(t);
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+/// Communities with acquaintance fans: `n_communities` disjoint cliques of
+/// `community` members, where every member additionally carries `fan`
+/// private degree-1 acquaintances.
+///
+/// Members end up with degree `community − 1 + fan` but core number only
+/// `community − 1`: a large degree-vs-core gap on exactly the vertices that
+/// drive breadth-first blow-up. With a lower bound above the community
+/// size, core-number pruning removes every community outright while degree
+/// pruning keeps them all — the paper's "tighter vertex pruning upper
+/// bounds from the core numbers" mechanism (§V-B3c) in its purest form.
+pub fn fanned_communities(
+    n_communities: usize,
+    community: usize,
+    fan: usize,
+    seed: u64,
+) -> Csr {
+    assert!(community >= 2, "communities need at least two members");
+    let members = n_communities * community;
+    let n = members + members * fan;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    let mut next_leaf = members as u32;
+    for c in 0..n_communities {
+        let base = (c * community) as u32;
+        for i in 0..community as u32 {
+            for j in (i + 1)..community as u32 {
+                b.add_edge(base + i, base + j);
+            }
+        }
+        for i in 0..community as u32 {
+            for _ in 0..fan {
+                b.add_edge(base + i, next_leaf);
+                next_leaf += 1;
+            }
+        }
+    }
+    // A sprinkle of random member-to-member acquaintances so communities are
+    // not perfectly disconnected components.
+    for _ in 0..members / 4 {
+        let u = rng.gen_range(0..members as u32);
+        let v = rng.gen_range(0..members as u32);
+        if u != v {
+            b.add_edge(u, v);
+        }
+    }
+    b.build()
+}
+
+/// Watts–Strogatz small world: ring lattice with `k` nearest neighbors
+/// (rounded down to even), each edge rewired with probability `beta`.
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> Csr {
+    assert!(n > k + 1, "need n > k + 1");
+    let k = k & !1; // even
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    let mut existing: HashSet<u64> = HashSet::new();
+    let key = |u: u32, v: u32| ((u.min(v) as u64) << 32) | u.max(v) as u64;
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    for u in 0..n {
+        for j in 1..=(k / 2) {
+            let v = (u + j) % n;
+            let (u, v) = (u as u32, v as u32);
+            edges.push((u, v));
+            existing.insert(key(u, v));
+        }
+    }
+    for edge in edges.iter_mut() {
+        if rng.gen_bool(beta) {
+            let (u, old_v) = *edge;
+            for _ in 0..32 {
+                let new_v = rng.gen_range(0..n as u32);
+                if new_v != u && !existing.contains(&key(u, new_v)) {
+                    existing.remove(&key(u, old_v));
+                    existing.insert(key(u, new_v));
+                    *edge = (u, new_v);
+                    break;
+                }
+            }
+        }
+    }
+    for (u, v) in edges {
+        b.add_edge(u, v);
+    }
+    b.build()
+}
+
+/// Random geometric graph: `n` points in the unit square, edges between
+/// pairs within `radius`. Bucketed by a cell grid for near-linear
+/// construction. Low-diameter local structure akin to sensor/technological
+/// networks.
+pub fn random_geometric(n: usize, radius: f64, seed: u64) -> Csr {
+    assert!(radius > 0.0, "radius must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let points: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect();
+    let cells_per_side = ((1.0 / radius).floor() as usize).clamp(1, 4096);
+    let cell_of = |x: f64, y: f64| {
+        let cx = ((x * cells_per_side as f64) as usize).min(cells_per_side - 1);
+        let cy = ((y * cells_per_side as f64) as usize).min(cells_per_side - 1);
+        cy * cells_per_side + cx
+    };
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); cells_per_side * cells_per_side];
+    for (i, &(x, y)) in points.iter().enumerate() {
+        buckets[cell_of(x, y)].push(i as u32);
+    }
+    let r2 = radius * radius;
+    let mut b = GraphBuilder::new(n);
+    for cy in 0..cells_per_side {
+        for cx in 0..cells_per_side {
+            let here = &buckets[cy * cells_per_side + cx];
+            for (idx, &u) in here.iter().enumerate() {
+                let (ux, uy) = points[u as usize];
+                // Within-cell pairs.
+                for &v in &here[idx + 1..] {
+                    let (vx, vy) = points[v as usize];
+                    if (ux - vx).powi(2) + (uy - vy).powi(2) <= r2 {
+                        b.add_edge(u, v);
+                    }
+                }
+                // Forward neighbor cells (E, SW, S, SE) to visit each pair once.
+                for (dx, dy) in [(1i64, 0i64), (-1, 1), (0, 1), (1, 1)] {
+                    let nx = cx as i64 + dx;
+                    let ny = cy as i64 + dy;
+                    if nx < 0
+                        || ny < 0
+                        || nx >= cells_per_side as i64
+                        || ny >= cells_per_side as i64
+                    {
+                        continue;
+                    }
+                    for &v in &buckets[ny as usize * cells_per_side + nx as usize] {
+                        let (vx, vy) = points[v as usize];
+                        if (ux - vx).powi(2) + (uy - vy).powi(2) <= r2 {
+                            b.add_edge(u, v);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+/// Road-network-like mesh: a `rows × cols` grid where each lattice edge is
+/// kept with probability `keep_prob` and sparse diagonal shortcuts are added
+/// with probability `diag_prob`. Average degree stays below 4 — the "low
+/// average degree" regime where the paper's BFS approach performs best.
+pub fn road_mesh(rows: usize, cols: usize, keep_prob: f64, diag_prob: f64, seed: u64) -> Csr {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rows * cols;
+    let mut b = GraphBuilder::new(n);
+    let id = |r: usize, c: usize| (r * cols + c) as u32;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols && rng.gen_bool(keep_prob) {
+                b.add_edge(id(r, c), id(r, c + 1));
+            }
+            if r + 1 < rows && rng.gen_bool(keep_prob) {
+                b.add_edge(id(r, c), id(r + 1, c));
+            }
+            if r + 1 < rows && c + 1 < cols && rng.gen_bool(diag_prob) {
+                b.add_edge(id(r, c), id(r + 1, c + 1));
+            }
+        }
+    }
+    b.build()
+}
+
+/// R-MAT recursive matrix sampler (`n = 2^scale` vertices, ~`edge_factor·n`
+/// sampled arcs before cleanup). Skewed quadrant probabilities `(a, b, c)`
+/// (with `d = 1 − a − b − c`) give the hub-heavy structure of web crawls.
+pub fn rmat(scale: u32, edge_factor: usize, a: f64, b_p: f64, c_p: f64, seed: u64) -> Csr {
+    let d = 1.0 - a - b_p - c_p;
+    assert!(d >= -1e-9, "quadrant probabilities exceed 1");
+    let n = 1usize << scale;
+    let m = edge_factor * n;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::new(n);
+    for _ in 0..m {
+        let (mut u, mut v) = (0usize, 0usize);
+        for _ in 0..scale {
+            let r: f64 = rng.gen();
+            let (du, dv) = if r < a {
+                (0, 0)
+            } else if r < a + b_p {
+                (0, 1)
+            } else if r < a + b_p + c_p {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            u = (u << 1) | du;
+            v = (v << 1) | dv;
+        }
+        if u != v {
+            builder.add_edge(u as u32, v as u32);
+        }
+    }
+    builder.build()
+}
+
+/// Collaboration-network model: a union of cliques. Each of `n_papers`
+/// "papers" is a clique over `min_authors..=max_authors` authors, sampled
+/// with a power-law popularity bias (`concentration` > 1 skews toward
+/// prolific authors). Collaboration networks are exactly unions of cliques,
+/// which gives them large, well-separated maximum cliques — the easy-to-
+/// prune regime in the paper's heuristic analysis (§V-B3b).
+pub fn collaboration(
+    n_authors: usize,
+    n_papers: usize,
+    min_authors: usize,
+    max_authors: usize,
+    concentration: f64,
+    seed: u64,
+) -> Csr {
+    assert!(min_authors >= 1 && max_authors >= min_authors);
+    assert!(
+        n_authors >= max_authors,
+        "need at least max_authors authors"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n_authors);
+    for _ in 0..n_papers {
+        let size = rng.gen_range(min_authors..=max_authors);
+        let mut authors: HashSet<u32> = HashSet::with_capacity(size * 2);
+        while authors.len() < size {
+            // Power-law bias toward low author ids.
+            let u: f64 = rng.gen();
+            let author = ((u.powf(concentration)) * n_authors as f64) as usize;
+            authors.insert(author.min(n_authors - 1) as u32);
+        }
+        let mut authors: Vec<u32> = authors.into_iter().collect();
+        authors.sort_unstable();
+        for (i, &x) in authors.iter().enumerate() {
+            for &y in &authors[i + 1..] {
+                b.add_edge(x, y);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Overlays several cliques of the given sizes on `graph` in one rebuild,
+/// returning the new graph and each clique's (sorted) members. Models
+/// community cores / protein complexes / link farms: dense groups embedded
+/// in a sparse background. Without a good lower bound, each size-`s` group
+/// costs a breadth-first search `2^s` candidate entries, which is what makes
+/// such graphs memory-hard to solve unpruned.
+pub fn plant_cliques(graph: &Csr, sizes: &[usize], seed: u64) -> (Csr, Vec<Vec<u32>>) {
+    let n = graph.num_vertices();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for v in 0..n as u32 {
+        for &u in graph.neighbors(v) {
+            if v < u {
+                b.add_edge(v, u);
+            }
+        }
+    }
+    let mut all_members = Vec::with_capacity(sizes.len());
+    for &size in sizes {
+        assert!(size <= n, "clique larger than graph");
+        let mut members: HashSet<u32> = HashSet::with_capacity(size * 2);
+        while members.len() < size {
+            members.insert(rng.gen_range(0..n as u32));
+        }
+        let mut members: Vec<u32> = members.into_iter().collect();
+        members.sort_unstable();
+        for (i, &x) in members.iter().enumerate() {
+            for &y in &members[i + 1..] {
+                b.add_edge(x, y);
+            }
+        }
+        all_members.push(members);
+    }
+    (b.build(), all_members)
+}
+
+/// Overlays a clique of `size` random vertices on `graph`, returning the new
+/// graph and the (sorted) clique members. Used to plant known maximum
+/// cliques for validation and for "community core" structure in the corpus.
+pub fn plant_clique(graph: &Csr, size: usize, seed: u64) -> (Csr, Vec<u32>) {
+    let (planted, mut members) = plant_cliques(graph, &[size], seed);
+    (planted, members.pop().expect("one clique planted"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complete_graph_has_all_edges() {
+        let g = complete(5);
+        assert_eq!(g.num_edges(), 10);
+        assert!(g.is_clique(&[0, 1, 2, 3, 4]));
+    }
+
+    #[test]
+    fn complete_multipartite_structure() {
+        // K_{3,3,3}: ω = 3 via one vertex per part; no edges within parts.
+        let g = complete_multipartite(&[3, 3, 3]);
+        assert_eq!(g.num_vertices(), 9);
+        assert_eq!(g.num_edges(), 27);
+        assert!(!g.has_edge(0, 1)); // same part
+        assert!(g.has_edge(0, 3)); // different parts
+        assert!(g.is_clique(&[0, 3, 6]));
+        assert!(!g.is_clique(&[0, 1, 3]));
+        // Degenerate cases.
+        assert_eq!(complete_multipartite(&[]).num_vertices(), 0);
+        assert_eq!(complete_multipartite(&[4]).num_edges(), 0);
+        assert_eq!(complete_multipartite(&[1; 5]), complete(5));
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        assert_eq!(gnp(50, 0.0, 1).num_edges(), 0);
+        assert_eq!(gnp(10, 1.0, 1).num_edges(), 45);
+    }
+
+    #[test]
+    fn gnp_density_is_plausible() {
+        let g = gnp(2000, 0.01, 7);
+        let expected = 0.01 * (2000.0 * 1999.0 / 2.0);
+        let actual = g.num_edges() as f64;
+        assert!(
+            (actual - expected).abs() < expected * 0.2,
+            "edges {actual} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn gnp_deterministic() {
+        assert_eq!(gnp(500, 0.02, 3), gnp(500, 0.02, 3));
+        assert_ne!(gnp(500, 0.02, 3), gnp(500, 0.02, 4));
+    }
+
+    #[test]
+    fn gnm_exact_edge_count() {
+        let g = gnm(100, 250, 5);
+        assert_eq!(g.num_edges(), 250);
+        // Capped at C(n, 2).
+        assert_eq!(gnm(5, 100, 5).num_edges(), 10);
+    }
+
+    #[test]
+    fn ba_degree_sum() {
+        let n = 500;
+        let m = 3;
+        let g = barabasi_albert(n, m, 11);
+        // m edges per new vertex plus the m-star seed.
+        assert_eq!(g.num_edges(), m * (n - m - 1) + m);
+        assert!(g.max_degree() > 3 * m, "hubs should emerge");
+    }
+
+    #[test]
+    fn holme_kim_has_triangles() {
+        let g = holme_kim(400, 4, 0.9, 13);
+        // Count triangles at vertex 0's neighborhood; triad formation makes
+        // them abundant.
+        let mut triangles = 0;
+        for v in 0..g.num_vertices() as u32 {
+            let nbrs = g.neighbors(v);
+            for (i, &x) in nbrs.iter().enumerate() {
+                for &y in &nbrs[i + 1..] {
+                    if g.has_edge(x, y) {
+                        triangles += 1;
+                    }
+                }
+            }
+        }
+        assert!(triangles > 100, "expected many triangles, got {triangles}");
+    }
+
+    #[test]
+    fn fanned_communities_have_degree_far_above_core() {
+        let g = fanned_communities(10, 8, 15, 3);
+        let cores = crate::kcore::core_numbers(&g);
+        // Members: degree ≈ 7 + 15 = 22+, core = 7.
+        let member_core = cores[0];
+        assert!(member_core <= 9, "member core {member_core}");
+        assert!(g.degree(0) >= 20, "member degree {}", g.degree(0));
+        // Each community is a clique.
+        let first: Vec<u32> = (0..8).collect();
+        assert!(g.is_clique(&first));
+    }
+
+    #[test]
+    fn mixed_holme_kim_spreads_cores_below_degrees() {
+        let g = holme_kim_mixed(2000, 2, 20, 0.6, 7);
+        let cores = crate::kcore::core_numbers(&g);
+        let max_core = *cores.iter().max().unwrap() as usize;
+        // Cores are capped near m_max while hub degrees run far higher.
+        assert!(max_core <= 40, "max core {max_core}");
+        assert!(g.max_degree() > 3 * max_core, "degree {} vs core {max_core}", g.max_degree());
+        // A real spread of core numbers exists (low-core tail present).
+        assert!(cores.iter().filter(|&&c| c <= 4).count() > 100);
+    }
+
+    #[test]
+    fn watts_strogatz_preserves_edge_count() {
+        let g = watts_strogatz(200, 6, 0.1, 17);
+        assert_eq!(g.num_edges(), 200 * 3);
+    }
+
+    #[test]
+    fn geometric_radius_controls_density() {
+        let sparse = random_geometric(500, 0.02, 19);
+        let dense = random_geometric(500, 0.08, 19);
+        assert!(dense.num_edges() > sparse.num_edges() * 4);
+    }
+
+    #[test]
+    fn road_mesh_low_degree() {
+        let g = road_mesh(50, 50, 0.95, 0.05, 23);
+        assert!(g.avg_degree() < 4.5);
+        assert!(g.num_edges() > 3000);
+    }
+
+    #[test]
+    fn rmat_produces_hubs() {
+        let g = rmat(10, 8, 0.57, 0.19, 0.19, 29);
+        assert!(g.num_vertices() == 1024);
+        assert!(g.max_degree() > 4 * g.avg_degree() as usize);
+    }
+
+    #[test]
+    fn collaboration_contains_paper_cliques() {
+        let g = collaboration(300, 60, 3, 8, 2.0, 31);
+        // Union of cliques: every vertex's neighborhood within one paper is
+        // fully connected; spot-check global triangle density instead.
+        assert!(g.num_edges() > 100);
+        let core = crate::kcore::degeneracy(&g);
+        assert!(core >= 2, "papers of ≥3 authors give 2-cores");
+    }
+
+    #[test]
+    fn multiple_planted_cliques_all_present() {
+        let base = gnp(300, 0.02, 91);
+        let (g, groups) = plant_cliques(&base, &[5, 8, 11], 92);
+        assert_eq!(groups.len(), 3);
+        for (i, members) in groups.iter().enumerate() {
+            assert!(g.is_clique(members), "group {i}");
+        }
+        assert_eq!(groups[2].len(), 11);
+    }
+
+    #[test]
+    fn planted_clique_is_present() {
+        let base = gnp(200, 0.02, 37);
+        let (g, members) = plant_clique(&base, 8, 41);
+        assert_eq!(members.len(), 8);
+        assert!(g.is_clique(&members));
+        assert!(g.num_edges() >= base.num_edges());
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(barabasi_albert(200, 2, 1), barabasi_albert(200, 2, 1));
+        assert_eq!(
+            collaboration(100, 20, 2, 5, 1.5, 2),
+            collaboration(100, 20, 2, 5, 1.5, 2)
+        );
+        assert_eq!(rmat(8, 4, 0.5, 0.2, 0.2, 3), rmat(8, 4, 0.5, 0.2, 0.2, 3));
+        assert_eq!(
+            random_geometric(300, 0.05, 4),
+            random_geometric(300, 0.05, 4)
+        );
+    }
+}

@@ -1,0 +1,518 @@
+//! Dataset loaders for the two formats the Network Repository distributes:
+//! MatrixMarket coordinate files (`.mtx`) and whitespace-separated edge
+//! lists. This module replaces the Gunrock graph loader the paper uses in
+//! preprocessing.
+
+use crate::{Csr, GraphBuilder};
+use std::io::{BufRead, Write};
+use std::path::Path;
+
+/// Errors produced while parsing a graph file.
+#[derive(Debug)]
+pub enum GraphIoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structural problem in the file, with a line number when known.
+    Parse {
+        /// 1-based line number (0 when the error is file-global).
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for GraphIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphIoError::Io(e) => write!(f, "i/o error: {e}"),
+            GraphIoError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphIoError::Io(e) => Some(e),
+            GraphIoError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphIoError {
+    fn from(e: std::io::Error) -> Self {
+        GraphIoError::Io(e)
+    }
+}
+
+fn parse_error(line: usize, message: impl Into<String>) -> GraphIoError {
+    GraphIoError::Parse {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Loads a whitespace edge list: one `u v` pair per line; lines starting
+/// with `#` or `%` are comments. Vertex ids are used verbatim, so the vertex
+/// count is `max_id + 1`.
+pub fn load_edge_list(path: impl AsRef<Path>) -> Result<Csr, GraphIoError> {
+    let file = std::fs::File::open(path)?;
+    parse_edge_list(std::io::BufReader::new(file))
+}
+
+/// Parses an edge list from any reader. See [`load_edge_list`].
+pub fn parse_edge_list(reader: impl BufRead) -> Result<Csr, GraphIoError> {
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut max_id: i64 = -1;
+    for (line_no, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let u: u32 = parts
+            .next()
+            .ok_or_else(|| parse_error(line_no + 1, "missing source vertex"))?
+            .parse()
+            .map_err(|e| parse_error(line_no + 1, format!("bad source vertex: {e}")))?;
+        let v: u32 = parts
+            .next()
+            .ok_or_else(|| parse_error(line_no + 1, "missing destination vertex"))?
+            .parse()
+            .map_err(|e| parse_error(line_no + 1, format!("bad destination vertex: {e}")))?;
+        // Extra columns (weights, timestamps) are ignored.
+        max_id = max_id.max(u as i64).max(v as i64);
+        edges.push((u, v));
+    }
+    let n = (max_id + 1) as usize;
+    let mut builder = GraphBuilder::new(n);
+    builder.extend_edges(edges);
+    Ok(builder.build())
+}
+
+/// Loads a MatrixMarket coordinate file (`.mtx`). Supports `pattern`,
+/// `real` and `integer` fields with `general` or `symmetric` symmetry;
+/// indices are 1-based per the format. Entry values, if present, are
+/// ignored — only the sparsity pattern matters for clique finding.
+pub fn load_matrix_market(path: impl AsRef<Path>) -> Result<Csr, GraphIoError> {
+    let file = std::fs::File::open(path)?;
+    parse_matrix_market(std::io::BufReader::new(file))
+}
+
+/// Parses MatrixMarket data from any reader. See [`load_matrix_market`].
+pub fn parse_matrix_market(reader: impl BufRead) -> Result<Csr, GraphIoError> {
+    let mut lines = reader.lines().enumerate();
+
+    // Header: %%MatrixMarket matrix coordinate <field> <symmetry>
+    let (header_line, header) = loop {
+        match lines.next() {
+            Some((line_no, line)) => {
+                let line = line?;
+                if !line.trim().is_empty() {
+                    break (line_no + 1, line);
+                }
+            }
+            None => return Err(parse_error(0, "empty file")),
+        }
+    };
+    let header_lower = header.to_ascii_lowercase();
+    let tokens: Vec<&str> = header_lower.split_whitespace().collect();
+    if tokens.len() < 5 || !tokens[0].starts_with("%%matrixmarket") {
+        return Err(parse_error(header_line, "missing %%MatrixMarket header"));
+    }
+    if tokens[1] != "matrix" || tokens[2] != "coordinate" {
+        return Err(parse_error(
+            header_line,
+            "only `matrix coordinate` files are supported",
+        ));
+    }
+    match tokens[3] {
+        "pattern" | "real" | "integer" => {}
+        other => {
+            return Err(parse_error(
+                header_line,
+                format!("unsupported field `{other}`"),
+            ))
+        }
+    }
+    match tokens[4] {
+        "general" | "symmetric" => {}
+        other => {
+            return Err(parse_error(
+                header_line,
+                format!("unsupported symmetry `{other}`"),
+            ))
+        }
+    }
+
+    // Size line (after comments): rows cols nnz
+    let (size_line_no, size_line) = loop {
+        match lines.next() {
+            Some((line_no, line)) => {
+                let line = line?;
+                let trimmed = line.trim().to_string();
+                if !trimmed.is_empty() && !trimmed.starts_with('%') {
+                    break (line_no + 1, trimmed);
+                }
+            }
+            None => return Err(parse_error(0, "missing size line")),
+        }
+    };
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|t| t.parse::<usize>())
+        .collect::<Result<_, _>>()
+        .map_err(|e| parse_error(size_line_no, format!("bad size line: {e}")))?;
+    if dims.len() != 3 {
+        return Err(parse_error(
+            size_line_no,
+            "size line must be `rows cols nnz`",
+        ));
+    }
+    let (rows, cols, nnz) = (dims[0], dims[1], dims[2]);
+    let n = rows.max(cols);
+
+    let mut builder = GraphBuilder::new(n);
+    let mut seen = 0usize;
+    for (line_no, line) in lines {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let u: usize = parts
+            .next()
+            .ok_or_else(|| parse_error(line_no + 1, "missing row index"))?
+            .parse()
+            .map_err(|e| parse_error(line_no + 1, format!("bad row index: {e}")))?;
+        let v: usize = parts
+            .next()
+            .ok_or_else(|| parse_error(line_no + 1, "missing column index"))?
+            .parse()
+            .map_err(|e| parse_error(line_no + 1, format!("bad column index: {e}")))?;
+        if u == 0 || v == 0 || u > n || v > n {
+            return Err(parse_error(
+                line_no + 1,
+                format!("index ({u}, {v}) out of 1..={n}"),
+            ));
+        }
+        builder.add_edge((u - 1) as u32, (v - 1) as u32);
+        seen += 1;
+    }
+    if seen != nnz {
+        return Err(parse_error(
+            0,
+            format!("expected {nnz} entries, found {seen}"),
+        ));
+    }
+    Ok(builder.build())
+}
+
+/// Loads a DIMACS clique-benchmark file (`.clq` / `.col`): a `p edge n m`
+/// problem line and one `e u v` line per edge (1-based vertex ids). This is
+/// the format of the classic DIMACS maximum-clique instances most solvers
+/// in the paper's lineage are evaluated on.
+pub fn load_dimacs(path: impl AsRef<Path>) -> Result<Csr, GraphIoError> {
+    let file = std::fs::File::open(path)?;
+    parse_dimacs(std::io::BufReader::new(file))
+}
+
+/// Parses DIMACS data from any reader. See [`load_dimacs`].
+pub fn parse_dimacs(reader: impl BufRead) -> Result<Csr, GraphIoError> {
+    let mut builder: Option<GraphBuilder> = None;
+    let mut declared_vertices = 0usize;
+    for (line_no, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        let mut parts = trimmed.split_whitespace();
+        match parts.next() {
+            None | Some("c") => continue, // blank or comment
+            Some("p") => {
+                if builder.is_some() {
+                    return Err(parse_error(line_no + 1, "duplicate problem line"));
+                }
+                let format = parts
+                    .next()
+                    .ok_or_else(|| parse_error(line_no + 1, "missing format token"))?;
+                if format != "edge" && format != "col" {
+                    return Err(parse_error(
+                        line_no + 1,
+                        format!("unsupported DIMACS format `{format}`"),
+                    ));
+                }
+                declared_vertices = parts
+                    .next()
+                    .ok_or_else(|| parse_error(line_no + 1, "missing vertex count"))?
+                    .parse()
+                    .map_err(|e| parse_error(line_no + 1, format!("bad vertex count: {e}")))?;
+                builder = Some(GraphBuilder::new(declared_vertices));
+            }
+            Some("e") => {
+                let builder = builder
+                    .as_mut()
+                    .ok_or_else(|| parse_error(line_no + 1, "edge before problem line"))?;
+                let u: usize = parts
+                    .next()
+                    .ok_or_else(|| parse_error(line_no + 1, "missing edge source"))?
+                    .parse()
+                    .map_err(|e| parse_error(line_no + 1, format!("bad edge source: {e}")))?;
+                let v: usize = parts
+                    .next()
+                    .ok_or_else(|| parse_error(line_no + 1, "missing edge target"))?
+                    .parse()
+                    .map_err(|e| parse_error(line_no + 1, format!("bad edge target: {e}")))?;
+                if u == 0 || v == 0 || u > declared_vertices || v > declared_vertices {
+                    return Err(parse_error(
+                        line_no + 1,
+                        format!("edge ({u}, {v}) out of 1..={declared_vertices}"),
+                    ));
+                }
+                builder.add_edge((u - 1) as u32, (v - 1) as u32);
+            }
+            Some(other) => {
+                return Err(parse_error(
+                    line_no + 1,
+                    format!("unknown DIMACS line type `{other}`"),
+                ));
+            }
+        }
+    }
+    builder
+        .map(GraphBuilder::build)
+        .ok_or_else(|| parse_error(0, "missing problem line"))
+}
+
+/// Writes a graph as a whitespace edge list (one `u v` line per undirected
+/// edge, with a summary comment header).
+pub fn write_edge_list(graph: &Csr, mut writer: impl Write) -> std::io::Result<()> {
+    writeln!(
+        writer,
+        "# {} vertices, {} edges",
+        graph.num_vertices(),
+        graph.num_edges()
+    )?;
+    for v in 0..graph.num_vertices() as u32 {
+        for &u in graph.neighbors(v) {
+            if v < u {
+                writeln!(writer, "{v} {u}")?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Writes a graph as a MatrixMarket `coordinate pattern symmetric` file.
+pub fn write_matrix_market(graph: &Csr, mut writer: impl Write) -> std::io::Result<()> {
+    writeln!(writer, "%%MatrixMarket matrix coordinate pattern symmetric")?;
+    writeln!(
+        writer,
+        "{} {} {}",
+        graph.num_vertices(),
+        graph.num_vertices(),
+        graph.num_edges()
+    )?;
+    // Symmetric storage: emit the lower triangle (row > column, 1-based).
+    for v in 0..graph.num_vertices() as u32 {
+        for &u in graph.neighbors(v) {
+            if u < v {
+                writeln!(writer, "{} {}", v + 1, u + 1)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Writes a graph in DIMACS clique format.
+pub fn write_dimacs(graph: &Csr, mut writer: impl Write) -> std::io::Result<()> {
+    writeln!(writer, "c generated by gmc-graph")?;
+    writeln!(
+        writer,
+        "p edge {} {}",
+        graph.num_vertices(),
+        graph.num_edges()
+    )?;
+    for v in 0..graph.num_vertices() as u32 {
+        for &u in graph.neighbors(v) {
+            if v < u {
+                writeln!(writer, "e {} {}", v + 1, u + 1)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn edge_list_with_comments() {
+        let data = "# a comment\n% another\n0 1\n1 2 0.5\n\n2 0\n";
+        let g = parse_edge_list(Cursor::new(data)).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert!(g.is_clique(&[0, 1, 2]));
+    }
+
+    #[test]
+    fn edge_list_bad_token() {
+        let data = "0 x\n";
+        let err = parse_edge_list(Cursor::new(data)).unwrap_err();
+        assert!(matches!(err, GraphIoError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn edge_list_missing_destination() {
+        let err = parse_edge_list(Cursor::new("7\n")).unwrap_err();
+        assert!(err.to_string().contains("missing destination"));
+    }
+
+    #[test]
+    fn mtx_symmetric_pattern() {
+        let data = "\
+%%MatrixMarket matrix coordinate pattern symmetric
+% triangle
+3 3 3
+2 1
+3 1
+3 2
+";
+        let g = parse_matrix_market(Cursor::new(data)).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert!(g.is_clique(&[0, 1, 2]));
+    }
+
+    #[test]
+    fn mtx_general_real_with_values() {
+        let data = "\
+%%MatrixMarket matrix coordinate real general
+4 4 3
+1 2 1.0
+2 3 2.5
+2 1 9.0
+";
+        let g = parse_matrix_market(Cursor::new(data)).unwrap();
+        assert_eq!(g.num_vertices(), 4);
+        // (1,2) and (2,1) collapse into one undirected edge.
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn mtx_rejects_bad_header() {
+        let err = parse_matrix_market(Cursor::new("hello\n1 1 0\n")).unwrap_err();
+        assert!(err.to_string().contains("%%MatrixMarket"));
+    }
+
+    #[test]
+    fn mtx_rejects_array_format() {
+        let data = "%%MatrixMarket matrix array real general\n2 2\n";
+        let err = parse_matrix_market(Cursor::new(data)).unwrap_err();
+        assert!(err.to_string().contains("coordinate"));
+    }
+
+    #[test]
+    fn mtx_rejects_out_of_range_index() {
+        let data = "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n3 1\n";
+        let err = parse_matrix_market(Cursor::new(data)).unwrap_err();
+        assert!(err.to_string().contains("out of"));
+    }
+
+    #[test]
+    fn mtx_rejects_wrong_entry_count() {
+        let data = "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 2\n";
+        let err = parse_matrix_market(Cursor::new(data)).unwrap_err();
+        assert!(err.to_string().contains("expected 2 entries"));
+    }
+
+    #[test]
+    fn dimacs_parses_classic_format() {
+        let data = "\
+c a triangle with a tail
+p edge 4 4
+e 1 2
+e 2 3
+e 1 3
+e 3 4
+";
+        let g = parse_dimacs(Cursor::new(data)).unwrap();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert!(g.is_clique(&[0, 1, 2]));
+    }
+
+    #[test]
+    fn dimacs_rejects_malformed_input() {
+        assert!(parse_dimacs(Cursor::new("e 1 2\n"))
+            .unwrap_err()
+            .to_string()
+            .contains("edge before problem line"));
+        assert!(parse_dimacs(Cursor::new("p matrix 3 1\ne 1 2\n"))
+            .unwrap_err()
+            .to_string()
+            .contains("unsupported DIMACS format"));
+        assert!(parse_dimacs(Cursor::new("p edge 2 1\ne 1 5\n"))
+            .unwrap_err()
+            .to_string()
+            .contains("out of 1..=2"));
+        assert!(parse_dimacs(Cursor::new("c nothing\n"))
+            .unwrap_err()
+            .to_string()
+            .contains("missing problem line"));
+        assert!(parse_dimacs(Cursor::new("p edge 2 0\np edge 2 0\n"))
+            .unwrap_err()
+            .to_string()
+            .contains("duplicate problem line"));
+        assert!(parse_dimacs(Cursor::new("x 1 2\n"))
+            .unwrap_err()
+            .to_string()
+            .contains("unknown DIMACS line type"));
+    }
+
+    #[test]
+    fn writers_round_trip_through_parsers() {
+        let g = crate::generators::gnp(40, 0.15, 5);
+
+        let mut edge_buf = Vec::new();
+        write_edge_list(&g, &mut edge_buf).unwrap();
+        assert_eq!(parse_edge_list(Cursor::new(edge_buf)).unwrap(), g);
+
+        let mut mtx_buf = Vec::new();
+        write_matrix_market(&g, &mut mtx_buf).unwrap();
+        assert_eq!(parse_matrix_market(Cursor::new(mtx_buf)).unwrap(), g);
+
+        let mut dimacs_buf = Vec::new();
+        write_dimacs(&g, &mut dimacs_buf).unwrap();
+        assert_eq!(parse_dimacs(Cursor::new(dimacs_buf)).unwrap(), g);
+    }
+
+    #[test]
+    fn writers_handle_isolated_vertices() {
+        // Vertex 3 has no edges; the vertex count must survive MTX and
+        // DIMACS round trips (edge lists cannot represent trailing isolated
+        // vertices, which is inherent to the format).
+        let g = Csr::from_edges(4, &[(0, 1), (1, 2)]);
+        let mut buf = Vec::new();
+        write_matrix_market(&g, &mut buf).unwrap();
+        let back = parse_matrix_market(Cursor::new(buf)).unwrap();
+        assert_eq!(back.num_vertices(), 4);
+        let mut buf = Vec::new();
+        write_dimacs(&g, &mut buf).unwrap();
+        assert_eq!(parse_dimacs(Cursor::new(buf)).unwrap().num_vertices(), 4);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("gmc_graph_io_test.edges");
+        std::fs::write(&path, "0 1\n1 2\n").unwrap();
+        let g = load_edge_list(&path).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,378 @@
+//! The iterative breadth-first expansion (paper §IV-D, Algorithm 2).
+//!
+//! Each level launches one virtual thread per candidate entry:
+//!
+//! 1. **Count kernel** (`COUNTCLIQUES`): entry `i` walks the entries after
+//!    it in its sublist, counting those adjacent to its own vertex (a binary
+//!    search per check). If the count cannot reach the target clique size
+//!    (`k + connected < target`), the count is zeroed — the branch is
+//!    pruned.
+//! 2. **Scan** over the counts yields the output offsets and the size of the
+//!    next level.
+//! 3. **Output kernel** (`OUTPUTNEWCLIQUES`): each unpruned entry re-walks
+//!    its sublist tail and emits one `(vertex, parent)` pair per adjacent
+//!    candidate into its span of the next level's arrays.
+//!
+//! The loop ends when a level produces no entries; every entry of the last
+//! level is then a maximum clique (each entry of level `L` is a valid
+//! `(L + 2)`-clique, and each clique appears exactly once because the
+//! orientation makes its vertex order unique).
+
+use gmc_cliquelist::{CliqueLevel, CliqueList};
+use gmc_dpp::{Device, DeviceOom, SharedSlice};
+use gmc_graph::{Csr, EdgeOracle};
+
+/// Result of expanding one clique list to exhaustion.
+#[derive(Debug)]
+pub(crate) struct ExpansionOutcome {
+    /// Cliques stored at the deepest non-empty level (unsorted read-out
+    /// order), or the single early-exit clique.
+    pub cliques: Vec<Vec<u32>>,
+    /// Size of those cliques (0 when the initial level was empty).
+    pub clique_size: usize,
+    /// Entry count at each level, including the initial one.
+    pub level_entries: Vec<usize>,
+    /// Whether the provably-unique-remainder early exit fired.
+    pub early_exit: bool,
+}
+
+/// Largest head level for which the early-exit mutual-adjacency check is
+/// attempted; the check costs `len²` edge lookups.
+const EARLY_EXIT_CHECK_LIMIT: usize = 512;
+
+/// Expands `level0` breadth-first until no further cliques exist, returning
+/// the cliques of the deepest level whose size reaches `min_target`.
+///
+/// `min_target` is the pruning bound: branches that cannot reach a clique of
+/// at least this size are cut. For full enumeration pass `ω̄` (ties kept);
+/// for find-one-better pass `best + 1`.
+pub(crate) fn expand<O: EdgeOracle + ?Sized>(
+    device: &Device,
+    graph: &Csr,
+    oracle: &O,
+    level0: CliqueLevel,
+    min_target: u32,
+    early_exit_enabled: bool,
+) -> Result<ExpansionOutcome, DeviceOom> {
+    let _ = graph; // connectivity goes through the oracle; kept for debug asserts
+    let exec = device.exec();
+    let mut list = CliqueList::new();
+    let mut level_entries = vec![level0.len()];
+    if level0.is_empty() {
+        return Ok(ExpansionOutcome {
+            cliques: Vec::new(),
+            clique_size: 0,
+            level_entries,
+            early_exit: false,
+        });
+    }
+    list.push_level(level0);
+
+    loop {
+        let head = list.head().expect("list is non-empty");
+        let k = list.clique_size_at(list.num_levels() - 1); // entries are k-cliques
+        let len = head.len();
+        assert!(len < u32::MAX as usize, "level exceeds u32 indexing");
+        let vertex_id = head.vertex_ids();
+        let sublist_id = head.sublist_ids();
+
+        // COUNTCLIQUES: adjacent successors within the sublist, pruned
+        // against the target.
+        let counts: Vec<usize> = exec.map_indexed(len, |i| {
+            let mut connected = 0usize;
+            let mut j = i + 1;
+            while j < len && sublist_id[j] == sublist_id[i] {
+                if oracle.connected(vertex_id[i], vertex_id[j]) {
+                    connected += 1;
+                }
+                j += 1;
+            }
+            if k + connected < min_target as usize {
+                0
+            } else {
+                connected
+            }
+        });
+
+        let (offsets, total) = gmc_dpp::exclusive_scan(exec, &counts);
+        if total == 0 {
+            break;
+        }
+
+        // OUTPUTNEWCLIQUES: emit each entry's adjacent successors.
+        let mut new_vertex = vec![0u32; total];
+        let mut new_sublist = vec![0u32; total];
+        {
+            let vertex_shared = SharedSlice::new(&mut new_vertex);
+            let sublist_shared = SharedSlice::new(&mut new_sublist);
+            exec.for_each_indexed(len, |i| {
+                if counts[i] == 0 {
+                    return;
+                }
+                let mut cursor = offsets[i];
+                let mut j = i + 1;
+                while j < len && sublist_id[j] == sublist_id[i] {
+                    if oracle.connected(vertex_id[i], vertex_id[j]) {
+                        // SAFETY: entry i owns offsets[i]..offsets[i]+counts[i].
+                        unsafe {
+                            vertex_shared.write(cursor, vertex_id[j]);
+                            sublist_shared.write(cursor, i as u32);
+                        }
+                        cursor += 1;
+                    }
+                    j += 1;
+                }
+            });
+        }
+
+        let new_level = CliqueLevel::from_vecs(device.memory(), new_vertex, new_sublist)?;
+        level_entries.push(new_level.len());
+        list.push_level(new_level);
+
+        // Early exit (paper Algorithm 2, line 36): when every surviving
+        // candidate shares one parent and the candidates are mutually
+        // adjacent, the chain plus all candidates is the unique remaining
+        // maximum clique.
+        if early_exit_enabled {
+            if let Some(clique) = try_early_exit(oracle, &list, min_target) {
+                let clique_size = clique.len();
+                return Ok(ExpansionOutcome {
+                    cliques: vec![clique],
+                    clique_size,
+                    level_entries,
+                    early_exit: true,
+                });
+            }
+        }
+    }
+
+    // Read out the deepest level.
+    let final_idx = list.num_levels() - 1;
+    let clique_size = list.clique_size_at(final_idx);
+    if (clique_size as u32) < min_target {
+        // Every branch died before reaching the target: nothing to report
+        // (this happens in windowed mode when a window holds no clique
+        // beating the incumbent).
+        return Ok(ExpansionOutcome {
+            cliques: Vec::new(),
+            clique_size: 0,
+            level_entries,
+            early_exit: false,
+        });
+    }
+    let cliques = list.read_all_cliques(final_idx);
+    Ok(ExpansionOutcome {
+        cliques,
+        clique_size,
+        level_entries,
+        early_exit: false,
+    })
+}
+
+/// Checks whether the head level is a single, mutually-adjacent sublist; if
+/// so, returns `chain ∪ candidates` — provably the unique maximum clique
+/// still reachable.
+fn try_early_exit<O: EdgeOracle + ?Sized>(
+    oracle: &O,
+    list: &CliqueList,
+    min_target: u32,
+) -> Option<Vec<u32>> {
+    let head = list.head()?;
+    let len = head.len();
+    if len == 0 || len > EARLY_EXIT_CHECK_LIMIT {
+        return None;
+    }
+    let sublist_id = head.sublist_ids();
+    if sublist_id.iter().any(|&s| s != sublist_id[0]) {
+        return None; // more than one sublist survives
+    }
+    let candidates = head.vertex_ids();
+    for (i, &u) in candidates.iter().enumerate() {
+        for &v in &candidates[i + 1..] {
+            if !oracle.connected(u, v) {
+                return None;
+            }
+        }
+    }
+    // Chain = the clique of the shared parent entry.
+    let head_idx = list.num_levels() - 1;
+    let mut clique = if head_idx == 0 {
+        vec![sublist_id[0]] // level 0 packs the source vertex directly
+    } else {
+        list.read_clique(head_idx - 1, sublist_id[0] as usize)
+    };
+    clique.extend_from_slice(candidates);
+    if (clique.len() as u32) < min_target {
+        return None;
+    }
+    Some(clique)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CandidateOrder;
+    use crate::setup::build_two_clique_list;
+    use gmc_graph::generators;
+
+    fn run(graph: &Csr, lower: u32, early_exit: bool) -> ExpansionOutcome {
+        let device = Device::unlimited();
+        let setup = build_two_clique_list(
+            device.exec(),
+            graph,
+            lower,
+            &graph.degrees(),
+            crate::config::OrientationRule::Degree,
+            CandidateOrder::DegreeAscending,
+            crate::config::SublistBound::Length,
+        );
+        let level0 =
+            CliqueLevel::from_vecs(device.memory(), setup.vertex_id, setup.sublist_id).unwrap();
+        expand(&device, graph, graph, level0, lower.max(2), early_exit).unwrap()
+    }
+
+    fn normalize(mut cliques: Vec<Vec<u32>>) -> Vec<Vec<u32>> {
+        for c in &mut cliques {
+            c.sort_unstable();
+        }
+        cliques.sort();
+        cliques
+    }
+
+    #[test]
+    fn triangle_with_tail() {
+        let g = Csr::from_edges(4, &[(0, 1), (1, 2), (0, 2), (2, 3)]);
+        let out = run(&g, 0, false);
+        assert_eq!(out.clique_size, 3);
+        assert_eq!(normalize(out.cliques), vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn enumerates_multiple_maximum_cliques() {
+        // Two disjoint triangles.
+        let g = Csr::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]);
+        let out = run(&g, 0, false);
+        assert_eq!(out.clique_size, 3);
+        assert_eq!(normalize(out.cliques), vec![vec![0, 1, 2], vec![3, 4, 5]]);
+    }
+
+    #[test]
+    fn complete_graph_has_one_maximum() {
+        let g = generators::complete(6);
+        let out = run(&g, 0, false);
+        assert_eq!(out.clique_size, 6);
+        assert_eq!(out.cliques.len(), 1);
+        assert_eq!(normalize(out.cliques), vec![vec![0, 1, 2, 3, 4, 5]]);
+    }
+
+    #[test]
+    fn overlapping_cliques_enumerated_once_each() {
+        // K4 {0,1,2,3} and K4 {2,3,4,5} sharing an edge.
+        let mut edges = Vec::new();
+        for set in [[0u32, 1, 2, 3], [2, 3, 4, 5]] {
+            for (i, &u) in set.iter().enumerate() {
+                for &v in &set[i + 1..] {
+                    edges.push((u, v));
+                }
+            }
+        }
+        let g = Csr::from_edges(6, &edges);
+        let out = run(&g, 0, false);
+        assert_eq!(out.clique_size, 4);
+        assert_eq!(
+            normalize(out.cliques),
+            vec![vec![0, 1, 2, 3], vec![2, 3, 4, 5]]
+        );
+    }
+
+    #[test]
+    fn pruning_with_valid_bound_preserves_enumeration() {
+        let g = generators::gnp(60, 0.2, 5);
+        let unpruned = run(&g, 0, false);
+        let pruned = run(&g, unpruned.clique_size as u32, false);
+        assert_eq!(pruned.clique_size, unpruned.clique_size);
+        assert_eq!(normalize(pruned.cliques), normalize(unpruned.cliques));
+        // And pruning must not inflate the intermediate levels.
+        for (a, b) in pruned.level_entries.iter().zip(&unpruned.level_entries) {
+            assert!(a <= b);
+        }
+    }
+
+    #[test]
+    fn early_exit_finds_unique_maximum() {
+        // A 5-clique planted in a sparse graph: after a couple of levels the
+        // survivors collapse to one sublist.
+        let base = generators::gnp(80, 0.03, 9);
+        let (g, members) = generators::plant_clique(&base, 5, 10);
+        let without = run(&g, 0, false);
+        let with = run(&g, 0, true);
+        assert_eq!(with.clique_size, without.clique_size);
+        assert_eq!(normalize(with.cliques.clone()), normalize(without.cliques));
+        if with.early_exit {
+            assert_eq!(with.cliques.len(), 1);
+            let mut c = with.cliques[0].clone();
+            c.sort_unstable();
+            assert_eq!(c, members);
+        }
+    }
+
+    #[test]
+    fn empty_level_yields_no_cliques() {
+        let g = Csr::empty(4);
+        let out = run(&g, 0, false);
+        assert_eq!(out.clique_size, 0);
+        assert!(out.cliques.is_empty());
+    }
+
+    #[test]
+    fn min_target_above_omega_returns_nothing() {
+        let device = Device::unlimited();
+        let g = generators::complete(4);
+        let setup = build_two_clique_list(
+            device.exec(),
+            &g,
+            0,
+            &g.degrees(),
+            crate::config::OrientationRule::Degree,
+            CandidateOrder::Index,
+            crate::config::SublistBound::Length,
+        );
+        let level0 =
+            CliqueLevel::from_vecs(device.memory(), setup.vertex_id, setup.sublist_id).unwrap();
+        // Ask for cliques of size ≥ 5 in a K4.
+        let out = expand(&device, &g, &g, level0, 5, false).unwrap();
+        assert!(out.cliques.is_empty());
+        assert_eq!(out.clique_size, 0);
+    }
+
+    #[test]
+    fn oom_propagates_from_level_growth() {
+        // K20 with a tiny budget: level 0 fits, deeper levels cannot.
+        let g = generators::complete(20);
+        let device = Device::with_memory_budget(8 * 190 + 64);
+        let setup = build_two_clique_list(
+            device.exec(),
+            &g,
+            0,
+            &g.degrees(),
+            crate::config::OrientationRule::Degree,
+            CandidateOrder::Index,
+            crate::config::SublistBound::Length,
+        );
+        let level0 =
+            CliqueLevel::from_vecs(device.memory(), setup.vertex_id, setup.sublist_id).unwrap();
+        let err = expand(&device, &g, &g, level0, 2, false);
+        assert!(err.is_err(), "expected OOM");
+    }
+
+    #[test]
+    fn level_counts_are_monotone_then_shrink() {
+        // On a complete graph, level entries follow binomial growth/decay:
+        // C(n,2), 1·C(n,3)... the exact sequence is Σ over entries; just
+        // check the first level matches C(n,2) and the last level is 1.
+        let g = generators::complete(7);
+        let out = run(&g, 0, false);
+        assert_eq!(out.level_entries[0], 21);
+        assert_eq!(*out.level_entries.last().unwrap(), 1);
+    }
+}

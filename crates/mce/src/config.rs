@@ -1,0 +1,235 @@
+use gmc_heuristic::HeuristicKind;
+
+/// Which directed arc of each undirected edge survives orientation
+/// (paper §IV-C). Degree orientation makes low-degree vertices the sources,
+/// shortening average sublists and improving the sublist-length cut; index
+/// orientation is the ablation baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum OrientationRule {
+    /// Keep the arc whose source is lower in (degree, index) order — the
+    /// paper's choice.
+    #[default]
+    Degree,
+    /// Keep the arc whose source has the lower vertex index.
+    Index,
+}
+
+/// Which edge-membership structure the expansion kernels use (paper §III-3
+/// compares exactly these three; the paper picks binary search for its
+/// memory economy on large graphs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EdgeIndexKind {
+    /// Binary search on the CSR's sorted adjacency lists — `O(log d)` per
+    /// lookup, no extra memory. The paper's choice.
+    #[default]
+    BinarySearch,
+    /// Dense bitset adjacency matrix — O(1) lookups, `n²/8` bytes charged
+    /// to device memory. Fast for small/dense graphs, prohibitive for
+    /// large ones.
+    Bitset,
+    /// Open-addressing edge hash table — O(1) expected lookups, `O(|E|)`
+    /// extra bytes charged to device memory (Lessley et al.'s choice).
+    Hash,
+    /// Bitset when `n²/8` fits comfortably (≤ 16 MiB and within a quarter
+    /// of the device budget), binary search otherwise — the "choose by
+    /// input size" policy of several prior solvers the paper cites.
+    Auto,
+}
+
+/// Upper bound used when pruning whole sublists at setup (paper §II-B3: the
+/// straightforward bound is `|C| + |P|`; "we can find a tighter upper bound
+/// using other metrics, such as vertex coloring").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SublistBound {
+    /// `|C| + |P|`: a sublist survives if it has at least `ω̄ − 1`
+    /// candidates — the paper's choice (cheap, computed from lengths).
+    #[default]
+    Length,
+    /// Greedy-colouring bound: a sublist survives if its candidates need at
+    /// least `ω̄ − 1` colours. Strictly tighter (a clique of size `s` needs
+    /// `s` colours) at `O(L²)` extra edge checks per sublist — the
+    /// preprocessing/pruning trade-off several of the paper's cited
+    /// implementations pick.
+    Coloring,
+}
+
+/// Ordering of candidate vertices within each sublist of the 2-clique list
+/// (paper §IV-C, final preprocessing step).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CandidateOrder {
+    /// Adjacency-list order (ascending vertex index). With randomized vertex
+    /// ids this is effectively a random order.
+    Index,
+    /// Ascending degree: moves missing-edge lookups earlier (pruning sooner)
+    /// and routes more binary searches into short adjacency lists — the
+    /// paper's recommended ordering.
+    #[default]
+    DegreeAscending,
+}
+
+/// Ordering of sublists (by their source vertex) before windows are cut
+/// (paper §V-C tests these four).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum WindowOrdering {
+    /// Leave sublists in source-vertex index order.
+    #[default]
+    Index,
+    /// Search the least-connected sources first.
+    DegreeAscending,
+    /// Search the most-connected sources first (paper: costs the most
+    /// memory).
+    DegreeDescending,
+    /// Seeded random shuffle of sublists.
+    Random(u64),
+}
+
+/// Configuration of the windowed search variant (paper §IV-E).
+///
+/// ```
+/// use gmc_dpp::Device;
+/// use gmc_graph::generators;
+/// use gmc_mce::{MaxCliqueSolver, WindowConfig};
+///
+/// let graph = generators::complete(6);
+/// let result = MaxCliqueSolver::new(Device::unlimited())
+///     .windowed(WindowConfig::with_size(4).recursive(3))
+///     .solve(&graph)
+///     .unwrap();
+/// assert_eq!(result.clique_number, 6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowConfig {
+    /// Nominal window size in 2-clique entries; actual windows snap to
+    /// sublist boundaries. The paper sweeps 1024..32768. `0` selects
+    /// automatic sizing: windows grow sublist by sublist until the
+    /// Moon–Moser bound on their worst-case subtree reaches a quarter of
+    /// the device budget — the sizing rule of Wei et al. that the paper's
+    /// windowing section builds on (§III-1).
+    pub size: usize,
+    /// How sublists are ordered before windows are cut.
+    pub ordering: WindowOrdering,
+    /// `false` (paper's mode): find one maximum clique, pruning strictly
+    /// against the best size found so far. `true`: keep ties so that all
+    /// maximum cliques are still enumerated, window by window.
+    pub enumerate_all: bool,
+    /// Recursion depth for *recursive windowing* (paper §V-C3, sketched as
+    /// future work): `1` windows only the 2-clique list (the paper's
+    /// implementation); larger values let a window that runs out of memory
+    /// be split, and a single over-large sublist be re-windowed one search
+    /// level deeper, recursively.
+    pub max_depth: usize,
+    /// Top-level windows processed concurrently — the paper's other §V-C3
+    /// sketch ("multiple windows could be explored simultaneously by
+    /// different thread blocks"). `1` (the paper's implementation) keeps the
+    /// strictly sequential window loop. Larger values share the incumbent
+    /// across in-flight windows; all concurrent windows charge the same
+    /// device budget, trading memory back for parallel work. The clique
+    /// *set* is unchanged; in find-one mode the particular witness returned
+    /// may vary between runs when several maximum cliques exist.
+    pub parallel_windows: usize,
+}
+
+impl WindowConfig {
+    /// A find-one window configuration with default ordering.
+    pub fn with_size(size: usize) -> Self {
+        Self {
+            size,
+            ordering: WindowOrdering::default(),
+            enumerate_all: false,
+            max_depth: 1,
+            parallel_windows: 1,
+        }
+    }
+
+    /// Processes up to `count` top-level windows concurrently.
+    pub fn parallel(mut self, count: usize) -> Self {
+        self.parallel_windows = count.max(1);
+        self
+    }
+
+    /// Enables recursive windowing down to `depth` levels.
+    pub fn recursive(mut self, depth: usize) -> Self {
+        self.max_depth = depth.max(1);
+        self
+    }
+
+    /// Automatic window sizing from the device budget via the Moon–Moser
+    /// bound (see [`WindowConfig::size`]).
+    pub fn auto() -> Self {
+        Self {
+            size: 0,
+            ..Self::default()
+        }
+    }
+}
+
+impl Default for WindowConfig {
+    fn default() -> Self {
+        Self::with_size(32_768)
+    }
+}
+
+/// Full solver configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolverConfig {
+    /// Lower-bound heuristic run before the exact search.
+    pub heuristic: HeuristicKind,
+    /// Seed count `h` for multi-run heuristics (`None` = all vertices).
+    pub heuristic_seeds: Option<usize>,
+    /// Edge orientation rule.
+    pub orientation: OrientationRule,
+    /// Edge-membership structure for the expansion kernels.
+    pub edge_index: EdgeIndexKind,
+    /// Candidate ordering within sublists.
+    pub candidate_order: CandidateOrder,
+    /// Sublist pruning bound at setup.
+    pub sublist_bound: SublistBound,
+    /// Apply (1,2)-interchange local search to the heuristic witness before
+    /// the exact phase — a cheap bound improvement beyond the paper's greedy
+    /// heuristics (§II-B1's preprocessing/quality ladder). Off by default to
+    /// match the paper's configurations.
+    pub polish_witness: bool,
+    /// Windowed search; `None` runs the full breadth-first search.
+    pub window: Option<WindowConfig>,
+    /// Allow the search to stop as soon as the surviving candidates provably
+    /// form the unique remaining maximum clique (paper Algorithm 2 line 36).
+    pub early_exit: bool,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        Self {
+            heuristic: HeuristicKind::MultiDegree,
+            heuristic_seeds: None,
+            orientation: OrientationRule::Degree,
+            edge_index: EdgeIndexKind::BinarySearch,
+            candidate_order: CandidateOrder::DegreeAscending,
+            sublist_bound: SublistBound::Length,
+            polish_witness: false,
+            window: None,
+            early_exit: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_recommendations() {
+        let cfg = SolverConfig::default();
+        assert_eq!(cfg.heuristic, HeuristicKind::MultiDegree);
+        assert_eq!(cfg.candidate_order, CandidateOrder::DegreeAscending);
+        assert!(cfg.window.is_none());
+        assert!(cfg.early_exit);
+    }
+
+    #[test]
+    fn window_config_builders() {
+        let w = WindowConfig::with_size(1024);
+        assert_eq!(w.size, 1024);
+        assert!(!w.enumerate_all);
+        assert_eq!(WindowConfig::default().size, 32_768);
+    }
+}

@@ -1,0 +1,781 @@
+//! # gmc-mce: breadth-first maximum clique enumeration
+//!
+//! The paper's primary contribution, reproduced on the `gmc-dpp` virtual
+//! GPU. A solve proceeds through the same phases as the CUDA implementation
+//! (§IV):
+//!
+//! 1. **Heuristic** — a greedy lower bound `ω̄` with witness (`gmc-heuristic`),
+//!    optionally preceded by a k-core decomposition for tighter thresholds.
+//! 2. **Setup** — degree orientation, vertex/sublist pre-pruning and
+//!    2-clique list formation (§IV-C; counters in [`SetupStats`]).
+//! 3. **Expansion** — the iterative count → scan → output loop over the
+//!    clique-list levels (Algorithm 2), either over the whole 2-clique list
+//!    at once or window by window (§IV-E; see [`WindowConfig`]).
+//!
+//! The solver *enumerates* every maximum clique (the paper's headline mode);
+//! windowed find-one mode returns a single witness when memory is too tight
+//! for enumeration. Every intermediate level is charged against the device
+//! memory budget, so a too-small budget surfaces as
+//! [`SolveError::DeviceOom`] exactly where the paper reports OOM.
+
+#![warn(missing_docs)]
+
+mod bfs;
+mod config;
+mod setup;
+pub mod verify;
+mod window;
+
+pub use config::{
+    CandidateOrder, EdgeIndexKind, OrientationRule, SolverConfig, SublistBound, WindowConfig,
+    WindowOrdering,
+};
+pub use setup::SetupStats;
+pub use verify::{verify_result, VerifyError};
+pub use window::WindowStats;
+
+use gmc_cliquelist::CliqueLevel;
+use gmc_dpp::{Device, DeviceOom, LaunchStats};
+use gmc_graph::{BitMatrix, Csr, EdgeOracle, HashAdjacency};
+use gmc_heuristic::{run_heuristic, HeuristicKind, HeuristicResult};
+use std::time::{Duration, Instant};
+
+/// Why a solve did not produce a result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveError {
+    /// The candidate cliques outgrew the device memory budget — the paper's
+    /// OOM outcome. The windowed variant or a better heuristic may still
+    /// solve the instance.
+    DeviceOom(DeviceOom),
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::DeviceOom(oom) => write!(f, "solve ran out of device memory: {oom}"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+impl From<DeviceOom> for SolveError {
+    fn from(oom: DeviceOom) -> Self {
+        SolveError::DeviceOom(oom)
+    }
+}
+
+/// Phase timings and counters for one solve.
+#[derive(Debug, Clone, Default)]
+pub struct SolveStats {
+    /// Heuristic used.
+    pub heuristic_kind: HeuristicKind,
+    /// Lower bound `ω̄` the heuristic established.
+    pub lower_bound: u32,
+    /// Wall time of the heuristic phase (includes any k-core pass).
+    pub heuristic_time: Duration,
+    /// Portion of the heuristic phase spent on k-core decomposition.
+    pub core_time: Duration,
+    /// Wall time of orientation + 2-clique list formation.
+    pub setup_time: Duration,
+    /// Wall time of the expansion loop (all windows, when windowed).
+    pub expansion_time: Duration,
+    /// Total solve wall time.
+    pub total_time: Duration,
+    /// Device-memory high-water mark of the clique-list (candidate) storage
+    /// during setup + expansion, in bytes. This is the quantity the paper's
+    /// memory analysis (Table I OOM, Fig. 6) is about. Heuristic scratch is
+    /// reported separately in `heuristic_peak_bytes`; both phases charge the
+    /// same budget, so either can trigger OOM.
+    pub peak_device_bytes: usize,
+    /// Device-memory high-water mark of the heuristic phase (multi-run
+    /// neighbor arrays), in bytes.
+    pub heuristic_peak_bytes: usize,
+    /// Setup counters (orientation and pruning).
+    pub setup: SetupStats,
+    /// Entries per clique-list level (full mode only; windows track their
+    /// own peaks instead).
+    pub level_entries: Vec<usize>,
+    /// Whether the provably-unique-remainder early exit fired.
+    pub early_exit: bool,
+    /// Virtual-GPU launch counters consumed by this solve.
+    pub launches: LaunchStats,
+    /// Window counters when the windowed variant ran.
+    pub window: Option<WindowStats>,
+}
+
+impl SolveStats {
+    /// Fraction of 2-clique entries eliminated by setup pruning — the
+    /// paper's "pruning quality" metric (Fig. 5b).
+    pub fn pruning_fraction(&self) -> f64 {
+        if self.setup.total_oriented_edges == 0 {
+            0.0
+        } else {
+            1.0 - self.setup.initial_entries as f64 / self.setup.total_oriented_edges as f64
+        }
+    }
+}
+
+/// Result of a maximum clique solve.
+#[derive(Debug, Clone)]
+pub struct SolveResult {
+    /// The clique number ω(G).
+    pub clique_number: u32,
+    /// Maximum cliques: all of them when `complete_enumeration`, otherwise
+    /// a single witness. Each clique is sorted ascending; the list is
+    /// sorted lexicographically.
+    pub cliques: Vec<Vec<u32>>,
+    /// Whether `cliques` is the complete set of maximum cliques.
+    pub complete_enumeration: bool,
+    /// Phase timings and counters.
+    pub stats: SolveStats,
+}
+
+impl SolveResult {
+    /// Number of maximum cliques found (the multiplicity, when
+    /// `complete_enumeration`).
+    pub fn multiplicity(&self) -> usize {
+        self.cliques.len()
+    }
+}
+
+/// Breadth-first maximum clique solver bound to a [`Device`].
+///
+/// ```
+/// use gmc_dpp::Device;
+/// use gmc_graph::Csr;
+/// use gmc_mce::MaxCliqueSolver;
+///
+/// let graph = Csr::from_edges(4, &[(0, 1), (1, 2), (0, 2), (2, 3)]);
+/// let result = MaxCliqueSolver::new(Device::unlimited())
+///     .solve(&graph)
+///     .unwrap();
+/// assert_eq!(result.clique_number, 3);
+/// assert_eq!(result.cliques, vec![vec![0, 1, 2]]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MaxCliqueSolver {
+    device: Device,
+    config: SolverConfig,
+}
+
+impl MaxCliqueSolver {
+    /// A solver with the default configuration (multi-run degree heuristic,
+    /// degree-ascending candidates, no windowing).
+    pub fn new(device: Device) -> Self {
+        Self {
+            device,
+            config: SolverConfig::default(),
+        }
+    }
+
+    /// A solver with an explicit configuration.
+    pub fn with_config(device: Device, config: SolverConfig) -> Self {
+        Self { device, config }
+    }
+
+    /// Sets the lower-bound heuristic.
+    pub fn heuristic(mut self, kind: HeuristicKind) -> Self {
+        self.config.heuristic = kind;
+        self
+    }
+
+    /// Caps the number of multi-run heuristic seeds.
+    pub fn heuristic_seeds(mut self, h: usize) -> Self {
+        self.config.heuristic_seeds = Some(h);
+        self
+    }
+
+    /// Sets the edge orientation rule.
+    pub fn orientation(mut self, rule: OrientationRule) -> Self {
+        self.config.orientation = rule;
+        self
+    }
+
+    /// Sets the candidate ordering within sublists.
+    pub fn candidate_order(mut self, order: CandidateOrder) -> Self {
+        self.config.candidate_order = order;
+        self
+    }
+
+    /// Sets the edge-membership structure used by the expansion kernels.
+    pub fn edge_index(mut self, kind: EdgeIndexKind) -> Self {
+        self.config.edge_index = kind;
+        self
+    }
+
+    /// Sets the sublist pruning bound (length vs greedy colouring).
+    pub fn sublist_bound(mut self, bound: SublistBound) -> Self {
+        self.config.sublist_bound = bound;
+        self
+    }
+
+    /// Enables the windowed search variant.
+    pub fn windowed(mut self, window: WindowConfig) -> Self {
+        self.config.window = Some(window);
+        self
+    }
+
+    /// Enables or disables the early-exit optimisation.
+    pub fn early_exit(mut self, enabled: bool) -> Self {
+        self.config.early_exit = enabled;
+        self
+    }
+
+    /// Enables local-search polishing of the heuristic witness.
+    pub fn polish_witness(mut self, enabled: bool) -> Self {
+        self.config.polish_witness = enabled;
+        self
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SolverConfig {
+        &self.config
+    }
+
+    /// The device this solver runs on.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// Solves `graph`: enumerates all maximum cliques (or finds one, in
+    /// windowed find-one mode). Resets the device's peak-memory counter at
+    /// the start; the reported peak covers this solve only.
+    pub fn solve(&self, graph: &Csr) -> Result<SolveResult, SolveError> {
+        let device = &self.device;
+        let start = Instant::now();
+        let launch_base = device.exec().stats();
+        device.memory().reset_peak();
+
+        let mut stats = SolveStats {
+            heuristic_kind: self.config.heuristic,
+            ..SolveStats::default()
+        };
+
+        // Degenerate graphs (the paper's pipeline assumes at least one edge).
+        if graph.num_vertices() == 0 {
+            stats.total_time = start.elapsed();
+            return Ok(SolveResult {
+                clique_number: 0,
+                cliques: Vec::new(),
+                complete_enumeration: true,
+                stats,
+            });
+        }
+        if graph.num_edges() == 0 {
+            // Every vertex is a maximum 1-clique.
+            stats.total_time = start.elapsed();
+            return Ok(SolveResult {
+                clique_number: 1,
+                cliques: (0..graph.num_vertices() as u32).map(|v| vec![v]).collect(),
+                complete_enumeration: true,
+                stats,
+            });
+        }
+
+        // Phase 1: heuristic lower bound (optionally polished by local
+        // search).
+        let mut heuristic = run_heuristic(
+            device,
+            graph,
+            self.config.heuristic,
+            self.config.heuristic_seeds,
+        )?;
+        if self.config.polish_witness && !heuristic.clique.is_empty() {
+            let polish_start = Instant::now();
+            gmc_heuristic::polish_clique(graph, &mut heuristic.clique);
+            heuristic.total_time += polish_start.elapsed();
+        }
+        stats.lower_bound = heuristic.lower_bound();
+        stats.heuristic_time = heuristic.total_time;
+        stats.core_time = heuristic.core_time;
+        stats.heuristic_peak_bytes = device.memory().peak();
+        // From here on, track the clique-list footprint separately (the
+        // heuristic scratch is already released).
+        device.memory().reset_peak();
+
+        // Phase 2: setup (orientation + pruning + 2-clique list).
+        let setup_start = Instant::now();
+        let thresholds = self.pruning_thresholds(graph, &heuristic);
+        let setup = setup::build_two_clique_list(
+            device.exec(),
+            graph,
+            heuristic.lower_bound(),
+            &thresholds,
+            self.config.orientation,
+            self.config.candidate_order,
+            self.config.sublist_bound,
+        );
+        stats.setup = setup.stats;
+        stats.setup_time = setup_start.elapsed();
+
+        // Phase 3: expansion, through the configured edge oracle. The
+        // dispatch happens once here so the per-edge-check hot loops are
+        // monomorphised over the concrete oracle type.
+        let expansion_start = Instant::now();
+        let min_target = heuristic.lower_bound().max(2);
+        let oracle = self.build_oracle(graph)?;
+        let (mut cliques, clique_number, complete) = match &oracle {
+            BuiltOracle::Csr(g) => {
+                self.run_expansion(graph, *g, setup, &heuristic, min_target, &mut stats)?
+            }
+            BuiltOracle::Bits(bits, _) => {
+                self.run_expansion(graph, bits, setup, &heuristic, min_target, &mut stats)?
+            }
+            BuiltOracle::Hash(hash, _) => {
+                self.run_expansion(graph, hash, setup, &heuristic, min_target, &mut stats)?
+            }
+        };
+        drop(oracle);
+        stats.expansion_time = expansion_start.elapsed();
+
+        // Canonical ordering of the result.
+        for clique in &mut cliques {
+            clique.sort_unstable();
+        }
+        cliques.sort();
+        debug_assert!(cliques.iter().all(|c| graph.is_clique(c)));
+
+        stats.peak_device_bytes = device
+            .memory()
+            .peak()
+            .max(stats.window.as_ref().map_or(0, |w| w.peak_window_bytes));
+        stats.launches = device.exec().stats().since(launch_base);
+        stats.total_time = start.elapsed();
+        Ok(SolveResult {
+            clique_number,
+            cliques,
+            complete_enumeration: complete,
+            stats,
+        })
+    }
+
+    /// The expansion phase, generic over the edge oracle so the count/emit
+    /// kernels inline the concrete `connected` implementation.
+    fn run_expansion<O: EdgeOracle>(
+        &self,
+        graph: &Csr,
+        oracle: &O,
+        setup: setup::SetupOutput,
+        heuristic: &HeuristicResult,
+        min_target: u32,
+        stats: &mut SolveStats,
+    ) -> Result<(Vec<Vec<u32>>, u32, bool), SolveError> {
+        let device = &self.device;
+        Ok(match &self.config.window {
+            None => {
+                let level0 =
+                    CliqueLevel::from_vecs(device.memory(), setup.vertex_id, setup.sublist_id)?;
+                let outcome = bfs::expand(
+                    device,
+                    graph,
+                    oracle,
+                    level0,
+                    min_target,
+                    self.config.early_exit,
+                )?;
+                stats.level_entries = outcome.level_entries;
+                stats.early_exit = outcome.early_exit;
+                debug_assert!(
+                    outcome.clique_size as u32 >= heuristic.lower_bound(),
+                    "exact search lost the heuristic witness"
+                );
+                (outcome.cliques, outcome.clique_size as u32, true)
+            }
+            Some(window_config) => {
+                let outcome = window::windowed_search(
+                    device,
+                    graph,
+                    oracle,
+                    &setup,
+                    window_config,
+                    &heuristic.clique,
+                    min_target,
+                    self.config.early_exit,
+                )?;
+                stats.window = Some(outcome.stats);
+                (
+                    outcome.cliques,
+                    outcome.clique_size as u32,
+                    outcome.complete,
+                )
+            }
+        })
+    }
+
+    /// Builds the configured edge-membership oracle, charging any extra
+    /// footprint (bitset matrix, hash table) against the device budget for
+    /// the duration of the expansion.
+    fn build_oracle<'g>(&self, graph: &'g Csr) -> Result<BuiltOracle<'g>, DeviceOom> {
+        let kind = match self.config.edge_index {
+            EdgeIndexKind::Auto => {
+                let n = graph.num_vertices();
+                let bitset_bytes = n * n.div_ceil(64) * 8;
+                let budget = self.device.memory().capacity();
+                if n > 0 && bitset_bytes <= (16 << 20).min(budget / 4) {
+                    EdgeIndexKind::Bitset
+                } else {
+                    EdgeIndexKind::BinarySearch
+                }
+            }
+            other => other,
+        };
+        Ok(match kind {
+            EdgeIndexKind::BinarySearch | EdgeIndexKind::Auto => BuiltOracle::Csr(graph),
+            EdgeIndexKind::Bitset => {
+                let bits = BitMatrix::build(graph);
+                let guard = self.device.memory().try_charge(bits.footprint_bytes())?;
+                BuiltOracle::Bits(bits, guard)
+            }
+            EdgeIndexKind::Hash => {
+                let hash = HashAdjacency::build(graph);
+                let guard = self.device.memory().try_charge(hash.footprint_bytes())?;
+                BuiltOracle::Hash(hash, guard)
+            }
+        })
+    }
+
+    /// Per-vertex pruning upper-bound basis: core numbers when the heuristic
+    /// computed them, vertex degrees otherwise (§II-B2).
+    fn pruning_thresholds(&self, graph: &Csr, heuristic: &HeuristicResult) -> Vec<u32> {
+        heuristic
+            .core_numbers
+            .clone()
+            .unwrap_or_else(|| graph.degrees())
+    }
+}
+
+/// The solver's edge oracle: either a borrow of the resident CSR or an
+/// auxiliary structure charged against the device budget.
+enum BuiltOracle<'g> {
+    Csr(&'g Csr),
+    // The guards hold the structures' device-memory charges until the
+    // expansion finishes.
+    Bits(BitMatrix, #[allow(dead_code)] gmc_dpp::MemoryGuard),
+    Hash(HashAdjacency, #[allow(dead_code)] gmc_dpp::MemoryGuard),
+}
+
+impl EdgeOracle for BuiltOracle<'_> {
+    #[inline]
+    fn connected(&self, u: u32, v: u32) -> bool {
+        match self {
+            BuiltOracle::Csr(g) => g.connected(u, v),
+            BuiltOracle::Bits(b, _) => b.connected(u, v),
+            BuiltOracle::Hash(h, _) => h.connected(u, v),
+        }
+    }
+
+    fn footprint_bytes(&self) -> usize {
+        match self {
+            BuiltOracle::Csr(g) => g.footprint_bytes(),
+            BuiltOracle::Bits(b, _) => b.footprint_bytes(),
+            BuiltOracle::Hash(h, _) => h.footprint_bytes(),
+        }
+    }
+}
+
+/// Runs only the heuristic + setup phases and reports the pruning counters,
+/// without expanding the search. Used by the experiment harness to measure
+/// pruning quality (paper Fig. 5b) even on datasets whose full search would
+/// exceed memory.
+pub fn preview_setup(
+    device: &Device,
+    graph: &Csr,
+    config: &SolverConfig,
+) -> Result<(u32, SetupStats), SolveError> {
+    let heuristic = run_heuristic(device, graph, config.heuristic, config.heuristic_seeds)?;
+    let thresholds = heuristic
+        .core_numbers
+        .clone()
+        .unwrap_or_else(|| graph.degrees());
+    let setup = setup::build_two_clique_list(
+        device.exec(),
+        graph,
+        heuristic.lower_bound(),
+        &thresholds,
+        config.orientation,
+        config.candidate_order,
+        config.sublist_bound,
+    );
+    Ok((heuristic.lower_bound(), setup.stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmc_graph::generators;
+
+    fn solver() -> MaxCliqueSolver {
+        MaxCliqueSolver::new(Device::unlimited())
+    }
+
+    #[test]
+    fn quickstart_example() {
+        let graph = Csr::from_edges(
+            6,
+            &[
+                (0, 1),
+                (1, 2),
+                (0, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (3, 5),
+                (2, 4),
+                (2, 5),
+            ],
+        );
+        let result = solver().solve(&graph).unwrap();
+        assert_eq!(result.clique_number, 4);
+        assert_eq!(result.cliques, vec![vec![2, 3, 4, 5]]);
+        assert!(result.complete_enumeration);
+        assert_eq!(result.multiplicity(), 1);
+    }
+
+    #[test]
+    fn empty_and_edgeless_graphs() {
+        let empty = Csr::empty(0);
+        let r = solver().solve(&empty).unwrap();
+        assert_eq!(r.clique_number, 0);
+        assert!(r.cliques.is_empty());
+
+        let isolated = Csr::empty(3);
+        let r = solver().solve(&isolated).unwrap();
+        assert_eq!(r.clique_number, 1);
+        assert_eq!(r.cliques, vec![vec![0], vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn single_edge() {
+        let g = Csr::from_edges(2, &[(0, 1)]);
+        let r = solver().solve(&g).unwrap();
+        assert_eq!(r.clique_number, 2);
+        assert_eq!(r.cliques, vec![vec![0, 1]]);
+    }
+
+    #[test]
+    fn all_heuristics_agree_on_result() {
+        let g = generators::gnp(80, 0.15, 21);
+        let baseline = solver().heuristic(HeuristicKind::None).solve(&g).unwrap();
+        for kind in HeuristicKind::all() {
+            let r = solver().heuristic(kind).solve(&g).unwrap();
+            assert_eq!(r.clique_number, baseline.clique_number, "{kind}");
+            assert_eq!(r.cliques, baseline.cliques, "{kind}");
+            assert!(r.stats.lower_bound <= r.clique_number, "{kind}: ω̄ > ω");
+        }
+    }
+
+    #[test]
+    fn candidate_orders_agree() {
+        let g = generators::gnp(70, 0.2, 23);
+        let a = solver()
+            .candidate_order(CandidateOrder::Index)
+            .solve(&g)
+            .unwrap();
+        let b = solver()
+            .candidate_order(CandidateOrder::DegreeAscending)
+            .solve(&g)
+            .unwrap();
+        assert_eq!(a.cliques, b.cliques);
+    }
+
+    #[test]
+    fn windowed_enumerate_matches_full() {
+        let g = generators::gnp(60, 0.2, 25);
+        let full = solver().solve(&g).unwrap();
+        let windowed = solver()
+            .windowed(WindowConfig {
+                size: 8,
+                ordering: WindowOrdering::DegreeAscending,
+                enumerate_all: true,
+                ..WindowConfig::default()
+            })
+            .solve(&g)
+            .unwrap();
+        assert_eq!(windowed.clique_number, full.clique_number);
+        assert_eq!(windowed.cliques, full.cliques);
+        assert!(windowed.complete_enumeration);
+        assert!(windowed.stats.window.unwrap().num_windows > 1);
+    }
+
+    #[test]
+    fn windowed_find_one_returns_witness() {
+        let g = generators::gnp(60, 0.2, 27);
+        let full = solver().solve(&g).unwrap();
+        let windowed = solver()
+            .windowed(WindowConfig::with_size(16))
+            .solve(&g)
+            .unwrap();
+        assert_eq!(windowed.clique_number, full.clique_number);
+        assert!(!windowed.complete_enumeration);
+        assert_eq!(windowed.cliques.len(), 1);
+        assert!(full.cliques.contains(&windowed.cliques[0]));
+    }
+
+    #[test]
+    fn oom_is_reported_not_wrong() {
+        let g = generators::gnp(100, 0.4, 29);
+        let device = Device::with_memory_budget(2048);
+        let result = MaxCliqueSolver::new(device)
+            .heuristic(HeuristicKind::None)
+            .solve(&g);
+        assert!(matches!(result, Err(SolveError::DeviceOom(_))));
+    }
+
+    #[test]
+    fn windowing_rescues_oom() {
+        // A budget that OOMs the full BFS but fits one window at a time.
+        let g = generators::gnp(120, 0.25, 31);
+        let device = Device::with_memory_budget(24 * 1024);
+        let full = MaxCliqueSolver::new(device.clone())
+            .heuristic(HeuristicKind::None)
+            .solve(&g);
+        if full.is_ok() {
+            // Budget calibration can drift with generator tweaks; the
+            // windowed run must then agree instead.
+            return;
+        }
+        let windowed = MaxCliqueSolver::new(device)
+            .heuristic(HeuristicKind::None)
+            .windowed(WindowConfig::with_size(64))
+            .solve(&g)
+            .expect("windowing should fit the budget");
+        let reference = solver().solve(&g).unwrap();
+        assert_eq!(windowed.clique_number, reference.clique_number);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let g = generators::gnp(80, 0.15, 33);
+        let r = solver().solve(&g).unwrap();
+        let s = &r.stats;
+        assert!(s.lower_bound >= 2);
+        assert!(s.peak_device_bytes > 0);
+        assert!(!s.level_entries.is_empty());
+        assert!(s.launches.launches > 0);
+        assert!(s.total_time >= s.expansion_time);
+        assert_eq!(s.setup.total_oriented_edges, g.num_edges());
+        assert!(s.pruning_fraction() >= 0.0 && s.pruning_fraction() <= 1.0);
+    }
+
+    #[test]
+    fn all_edge_indexes_agree() {
+        let g = generators::gnp(120, 0.15, 77);
+        let reference = solver().solve(&g).unwrap();
+        for kind in [
+            EdgeIndexKind::BinarySearch,
+            EdgeIndexKind::Bitset,
+            EdgeIndexKind::Hash,
+            EdgeIndexKind::Auto,
+        ] {
+            let r = solver().edge_index(kind).solve(&g).unwrap();
+            assert_eq!(r.clique_number, reference.clique_number, "{kind:?}");
+            assert_eq!(r.cliques, reference.cliques, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn bitset_oracle_charges_device_memory() {
+        // n = 2048 → bitset is 2048 × 32 × 8 = 512 KiB; a budget below that
+        // must OOM when the bitset is requested but succeed with the CSR.
+        let g = generators::gnp(2048, 0.004, 79);
+        let budget = 256 * 1024;
+        let ok = MaxCliqueSolver::new(Device::with_memory_budget(budget))
+            .edge_index(EdgeIndexKind::BinarySearch)
+            .solve(&g);
+        assert!(ok.is_ok());
+        let oom = MaxCliqueSolver::new(Device::with_memory_budget(budget))
+            .edge_index(EdgeIndexKind::Bitset)
+            .solve(&g);
+        assert!(matches!(oom, Err(SolveError::DeviceOom(_))));
+    }
+
+    #[test]
+    fn auto_picks_bitset_only_when_it_fits() {
+        // Tiny graph + roomy budget → Auto should behave like Bitset and
+        // still agree with the reference.
+        let g = generators::gnp(100, 0.2, 81);
+        let r = solver().edge_index(EdgeIndexKind::Auto).solve(&g).unwrap();
+        let reference = solver().solve(&g).unwrap();
+        assert_eq!(r.cliques, reference.cliques);
+    }
+
+    #[test]
+    fn polished_witness_preserves_enumeration_and_tightens_bound() {
+        for seed in 0..4 {
+            let base = generators::gnp(150, 0.06, 70 + seed);
+            let (g, _) = gmc_graph::generators::plant_clique(&base, 9, 170 + seed);
+            let plain = solver()
+                .heuristic(HeuristicKind::SingleDegree)
+                .solve(&g)
+                .unwrap();
+            let polished = solver()
+                .heuristic(HeuristicKind::SingleDegree)
+                .polish_witness(true)
+                .solve(&g)
+                .unwrap();
+            assert_eq!(polished.clique_number, plain.clique_number, "seed {seed}");
+            assert_eq!(polished.cliques, plain.cliques, "seed {seed}");
+            assert!(
+                polished.stats.lower_bound >= plain.stats.lower_bound,
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn coloring_sublist_bound_preserves_enumeration() {
+        for seed in 0..4 {
+            let g = generators::gnp(80, 0.15, 90 + seed);
+            let length = solver().solve(&g).unwrap();
+            let coloring = solver()
+                .sublist_bound(SublistBound::Coloring)
+                .solve(&g)
+                .unwrap();
+            assert_eq!(coloring.clique_number, length.clique_number, "seed {seed}");
+            assert_eq!(coloring.cliques, length.cliques, "seed {seed}");
+            // The tighter bound never keeps more entries.
+            assert!(
+                coloring.stats.setup.initial_entries <= length.stats.setup.initial_entries,
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_across_devices() {
+        let g = generators::gnp(90, 0.12, 35);
+        let a = MaxCliqueSolver::new(Device::new(1, usize::MAX))
+            .solve(&g)
+            .unwrap();
+        let b = MaxCliqueSolver::new(Device::new(7, usize::MAX))
+            .solve(&g)
+            .unwrap();
+        assert_eq!(a.clique_number, b.clique_number);
+        assert_eq!(a.cliques, b.cliques);
+    }
+
+    #[test]
+    fn permutation_invariance() {
+        let g = generators::gnp(70, 0.18, 37);
+        let base = solver().solve(&g).unwrap();
+        let (shuffled, perm) = g.randomize_vertex_ids(99);
+        let shuffled_result = solver().solve(&shuffled).unwrap();
+        assert_eq!(shuffled_result.clique_number, base.clique_number);
+        // Map the shuffled cliques back through the permutation.
+        let mut mapped: Vec<Vec<u32>> = shuffled_result
+            .cliques
+            .iter()
+            .map(|c| {
+                let mut orig: Vec<u32> = c
+                    .iter()
+                    .map(|&v| perm.iter().position(|&p| p == v).unwrap() as u32)
+                    .collect();
+                orig.sort_unstable();
+                orig
+            })
+            .collect();
+        mapped.sort();
+        assert_eq!(mapped, base.cliques);
+    }
+}

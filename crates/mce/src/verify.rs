@@ -1,0 +1,256 @@
+//! Independent result verification.
+//!
+//! A [`SolveResult`] makes strong claims — every listed set is a clique,
+//! all have the claimed size, none repeats, none is extendable. This module
+//! checks those claims directly against the graph, without trusting any
+//! solver state. (Completeness of an enumeration cannot be certified
+//! cheaply; the test suite establishes it against the exact oracle
+//! instead.)
+
+use crate::SolveResult;
+use gmc_graph::Csr;
+
+/// A violated claim found by [`verify_result`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// A listed set is not a clique.
+    NotAClique {
+        /// Index into `result.cliques`.
+        index: usize,
+        /// The non-adjacent pair.
+        pair: (u32, u32),
+    },
+    /// A listed set's size differs from `clique_number`.
+    WrongSize {
+        /// Index into `result.cliques`.
+        index: usize,
+        /// The set's actual length.
+        actual: usize,
+        /// The claimed clique number.
+        claimed: u32,
+    },
+    /// A vertex id is out of range or repeated within a clique.
+    MalformedClique {
+        /// Index into `result.cliques`.
+        index: usize,
+    },
+    /// The same clique appears twice.
+    Duplicate {
+        /// Indices of the two equal entries.
+        indices: (usize, usize),
+    },
+    /// A listed clique can be extended by another vertex, so it is not even
+    /// maximal — a maximum-clique claim cannot hold.
+    Extendable {
+        /// Index into `result.cliques`.
+        index: usize,
+        /// A vertex adjacent to every member.
+        by: u32,
+    },
+    /// `clique_number > 0` but the result lists no cliques.
+    MissingWitness,
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifyError::NotAClique { index, pair } => {
+                write!(
+                    f,
+                    "clique #{index}: vertices {} and {} are not adjacent",
+                    pair.0, pair.1
+                )
+            }
+            VerifyError::WrongSize {
+                index,
+                actual,
+                claimed,
+            } => {
+                write!(
+                    f,
+                    "clique #{index}: has {actual} vertices, claimed ω = {claimed}"
+                )
+            }
+            VerifyError::MalformedClique { index } => {
+                write!(f, "clique #{index}: out-of-range or repeated vertex")
+            }
+            VerifyError::Duplicate { indices } => {
+                write!(f, "cliques #{} and #{} are identical", indices.0, indices.1)
+            }
+            VerifyError::Extendable { index, by } => {
+                write!(
+                    f,
+                    "clique #{index}: extendable by vertex {by} — not maximal"
+                )
+            }
+            VerifyError::MissingWitness => write!(f, "positive clique number but no witness"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Checks every per-clique claim of `result` against `graph`. `Ok(())`
+/// means each listed set is a distinct, non-extendable clique of exactly
+/// `clique_number` vertices.
+pub fn verify_result(graph: &Csr, result: &SolveResult) -> Result<(), VerifyError> {
+    let n = graph.num_vertices() as u32;
+    if result.clique_number > 0 && result.cliques.is_empty() {
+        return Err(VerifyError::MissingWitness);
+    }
+    for (index, clique) in result.cliques.iter().enumerate() {
+        // Well-formed: in range, strictly ascending (also implies distinct).
+        if clique.iter().any(|&v| v >= n) || clique.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(VerifyError::MalformedClique { index });
+        }
+        if clique.len() != result.clique_number as usize {
+            return Err(VerifyError::WrongSize {
+                index,
+                actual: clique.len(),
+                claimed: result.clique_number,
+            });
+        }
+        // Pairwise adjacency.
+        for (i, &u) in clique.iter().enumerate() {
+            for &v in &clique[i + 1..] {
+                if !graph.has_edge(u, v) {
+                    return Err(VerifyError::NotAClique {
+                        index,
+                        pair: (u, v),
+                    });
+                }
+            }
+        }
+        // Maximality: no vertex extends the clique. Scan the neighborhood
+        // of the clique's minimum-degree member only — an extending vertex
+        // must be adjacent to it.
+        let probe = *clique
+            .iter()
+            .min_by_key(|&&v| graph.degree(v))
+            .expect("cliques are non-empty");
+        for &candidate in graph.neighbors(probe) {
+            if clique.contains(&candidate) {
+                continue;
+            }
+            if clique
+                .iter()
+                .all(|&member| graph.has_edge(candidate, member))
+            {
+                return Err(VerifyError::Extendable {
+                    index,
+                    by: candidate,
+                });
+            }
+        }
+    }
+    // Distinctness: the list is canonically sorted, so duplicates would be
+    // adjacent; still check all pairs defensively for unsorted inputs.
+    for i in 1..result.cliques.len() {
+        if result.cliques[i - 1] == result.cliques[i] {
+            return Err(VerifyError::Duplicate {
+                indices: (i - 1, i),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MaxCliqueSolver, SolveStats};
+    use gmc_dpp::Device;
+    use gmc_graph::generators;
+
+    fn fake_result(clique_number: u32, cliques: Vec<Vec<u32>>) -> SolveResult {
+        SolveResult {
+            clique_number,
+            cliques,
+            complete_enumeration: true,
+            stats: SolveStats::default(),
+        }
+    }
+
+    #[test]
+    fn real_results_verify() {
+        for seed in 0..5 {
+            let g = generators::gnp(70, 0.2, seed);
+            let result = MaxCliqueSolver::new(Device::unlimited()).solve(&g).unwrap();
+            verify_result(&g, &result).unwrap();
+        }
+    }
+
+    #[test]
+    fn detects_non_clique() {
+        let g = generators::complete(4);
+        // {0,1,2,3} is fine but a fabricated 5th vertex pair is not.
+        let g2 = gmc_graph::Csr::from_edges(5, &[(0, 1), (1, 2), (0, 2)]);
+        let bad = fake_result(3, vec![vec![0, 1, 3]]);
+        assert!(matches!(
+            verify_result(&g2, &bad),
+            Err(VerifyError::NotAClique { .. })
+        ));
+        let good = fake_result(4, vec![vec![0, 1, 2, 3]]);
+        verify_result(&g, &good).unwrap();
+    }
+
+    #[test]
+    fn detects_wrong_size_and_missing_witness() {
+        let g = generators::complete(4);
+        let wrong = fake_result(4, vec![vec![0, 1]]);
+        assert!(matches!(
+            verify_result(&g, &wrong),
+            Err(VerifyError::WrongSize { .. })
+        ));
+        let missing = fake_result(4, vec![]);
+        assert_eq!(
+            verify_result(&g, &missing),
+            Err(VerifyError::MissingWitness)
+        );
+    }
+
+    #[test]
+    fn detects_malformed_and_duplicates() {
+        let g = generators::complete(4);
+        let out_of_range = fake_result(2, vec![vec![0, 9]]);
+        assert!(matches!(
+            verify_result(&g, &out_of_range),
+            Err(VerifyError::MalformedClique { .. })
+        ));
+        let unsorted = fake_result(2, vec![vec![1, 0]]);
+        assert!(matches!(
+            verify_result(&g, &unsorted),
+            Err(VerifyError::MalformedClique { .. })
+        ));
+        // A maximal 2-clique repeated (on a single-edge graph, so the
+        // maximality check passes and the duplicate check is reached).
+        let edge = gmc_graph::Csr::from_edges(2, &[(0, 1)]);
+        let duplicated = fake_result(2, vec![vec![0, 1], vec![0, 1]]);
+        assert!(matches!(
+            verify_result(&edge, &duplicated),
+            Err(VerifyError::Duplicate { .. })
+        ));
+    }
+
+    #[test]
+    fn detects_extendable_cliques() {
+        let g = generators::complete(4);
+        // {0,1,2} is a clique but vertex 3 extends it.
+        let extendable = fake_result(3, vec![vec![0, 1, 2]]);
+        assert!(matches!(
+            verify_result(&g, &extendable),
+            Err(VerifyError::Extendable { by: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn errors_render_usefully() {
+        let err = VerifyError::Extendable { index: 2, by: 7 };
+        assert!(err.to_string().contains("extendable by vertex 7"));
+        let err = VerifyError::NotAClique {
+            index: 0,
+            pair: (1, 4),
+        };
+        assert!(err.to_string().contains("1 and 4"));
+    }
+}

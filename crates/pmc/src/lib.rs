@@ -1,0 +1,33 @@
+//! # gmc-pmc: depth-first branch-and-bound baselines
+//!
+//! The paper's main comparison point is Rossi et al.'s Parallel Maximum
+//! Clique (PMC), a multithreaded CPU depth-first branch-and-bound solver.
+//! No third-party code is used here; this crate implements the same design
+//! from scratch:
+//!
+//! * [`ParallelBranchBound`] — PMC reproduction: k-core preprocessing, a
+//!   greedy initial bound, degeneracy-ordered root vertices distributed
+//!   across threads (fine-grained thread-parallel subtree search), greedy
+//!   colouring upper bounds, and a shared atomic incumbent. Like PMC it
+//!   returns *one* maximum clique.
+//! * [`ReferenceEnumerator`] — a sequential exact enumerator of *all*
+//!   maximum cliques with tie-preserving pruning. It is the oracle every
+//!   other solver in this workspace is validated against.
+//! * [`MaximalCliques`] — Bron–Kerbosch with pivoting and degeneracy
+//!   ordering for the related *maximal* clique enumeration problem the
+//!   paper's related work centres on; also a third independent oracle
+//!   (maximum cliques = largest maximal cliques).
+//! * [`simt`] — lockstep-warp simulations of the fine- and coarse-grained
+//!   depth-first GPU strategies the paper rejects (§II-C), with the lane
+//!   utilisation accounting that quantifies *why* it rejects them.
+
+#![warn(missing_docs)]
+
+mod maximal;
+mod oracle;
+mod pbb;
+pub mod simt;
+
+pub use maximal::{moon_moser_bound, MaximalCliques};
+pub use oracle::ReferenceEnumerator;
+pub use pbb::{ParallelBranchBound, PmcResult, PmcStats};

@@ -1,0 +1,178 @@
+//! Sequential exact maximum clique enumeration — the correctness oracle.
+
+use gmc_graph::Csr;
+
+/// Exhaustive enumerator of all maximum cliques.
+///
+/// The search visits each clique exactly once as an ascending vertex
+/// sequence; pruning uses the simple `|C| + |P| < best` bound with ties kept
+/// so the complete set of maximum cliques survives. Intended for modest
+/// graphs (the test corpus), where it is fast enough to cross-check every
+/// other solver.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ReferenceEnumerator;
+
+impl ReferenceEnumerator {
+    /// Enumerates all maximum cliques of `graph`. Returns the clique number
+    /// and the cliques in canonical order (each sorted ascending, the list
+    /// sorted lexicographically).
+    pub fn enumerate(graph: &Csr) -> (u32, Vec<Vec<u32>>) {
+        let n = graph.num_vertices();
+        if n == 0 {
+            return (0, Vec::new());
+        }
+        if graph.num_edges() == 0 {
+            return (1, (0..n as u32).map(|v| vec![v]).collect());
+        }
+        let mut best = 0usize;
+        let mut found: Vec<Vec<u32>> = Vec::new();
+        let mut current: Vec<u32> = Vec::new();
+        let candidates: Vec<u32> = (0..n as u32).collect();
+        Self::branch(graph, &mut current, &candidates, &mut best, &mut found);
+        for clique in &mut found {
+            clique.sort_unstable();
+        }
+        found.sort();
+        (best as u32, found)
+    }
+
+    /// The clique number alone.
+    pub fn clique_number(graph: &Csr) -> u32 {
+        Self::enumerate(graph).0
+    }
+
+    fn branch(
+        graph: &Csr,
+        current: &mut Vec<u32>,
+        candidates: &[u32],
+        best: &mut usize,
+        found: &mut Vec<Vec<u32>>,
+    ) {
+        if candidates.is_empty() {
+            // Record ties; reset on strict improvement.
+            match current.len().cmp(best) {
+                std::cmp::Ordering::Greater => {
+                    *best = current.len();
+                    found.clear();
+                    found.push(current.clone());
+                }
+                std::cmp::Ordering::Equal if !current.is_empty() => {
+                    found.push(current.clone());
+                }
+                _ => {}
+            }
+            return;
+        }
+        for (i, &v) in candidates.iter().enumerate() {
+            // Tie-preserving bound: even taking every remaining candidate
+            // cannot reach the incumbent size.
+            if current.len() + (candidates.len() - i) < *best {
+                break;
+            }
+            current.push(v);
+            let next: Vec<u32> = candidates[i + 1..]
+                .iter()
+                .copied()
+                .filter(|&u| graph.has_edge(u, v))
+                .collect();
+            Self::branch(graph, current, &next, best, found);
+            current.pop();
+        }
+        // A node whose forward candidates all fail to extend is handled by
+        // the recursive calls; the clique `current` itself is only maximal
+        // when `candidates` is empty, which the top of the function records.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmc_graph::generators;
+
+    #[test]
+    fn triangle_plus_tail() {
+        let g = Csr::from_edges(4, &[(0, 1), (1, 2), (0, 2), (2, 3)]);
+        let (omega, cliques) = ReferenceEnumerator::enumerate(&g);
+        assert_eq!(omega, 3);
+        assert_eq!(cliques, vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn enumerates_ties() {
+        let g = Csr::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]);
+        let (omega, cliques) = ReferenceEnumerator::enumerate(&g);
+        assert_eq!(omega, 3);
+        assert_eq!(cliques, vec![vec![0, 1, 2], vec![3, 4, 5]]);
+    }
+
+    #[test]
+    fn complete_graph() {
+        let g = generators::complete(8);
+        let (omega, cliques) = ReferenceEnumerator::enumerate(&g);
+        assert_eq!(omega, 8);
+        assert_eq!(cliques.len(), 1);
+    }
+
+    #[test]
+    fn cycle_of_five_has_five_maximum_edges() {
+        let g = Csr::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let (omega, cliques) = ReferenceEnumerator::enumerate(&g);
+        assert_eq!(omega, 2);
+        assert_eq!(cliques.len(), 5);
+    }
+
+    #[test]
+    fn edge_cases() {
+        assert_eq!(ReferenceEnumerator::enumerate(&Csr::empty(0)), (0, vec![]));
+        let (omega, cliques) = ReferenceEnumerator::enumerate(&Csr::empty(3));
+        assert_eq!(omega, 1);
+        assert_eq!(cliques.len(), 3);
+    }
+
+    #[test]
+    fn brute_force_agreement_on_small_random_graphs() {
+        // Compare against an independent bitmask brute force on ≤ 16
+        // vertices.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..30 {
+            let n = rng.gen_range(2..14);
+            let mut edges = Vec::new();
+            for u in 0..n as u32 {
+                for v in (u + 1)..n as u32 {
+                    if rng.gen_bool(0.4) {
+                        edges.push((u, v));
+                    }
+                }
+            }
+            let g = Csr::from_edges(n, &edges);
+            let (omega, cliques) = ReferenceEnumerator::enumerate(&g);
+            let (bf_omega, bf_cliques) = brute_force(&g);
+            assert_eq!(omega, bf_omega);
+            assert_eq!(cliques, bf_cliques);
+        }
+    }
+
+    fn brute_force(g: &Csr) -> (u32, Vec<Vec<u32>>) {
+        let n = g.num_vertices();
+        let mut best = 0u32;
+        let mut found: Vec<Vec<u32>> = Vec::new();
+        for mask in 1u32..(1 << n) {
+            let members: Vec<u32> = (0..n as u32).filter(|v| mask & (1 << v) != 0).collect();
+            if !g.is_clique(&members) {
+                continue;
+            }
+            let size = members.len() as u32;
+            match size.cmp(&best) {
+                std::cmp::Ordering::Greater => {
+                    best = size;
+                    found = vec![members];
+                }
+                std::cmp::Ordering::Equal => found.push(members),
+                std::cmp::Ordering::Less => {}
+            }
+        }
+        found.sort();
+        (best, found)
+    }
+}

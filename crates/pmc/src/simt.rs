@@ -1,0 +1,333 @@
+//! SIMT execution models for the two depth-first GPU strategies the paper
+//! argues against (§II-C), with divergence and utilisation accounting.
+//!
+//! The paper's case for breadth-first search is architectural: on a GPU,
+//! depth-first traversals either
+//!
+//! * assign one *thread* per subtree (fine-grained) — threads in a warp run
+//!   in lockstep, so unequal subtree depths leave lanes idle ("high
+//!   divergence and an unbalanced workload"); or
+//! * assign one *warp* per branch point (coarse-grained) — the 32 lanes
+//!   cooperate on candidate filtering, so whenever the candidate list is
+//!   shorter than warp-width most lanes idle ("does not provide enough work
+//!   for all threads when the candidate list is shorter than warp-sized").
+//!
+//! These simulators run the actual searches while charging work to 32-lane
+//! warps under lockstep rules, producing the lane-utilisation numbers the
+//! paper's argument predicts. They find the correct clique number (they are
+//! real searches), so the tests can cross-check them against the oracle
+//! while the `warp_divergence` bench compares their utilisation against the
+//! breadth-first solver's.
+
+use gmc_graph::{kcore, Csr};
+
+/// Lanes per warp in the CUDA execution model.
+pub const WARP_WIDTH: usize = 32;
+
+/// Lane-utilisation accounting for a simulated SIMT execution.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimtReport {
+    /// Lockstep steps executed (each costs `WARP_WIDTH` lane-cycles).
+    pub steps: u64,
+    /// Lane-cycles that performed useful work.
+    pub active_lane_cycles: u64,
+    /// Fraction of lane-cycles doing useful work (0..=1).
+    pub utilization: f64,
+}
+
+impl SimtReport {
+    fn finalise(steps: u64, active: u64) -> Self {
+        let total = steps.saturating_mul(WARP_WIDTH as u64);
+        Self {
+            steps,
+            active_lane_cycles: active,
+            utilization: if total == 0 {
+                0.0
+            } else {
+                active as f64 / total as f64
+            },
+        }
+    }
+}
+
+/// Result of a simulated SIMT depth-first search.
+#[derive(Debug, Clone)]
+pub struct SimtDfsResult {
+    /// The clique number found (the searches are exact).
+    pub clique_number: u32,
+    /// One witness maximum clique, sorted ascending.
+    pub clique: Vec<u32>,
+    /// Lane-utilisation accounting.
+    pub report: SimtReport,
+}
+
+/// Coarse-grained *warp-parallel* DFS (§II-C): one warp walks the search
+/// tree; at every branch point the 32 lanes cooperatively filter the
+/// candidate list in warp-sized chunks. Each chunk is one lockstep step;
+/// a chunk with fewer than 32 candidates leaves the remaining lanes idle.
+pub fn warp_parallel_dfs(graph: &Csr) -> SimtDfsResult {
+    let n = graph.num_vertices();
+    let mut steps = 0u64;
+    let mut active = 0u64;
+    let mut best: Vec<u32> = Vec::new();
+    if n > 0 && graph.num_edges() > 0 {
+        let core = kcore::core_numbers(graph);
+        let (order, _) = kcore::degeneracy_order(graph);
+        let mut rank = vec![0u32; n];
+        for (i, &v) in order.iter().enumerate() {
+            rank[v as usize] = i as u32;
+        }
+        let mut current: Vec<u32> = Vec::new();
+        for &v in order.iter().rev() {
+            if (core[v as usize] as usize) < best.len() {
+                continue;
+            }
+            let candidates: Vec<u32> = graph
+                .neighbors(v)
+                .iter()
+                .copied()
+                .filter(|&u| rank[u as usize] > rank[v as usize])
+                .collect();
+            current.push(v);
+            warp_branch(
+                graph,
+                &mut current,
+                candidates,
+                &mut best,
+                &mut steps,
+                &mut active,
+            );
+            current.pop();
+        }
+    } else if n > 0 {
+        best = vec![0];
+    }
+    best.sort_unstable();
+    SimtDfsResult {
+        clique_number: best.len() as u32,
+        clique: best,
+        report: SimtReport::finalise(steps, active),
+    }
+}
+
+fn warp_branch(
+    graph: &Csr,
+    current: &mut Vec<u32>,
+    candidates: Vec<u32>,
+    best: &mut Vec<u32>,
+    steps: &mut u64,
+    active: &mut u64,
+) {
+    if current.len() + candidates.len() <= best.len() {
+        return; // bound: even taking everything cannot beat the incumbent
+    }
+    if candidates.is_empty() {
+        if current.len() > best.len() {
+            *best = current.clone();
+        }
+        return;
+    }
+    for (i, &v) in candidates.iter().enumerate() {
+        if current.len() + (candidates.len() - i) <= best.len() {
+            break;
+        }
+        // The warp filters the remaining candidates against `v` in 32-lane
+        // chunks: each chunk is one lockstep step; partial chunks idle the
+        // excess lanes. (This is the "warp-cooperative candidate filtering"
+        // of VanCompernolle et al. and Jenkins et al.)
+        let tail = &candidates[i + 1..];
+        let chunks = tail.len().div_ceil(WARP_WIDTH).max(1) as u64;
+        *steps += chunks;
+        *active += tail.len() as u64;
+        let next: Vec<u32> = tail
+            .iter()
+            .copied()
+            .filter(|&u| graph.has_edge(u, v))
+            .collect();
+        current.push(v);
+        warp_branch(graph, current, next, best, steps, active);
+        current.pop();
+    }
+}
+
+/// Fine-grained *thread-parallel* DFS (§II-C): each of the 32 lanes of a
+/// warp independently searches the subtree rooted at one vertex. Lanes run
+/// in lockstep, so every lane waits for the deepest subtree in its warp;
+/// utilisation is the ratio of per-lane work to the per-warp maximum —
+/// exactly the workload-imbalance effect Jenkins et al. report.
+pub fn thread_parallel_dfs(graph: &Csr) -> SimtDfsResult {
+    let n = graph.num_vertices();
+    let mut best: Vec<u32> = Vec::new();
+    let mut steps = 0u64;
+    let mut active = 0u64;
+    if n > 0 && graph.num_edges() > 0 {
+        let core = kcore::core_numbers(graph);
+        let (order, _) = kcore::degeneracy_order(graph);
+        let mut rank = vec![0u32; n];
+        for (i, &v) in order.iter().enumerate() {
+            rank[v as usize] = i as u32;
+        }
+        // Each root subtree is one lane's job; warps are consecutive groups
+        // of 32 roots.
+        let roots: Vec<u32> = order.iter().rev().copied().collect();
+        for warp in roots.chunks(WARP_WIDTH) {
+            let mut lane_work = [0u64; WARP_WIDTH];
+            for (lane, &v) in warp.iter().enumerate() {
+                if (core[v as usize] as usize) < best.len() {
+                    continue; // pruned root: the lane stays idle
+                }
+                let candidates: Vec<u32> = graph
+                    .neighbors(v)
+                    .iter()
+                    .copied()
+                    .filter(|&u| rank[u as usize] > rank[v as usize])
+                    .collect();
+                let mut current = vec![v];
+                let mut work = 0u64;
+                lane_branch(graph, &mut current, candidates, &mut best, &mut work);
+                lane_work[lane] = work;
+            }
+            // Lockstep: the warp runs as long as its slowest lane.
+            let max_work = lane_work.iter().copied().max().unwrap_or(0);
+            steps += max_work;
+            active += lane_work.iter().sum::<u64>();
+        }
+    } else if n > 0 {
+        best = vec![0];
+    }
+    best.sort_unstable();
+    SimtDfsResult {
+        clique_number: best.len() as u32,
+        clique: best,
+        report: SimtReport::finalise(steps, active),
+    }
+}
+
+fn lane_branch(
+    graph: &Csr,
+    current: &mut Vec<u32>,
+    candidates: Vec<u32>,
+    best: &mut Vec<u32>,
+    work: &mut u64,
+) {
+    *work += 1; // one node expansion
+    if current.len() + candidates.len() <= best.len() {
+        return;
+    }
+    if candidates.is_empty() {
+        if current.len() > best.len() {
+            *best = current.clone();
+        }
+        return;
+    }
+    for (i, &v) in candidates.iter().enumerate() {
+        if current.len() + (candidates.len() - i) <= best.len() {
+            break;
+        }
+        *work += candidates.len() as u64 - i as u64 - 1; // filtering cost
+        let next: Vec<u32> = candidates[i + 1..]
+            .iter()
+            .copied()
+            .filter(|&u| graph.has_edge(u, v))
+            .collect();
+        current.push(v);
+        lane_branch(graph, current, next, best, work);
+        current.pop();
+    }
+}
+
+/// Lane utilisation of the breadth-first approach under the same lockstep
+/// rules: every level launches one lane per candidate entry, so the only
+/// idle lanes are the remainder of the final warp of each launch — the
+/// "match the parallelism to the problem size at each stage" property the
+/// paper credits the data-parallel formulation with (§III-2).
+pub fn breadth_first_utilization(level_entries: &[usize]) -> SimtReport {
+    let mut steps = 0u64;
+    let mut active = 0u64;
+    for &entries in level_entries {
+        steps += entries.div_ceil(WARP_WIDTH) as u64;
+        active += entries as u64;
+    }
+    SimtReport::finalise(steps, active)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ReferenceEnumerator;
+    use gmc_graph::generators;
+
+    #[test]
+    fn both_simulators_find_the_clique_number() {
+        for seed in 0..6 {
+            let g = generators::gnp(60, 0.2, seed);
+            let omega = ReferenceEnumerator::clique_number(&g);
+            let warp = warp_parallel_dfs(&g);
+            let thread = thread_parallel_dfs(&g);
+            assert_eq!(warp.clique_number, omega, "warp seed {seed}");
+            assert_eq!(thread.clique_number, omega, "thread seed {seed}");
+            assert!(g.is_clique(&warp.clique));
+            assert!(g.is_clique(&thread.clique));
+        }
+    }
+
+    #[test]
+    fn warp_dfs_underutilises_on_short_candidate_lists() {
+        // Sparse graph: candidate lists far below warp width ⇒ most lanes
+        // idle (the paper's §II-C point about coarse-grained traversal).
+        let g = generators::road_mesh(20, 20, 0.95, 0.05, 3);
+        let result = warp_parallel_dfs(&g);
+        assert!(
+            result.report.utilization < 0.25,
+            "expected heavy underutilisation, got {:.2}",
+            result.report.utilization
+        );
+    }
+
+    #[test]
+    fn thread_dfs_suffers_load_imbalance_on_skewed_graphs() {
+        // A planted clique makes one lane's subtree far deeper than its
+        // warp-mates' ⇒ utilisation collapses to roughly 1/WARP_WIDTH.
+        let base = generators::gnp(320, 0.02, 5);
+        let (g, _) = generators::plant_clique(&base, 12, 6);
+        let result = thread_parallel_dfs(&g);
+        assert!(
+            result.report.utilization < 0.5,
+            "expected imbalance, got {:.2}",
+            result.report.utilization
+        );
+    }
+
+    #[test]
+    fn breadth_first_fills_warps_at_scale() {
+        // Wide levels: only final-warp remainders idle.
+        let report = breadth_first_utilization(&[100_000, 50_000, 10_000, 64]);
+        assert!(report.utilization > 0.99, "got {:.4}", report.utilization);
+        // Tiny levels: the same accounting shows the underutilised tail the
+        // paper notes for the early/late iterations.
+        let tail = breadth_first_utilization(&[5, 3, 1]);
+        assert!(tail.utilization < 0.2);
+    }
+
+    #[test]
+    fn reports_are_internally_consistent() {
+        let g = generators::gnp(50, 0.15, 9);
+        for result in [warp_parallel_dfs(&g), thread_parallel_dfs(&g)] {
+            let r = result.report;
+            assert!(r.active_lane_cycles <= r.steps * WARP_WIDTH as u64);
+            assert!((0.0..=1.0).contains(&r.utilization));
+        }
+    }
+
+    #[test]
+    fn degenerate_graphs() {
+        let empty = Csr::empty(0);
+        assert_eq!(warp_parallel_dfs(&empty).clique_number, 0);
+        assert_eq!(thread_parallel_dfs(&empty).clique_number, 0);
+        let isolated = Csr::empty(3);
+        assert_eq!(warp_parallel_dfs(&isolated).clique_number, 1);
+        assert_eq!(thread_parallel_dfs(&isolated).clique_number, 1);
+        let report = breadth_first_utilization(&[]);
+        assert_eq!(report.utilization, 0.0);
+    }
+}

@@ -1,0 +1,96 @@
+//! Choosing a heuristic for an unknown dataset — the paper's §V-B4
+//! recommendation as a runnable decision procedure:
+//!
+//! 1. Start with the multi-run degree heuristic (no k-core pass).
+//! 2. If the solve runs out of memory, retry with the multi-run core-number
+//!    heuristic (tighter vertex bounds).
+//! 3. If still OOM, fall back to the windowed search.
+//!
+//! The example executes the procedure against three corpus datasets with
+//! different prunability profiles and prints which rung each one needed.
+//!
+//! ```sh
+//! cargo run --release --example heuristic_tuning
+//! ```
+
+use gpu_max_clique::corpus::{by_name, Tier};
+use gpu_max_clique::mce::{MaxCliqueSolver, SolveError, SolveResult};
+use gpu_max_clique::prelude::*;
+
+/// The paper's §V-B4 escalation ladder, under a fixed memory budget.
+fn solve_with_escalation(
+    device: &Device,
+    graph: &Csr,
+) -> (&'static str, Result<SolveResult, SolveError>) {
+    let rung1 = MaxCliqueSolver::new(device.clone())
+        .heuristic(HeuristicKind::MultiDegree)
+        .solve(graph);
+    if rung1.is_ok() {
+        return ("multi-degree", rung1);
+    }
+    let rung2 = MaxCliqueSolver::new(device.clone())
+        .heuristic(HeuristicKind::MultiCore)
+        .solve(graph);
+    if rung2.is_ok() {
+        return ("multi-core", rung2);
+    }
+    let rung3 = MaxCliqueSolver::new(device.clone())
+        .heuristic(HeuristicKind::MultiCore)
+        .windowed(WindowConfig::with_size(1024))
+        .solve(graph);
+    ("windowed multi-core", rung3)
+}
+
+fn main() {
+    // Three prunability profiles from the corpus: easy (collaboration —
+    // ω far above average degree), moderate (social with community cores),
+    // hard (dense Facebook-style — average degree far above ω).
+    let names = ["ca-papers-05", "soc-sphere-06", "socfb-campus-14"];
+    // A tight budget makes the ladder's rungs matter: 2 MiB of device
+    // memory against graphs of 20k-90k edges.
+    let budget = 2 * 1024 * 1024;
+
+    for name in names {
+        let spec = by_name(Tier::Small, name).expect("known dataset");
+        let graph = spec.load();
+        println!(
+            "\n=== {name} ({}, {} edges, avg degree {:.1}) ===",
+            spec.category,
+            graph.num_edges(),
+            graph.avg_degree()
+        );
+
+        let device = Device::with_memory_budget(budget);
+        device
+            .exec()
+            .set_launch_overhead(std::time::Duration::from_micros(3));
+        let (rung, outcome) = solve_with_escalation(&device, &graph);
+        match outcome {
+            Ok(result) => {
+                println!(
+                    "solved at rung `{rung}`: ω = {} ({} maximum clique(s)), \
+                     ω̄ = {}, pruned {:.0}% of 2-cliques, peak {:.1} KiB, {:.1} ms",
+                    result.clique_number,
+                    result.multiplicity(),
+                    result.stats.lower_bound,
+                    100.0 * result.stats.pruning_fraction(),
+                    result.stats.peak_device_bytes as f64 / 1024.0,
+                    result.stats.total_time.as_secs_f64() * 1e3
+                );
+                if let Some(w) = result.stats.window {
+                    println!(
+                        "  (windowed: {} windows of nominal {}, {} bound improvements)",
+                        w.num_windows, w.nominal_size, w.bound_improvements
+                    );
+                }
+            }
+            Err(e) => println!("all rungs exhausted: {e}"),
+        }
+    }
+
+    println!(
+        "\npaper §V-B4: \"the fastest runtime is typically achieved by using the\n\
+         simplest heuristic for which pruning is sufficient to avoid running out\n\
+         of memory\" — the ladder above automates exactly that rule."
+    );
+}

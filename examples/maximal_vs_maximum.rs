@@ -1,0 +1,76 @@
+//! Maximal vs. maximum clique enumeration — the distinction the paper's
+//! related-work section is built around (§III).
+//!
+//! *Maximal* cliques are cliques not contained in a larger clique; the
+//! *maximum* cliques are the largest of them. Maximal enumeration cannot be
+//! bound-pruned (any size counts), so its output is exponentially larger;
+//! maximum enumeration prunes aggressively with a lower bound. This example
+//! runs both on the same collaboration network and contrasts output volume
+//! and runtime, then cross-checks that the breadth-first maximum solver
+//! agrees with "largest maximal cliques".
+//!
+//! ```sh
+//! cargo run --release --example maximal_vs_maximum
+//! ```
+
+use gpu_max_clique::pmc::moon_moser_bound;
+use gpu_max_clique::prelude::*;
+
+fn main() {
+    let graph = gpu_max_clique::graph::generators::collaboration(2_000, 900, 3, 11, 1.8, 21);
+    println!(
+        "collaboration network: {} authors, {} co-author edges, avg degree {:.1}",
+        graph.num_vertices(),
+        graph.num_edges(),
+        graph.avg_degree()
+    );
+    println!(
+        "Moon–Moser worst case for this many vertices: {} maximal cliques",
+        moon_moser_bound(graph.num_vertices())
+    );
+
+    // Maximal enumeration (Bron–Kerbosch with pivoting).
+    let start = std::time::Instant::now();
+    let maximal = MaximalCliques::enumerate(&graph);
+    let maximal_time = start.elapsed();
+    let histogram = maximal.size_histogram();
+    println!(
+        "\nmaximal cliques: {} total in {:.1} ms",
+        maximal.count(),
+        maximal_time.as_secs_f64() * 1e3
+    );
+    println!("size histogram (size: count):");
+    for (size, count) in histogram.iter().enumerate().skip(2) {
+        if *count > 0 {
+            println!("  {size:>3}: {count}");
+        }
+    }
+
+    // Maximum enumeration (the paper's breadth-first solver).
+    let start = std::time::Instant::now();
+    let maximum = MaxCliqueSolver::new(Device::unlimited())
+        .solve(&graph)
+        .expect("fits in memory");
+    let maximum_time = start.elapsed();
+    println!(
+        "\nmaximum cliques: {} of size {} in {:.1} ms",
+        maximum.multiplicity(),
+        maximum.clique_number,
+        maximum_time.as_secs_f64() * 1e3
+    );
+
+    // Cross-check: the two notions must agree at the top.
+    assert_eq!(maximum.clique_number, maximal.clique_number());
+    assert_eq!(maximum.cliques, maximal.maximum_cliques());
+    println!(
+        "\ncross-check ✓ — the maximum cliques are exactly the {} largest \
+         of {} maximal cliques",
+        maximum.multiplicity(),
+        maximal.count()
+    );
+    println!(
+        "(the bound-pruned maximum search visits a tiny fraction of what \
+         maximal enumeration must store — the paper's reason maximal-clique \
+         memory limits don't transfer to bounded maximum search)"
+    );
+}

@@ -1,0 +1,67 @@
+//! Quickstart: build a graph, enumerate its maximum cliques, inspect the
+//! solve statistics.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use gpu_max_clique::prelude::*;
+
+fn main() {
+    // A small graph: a triangle {0,1,2} attached to a 4-clique {2,3,4,5}.
+    let graph = Csr::from_edges(
+        6,
+        &[
+            (0, 1),
+            (1, 2),
+            (0, 2), // triangle
+            (2, 3),
+            (2, 4),
+            (2, 5),
+            (3, 4),
+            (3, 5),
+            (4, 5), // 4-clique
+        ],
+    );
+    println!(
+        "graph: {} vertices, {} edges, average degree {:.1}",
+        graph.num_vertices(),
+        graph.num_edges(),
+        graph.avg_degree()
+    );
+
+    // A virtual GPU with default parallelism and unlimited memory; real runs
+    // would set a byte budget (see the windowed_large_graph example).
+    let device = Device::unlimited();
+    let result = MaxCliqueSolver::new(device)
+        .solve(&graph)
+        .expect("small graph fits trivially");
+
+    println!("clique number ω = {}", result.clique_number);
+    println!("maximum cliques ({}):", result.multiplicity());
+    for clique in &result.cliques {
+        println!("  {clique:?}");
+    }
+
+    let stats = &result.stats;
+    println!("\nsolve phases:");
+    println!(
+        "  heuristic ({}) found ω̄ = {}",
+        stats.heuristic_kind, stats.lower_bound
+    );
+    println!(
+        "  setup pruned {} vertices, {} sublists ({:.0}% of 2-cliques cut)",
+        stats.setup.pruned_vertices,
+        stats.setup.pruned_sublists,
+        100.0 * stats.pruning_fraction()
+    );
+    println!("  candidate entries per level: {:?}", stats.level_entries);
+    println!("  peak device memory: {} bytes", stats.peak_device_bytes);
+    println!(
+        "  virtual-GPU launches: {} ({} virtual threads)",
+        stats.launches.launches, stats.launches.virtual_threads
+    );
+
+    assert_eq!(result.clique_number, 4);
+    assert_eq!(result.cliques, vec![vec![2, 3, 4, 5]]);
+}

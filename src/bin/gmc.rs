@@ -1,0 +1,500 @@
+//! `gmc` — command-line front end for the maximum clique toolkit.
+//!
+//! ```text
+//! gmc solve <graph-file> [options]   enumerate maximum cliques
+//! gmc info <graph-file>              print graph statistics
+//! gmc generate <family> [options]    write a synthetic graph to a file
+//! ```
+//!
+//! Run `gmc help` for the full option list. Graph files may be MatrixMarket
+//! (`.mtx`), DIMACS clique instances (`.clq`/`.col`/`.dimacs`) or
+//! whitespace edge lists (any other extension); `generate --out` picks the
+//! written format by the same extensions.
+
+use gpu_max_clique::graph::{generators, io, kcore, Csr};
+use gpu_max_clique::heuristic::HeuristicKind;
+use gpu_max_clique::mce::{
+    EdgeIndexKind, MaxCliqueSolver, SolveError, SolverConfig, WindowConfig, WindowOrdering,
+};
+use gpu_max_clique::prelude::Device;
+use std::io::Write;
+use std::process::ExitCode;
+
+const HELP: &str = "\
+gmc — breadth-first maximum clique enumeration (GPU-paper reproduction)
+
+USAGE:
+    gmc solve <file> [options]
+    gmc info <file>
+    gmc generate <family> --out <file> [--param key=value ...]
+    gmc help
+
+SOLVE OPTIONS:
+    --heuristic <none|single-degree|single-core|multi-degree|multi-core>
+                         lower-bound heuristic (default multi-degree)
+    --budget-mb <N>      device memory budget in MiB (default unlimited)
+    --workers <N>        virtual-GPU worker threads (default all cores)
+    --window <N>         windowed search with nominal window size N
+    --window-order <index|asc|desc|random>   sublist order for windows
+    --enumerate-windows  enumerate all maximum cliques in windowed mode
+    --recursive <D>      recursive windowing up to depth D
+    --parallel-windows <N>  process N windows concurrently
+    --edge-index <bin|bitset|hash|auto>       edge lookup structure
+    --no-early-exit      disable the early-exit optimisation
+    --randomize <SEED>   shuffle vertex ids before solving
+    --max-print <N>      print at most N cliques (default 10)
+    --verify             independently re-check every reported clique
+    --json               machine-readable output
+
+GENERATE FAMILIES (with --param defaults):
+    gnp        n=1000 p=0.01 seed=1
+    ba         n=1000 m=3 seed=1
+    road       rows=100 cols=100 seed=1
+    geometric  n=1000 radius=0.05 seed=1
+    collab     authors=1000 papers=500 max=10 seed=1
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("solve") => cmd_solve(&args[1..]),
+        Some("info") => cmd_info(&args[1..]),
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print!("{HELP}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown command `{other}`; see `gmc help`");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Minimal flag parser: positional arguments plus `--key [value]` pairs.
+struct Options {
+    positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+/// Flags that never take a value.
+const BOOLEAN_FLAGS: &[&str] = &["enumerate-windows", "no-early-exit", "json", "verify"];
+
+impl Options {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            if let Some(name) = args[i].strip_prefix("--") {
+                if BOOLEAN_FLAGS.contains(&name) {
+                    flags.push((name.to_string(), None));
+                } else {
+                    let value = args
+                        .get(i + 1)
+                        .ok_or_else(|| format!("--{name} expects a value"))?;
+                    flags.push((name.to_string(), Some(value.clone())));
+                    i += 1;
+                }
+            } else {
+                positional.push(args[i].clone());
+            }
+            i += 1;
+        }
+        Ok(Self { positional, flags })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    fn get_parsed<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, String> {
+        match self.get(name) {
+            None => Ok(None),
+            Some(raw) => raw
+                .parse::<T>()
+                .map(Some)
+                .map_err(|_| format!("--{name}: cannot parse `{raw}`")),
+        }
+    }
+}
+
+fn load_graph(path: &str) -> Result<Csr, String> {
+    let result = if path.ends_with(".mtx") {
+        io::load_matrix_market(path)
+    } else if path.ends_with(".clq") || path.ends_with(".col") || path.ends_with(".dimacs") {
+        io::load_dimacs(path)
+    } else {
+        io::load_edge_list(path)
+    };
+    result.map_err(|e| format!("cannot load {path}: {e}"))
+}
+
+fn fail(message: String) -> ExitCode {
+    eprintln!("error: {message}");
+    ExitCode::FAILURE
+}
+
+fn cmd_solve(args: &[String]) -> ExitCode {
+    let opts = match Options::parse(args) {
+        Ok(o) => o,
+        Err(e) => return fail(e),
+    };
+    let Some(path) = opts.positional.first() else {
+        return fail("solve: missing graph file".into());
+    };
+    let mut graph = match load_graph(path) {
+        Ok(g) => g,
+        Err(e) => return fail(e),
+    };
+    match opts.get_parsed::<u64>("randomize") {
+        Ok(Some(seed)) => graph = graph.randomize_vertex_ids(seed).0,
+        Ok(None) => {}
+        Err(e) => return fail(e),
+    }
+
+    let mut config = SolverConfig::default();
+    if let Some(h) = opts.get("heuristic") {
+        config.heuristic = match h {
+            "none" => HeuristicKind::None,
+            "single-degree" => HeuristicKind::SingleDegree,
+            "single-core" => HeuristicKind::SingleCore,
+            "multi-degree" => HeuristicKind::MultiDegree,
+            "multi-core" => HeuristicKind::MultiCore,
+            other => return fail(format!("unknown heuristic `{other}`")),
+        };
+    }
+    if let Some(kind) = opts.get("edge-index") {
+        config.edge_index = match kind {
+            "bin" => EdgeIndexKind::BinarySearch,
+            "bitset" => EdgeIndexKind::Bitset,
+            "hash" => EdgeIndexKind::Hash,
+            "auto" => EdgeIndexKind::Auto,
+            other => return fail(format!("unknown edge index `{other}`")),
+        };
+    }
+    config.early_exit = !opts.has("no-early-exit");
+    match opts.get_parsed::<usize>("window") {
+        Ok(Some(size)) => {
+            let mut window = WindowConfig::with_size(size);
+            window.enumerate_all = opts.has("enumerate-windows");
+            if let Some(order) = opts.get("window-order") {
+                window.ordering = match order {
+                    "index" => WindowOrdering::Index,
+                    "asc" => WindowOrdering::DegreeAscending,
+                    "desc" => WindowOrdering::DegreeDescending,
+                    "random" => WindowOrdering::Random(0xC0FFEE),
+                    other => return fail(format!("unknown window order `{other}`")),
+                };
+            }
+            match opts.get_parsed::<usize>("recursive") {
+                Ok(Some(depth)) => window.max_depth = depth.max(1),
+                Ok(None) => {}
+                Err(e) => return fail(e),
+            }
+            match opts.get_parsed::<usize>("parallel-windows") {
+                Ok(Some(count)) => window.parallel_windows = count.max(1),
+                Ok(None) => {}
+                Err(e) => return fail(e),
+            }
+            config.window = Some(window);
+        }
+        Ok(None) => {
+            if opts.get("recursive").is_some() {
+                return fail("--recursive requires --window".into());
+            }
+        }
+        Err(e) => return fail(e),
+    }
+
+    let workers = match opts.get_parsed::<usize>("workers") {
+        Ok(w) => w.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        }),
+        Err(e) => return fail(e),
+    };
+    let budget = match opts.get_parsed::<usize>("budget-mb") {
+        Ok(Some(mb)) => mb * 1024 * 1024,
+        Ok(None) => usize::MAX,
+        Err(e) => return fail(e),
+    };
+    let device = Device::new(workers, budget);
+
+    let solver = MaxCliqueSolver::with_config(device, config);
+    let result = match solver.solve(&graph) {
+        Ok(r) => r,
+        Err(SolveError::DeviceOom(oom)) => {
+            eprintln!(
+                "out of device memory: {oom}\nhint: try --window 1024 (optionally --recursive 4), \
+                 a stronger --heuristic, or a larger --budget-mb"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if opts.has("verify") {
+        if let Err(e) = gpu_max_clique::mce::verify_result(&graph, &result) {
+            eprintln!("verification FAILED: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("verification passed: every reported clique checked against the graph");
+    }
+
+    let max_print = match opts.get_parsed::<usize>("max-print") {
+        Ok(n) => n.unwrap_or(10),
+        Err(e) => return fail(e),
+    };
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    if opts.has("json") {
+        let cliques_json: Vec<String> = result
+            .cliques
+            .iter()
+            .take(max_print)
+            .map(|c| {
+                format!(
+                    "[{}]",
+                    c.iter().map(u32::to_string).collect::<Vec<_>>().join(",")
+                )
+            })
+            .collect();
+        let _ = writeln!(
+            out,
+            "{{\"clique_number\":{},\"multiplicity\":{},\"complete\":{},\"lower_bound\":{},\
+             \"total_ms\":{:.3},\"peak_bytes\":{},\"cliques\":[{}]}}",
+            result.clique_number,
+            result.multiplicity(),
+            result.complete_enumeration,
+            result.stats.lower_bound,
+            result.stats.total_time.as_secs_f64() * 1e3,
+            result.stats.peak_device_bytes,
+            cliques_json.join(",")
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "graph: {} vertices, {} edges, avg degree {:.2}",
+            graph.num_vertices(),
+            graph.num_edges(),
+            graph.avg_degree()
+        );
+        let _ = writeln!(
+            out,
+            "clique number ω = {} ({}, {} clique(s))",
+            result.clique_number,
+            if result.complete_enumeration {
+                "complete enumeration"
+            } else {
+                "single witness"
+            },
+            result.multiplicity()
+        );
+        for clique in result.cliques.iter().take(max_print) {
+            let _ = writeln!(out, "  {clique:?}");
+        }
+        if result.multiplicity() > max_print {
+            let _ = writeln!(out, "  ... and {} more", result.multiplicity() - max_print);
+        }
+        let s = &result.stats;
+        let _ = writeln!(
+            out,
+            "heuristic {} → ω̄ = {} in {:.1} ms; setup pruned {:.0}% of 2-cliques;\n\
+             total {:.1} ms; peak candidate memory {:.1} KiB; {} virtual-GPU launches",
+            s.heuristic_kind,
+            s.lower_bound,
+            s.heuristic_time.as_secs_f64() * 1e3,
+            100.0 * s.pruning_fraction(),
+            s.total_time.as_secs_f64() * 1e3,
+            s.peak_device_bytes as f64 / 1024.0,
+            s.launches.launches
+        );
+        if let Some(w) = s.window {
+            let _ = writeln!(
+                out,
+                "windowed: {} windows (nominal {}), {} bound improvements, \
+                 {} splits, {} recursions",
+                w.num_windows,
+                w.nominal_size,
+                w.bound_improvements,
+                w.window_splits,
+                w.sublist_recursions
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_info(args: &[String]) -> ExitCode {
+    let opts = match Options::parse(args) {
+        Ok(o) => o,
+        Err(e) => return fail(e),
+    };
+    let Some(path) = opts.positional.first() else {
+        return fail("info: missing graph file".into());
+    };
+    let graph = match load_graph(path) {
+        Ok(g) => g,
+        Err(e) => return fail(e),
+    };
+    let (_, degeneracy) = kcore::degeneracy_order(&graph);
+    let exec = gpu_max_clique::prelude::Executor::with_default_parallelism();
+    let (_, components) = gpu_max_clique::graph::algo::connected_components(&graph);
+    let triangles = gpu_max_clique::graph::algo::triangle_count(&exec, &graph);
+    println!("file:         {path}");
+    println!("vertices:     {}", graph.num_vertices());
+    println!("edges:        {}", graph.num_edges());
+    println!("avg degree:   {:.2}", graph.avg_degree());
+    println!("max degree:   {}", graph.max_degree());
+    println!("components:   {components}");
+    println!("triangles:    {triangles}");
+    println!(
+        "clustering:   {:.4}",
+        gpu_max_clique::graph::algo::global_clustering(&exec, &graph)
+    );
+    println!("degeneracy:   {degeneracy} (ω ≤ {})", degeneracy + 1);
+    println!(
+        "Turán bound:  ω ≥ {}",
+        gpu_max_clique::graph::bounds::turan_lower_bound(&graph)
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_generate(args: &[String]) -> ExitCode {
+    let opts = match Options::parse(args) {
+        Ok(o) => o,
+        Err(e) => return fail(e),
+    };
+    let Some(family) = opts.positional.first() else {
+        return fail("generate: missing family (gnp|ba|road|geometric|collab)".into());
+    };
+    let Some(out_path) = opts.get("out") else {
+        return fail("generate: missing --out <file>".into());
+    };
+
+    // Collect key=value params.
+    let mut params = std::collections::BTreeMap::new();
+    for (name, value) in &opts.flags {
+        if name == "param" {
+            let raw = value.as_deref().unwrap_or_default();
+            let Some((k, v)) = raw.split_once('=') else {
+                return fail(format!("--param expects key=value, got `{raw}`"));
+            };
+            params.insert(k.to_string(), v.to_string());
+        }
+    }
+    let get_usize = |key: &str, default: usize| -> Result<usize, String> {
+        params
+            .get(key)
+            .map(|v| {
+                v.parse()
+                    .map_err(|_| format!("param {key}: bad value `{v}`"))
+            })
+            .unwrap_or(Ok(default))
+    };
+    let get_f64 = |key: &str, default: f64| -> Result<f64, String> {
+        params
+            .get(key)
+            .map(|v| {
+                v.parse()
+                    .map_err(|_| format!("param {key}: bad value `{v}`"))
+            })
+            .unwrap_or(Ok(default))
+    };
+
+    let graph = match family.as_str() {
+        "gnp" => {
+            let (n, p, seed) = match (
+                get_usize("n", 1000),
+                get_f64("p", 0.01),
+                get_usize("seed", 1),
+            ) {
+                (Ok(n), Ok(p), Ok(s)) => (n, p, s as u64),
+                (Err(e), _, _) | (_, _, Err(e)) => return fail(e),
+                (_, Err(e), _) => return fail(e),
+            };
+            generators::gnp(n, p, seed)
+        }
+        "ba" => {
+            let (n, m, seed) = match (
+                get_usize("n", 1000),
+                get_usize("m", 3),
+                get_usize("seed", 1),
+            ) {
+                (Ok(n), Ok(m), Ok(s)) => (n, m, s as u64),
+                (Err(e), _, _) | (_, Err(e), _) | (_, _, Err(e)) => return fail(e),
+            };
+            generators::barabasi_albert(n, m, seed)
+        }
+        "road" => {
+            let (rows, cols, seed) = match (
+                get_usize("rows", 100),
+                get_usize("cols", 100),
+                get_usize("seed", 1),
+            ) {
+                (Ok(r), Ok(c), Ok(s)) => (r, c, s as u64),
+                (Err(e), _, _) | (_, Err(e), _) | (_, _, Err(e)) => return fail(e),
+            };
+            generators::road_mesh(rows, cols, 0.93, 0.04, seed)
+        }
+        "geometric" => {
+            let (n, radius, seed) = match (
+                get_usize("n", 1000),
+                get_f64("radius", 0.05),
+                get_usize("seed", 1),
+            ) {
+                (Ok(n), Ok(r), Ok(s)) => (n, r, s as u64),
+                (Err(e), _, _) | (_, _, Err(e)) => return fail(e),
+                (_, Err(e), _) => return fail(e),
+            };
+            generators::random_geometric(n, radius, seed)
+        }
+        "collab" => {
+            let (authors, papers, max, seed) = match (
+                get_usize("authors", 1000),
+                get_usize("papers", 500),
+                get_usize("max", 10),
+                get_usize("seed", 1),
+            ) {
+                (Ok(a), Ok(p), Ok(m), Ok(s)) => (a, p, m, s as u64),
+                (Err(e), _, _, _) | (_, Err(e), _, _) | (_, _, Err(e), _) | (_, _, _, Err(e)) => {
+                    return fail(e)
+                }
+            };
+            generators::collaboration(authors, papers, 3.min(max), max, 1.9, seed)
+        }
+        other => return fail(format!("unknown family `{other}`")),
+    };
+
+    let file = match std::fs::File::create(out_path) {
+        Ok(f) => f,
+        Err(e) => return fail(format!("cannot create {out_path}: {e}")),
+    };
+    let mut writer = std::io::BufWriter::new(file);
+    let write_result = if out_path.ends_with(".mtx") {
+        io::write_matrix_market(&graph, &mut writer)
+    } else if out_path.ends_with(".clq") || out_path.ends_with(".dimacs") {
+        io::write_dimacs(&graph, &mut writer)
+    } else {
+        io::write_edge_list(&graph, &mut writer)
+    };
+    if let Err(e) = write_result.and_then(|()| writer.flush()) {
+        return fail(format!("cannot write {out_path}: {e}"));
+    }
+    println!(
+        "wrote {}: {} vertices, {} edges",
+        out_path,
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+    ExitCode::SUCCESS
+}

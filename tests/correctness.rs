@@ -1,0 +1,276 @@
+//! Cross-solver correctness: the breadth-first enumerator, the windowed
+//! variants, the PMC baseline and the sequential oracle must agree on every
+//! smoke-tier corpus dataset and on batches of random graphs.
+
+use gpu_max_clique::corpus::{corpus, Tier};
+use gpu_max_clique::graph::{generators, Csr};
+use gpu_max_clique::heuristic::HeuristicKind;
+use gpu_max_clique::mce::{
+    CandidateOrder, MaxCliqueSolver, OrientationRule, WindowConfig, WindowOrdering,
+};
+use gpu_max_clique::pmc::{ParallelBranchBound, ReferenceEnumerator};
+use gpu_max_clique::prelude::Device;
+
+fn solver() -> MaxCliqueSolver {
+    MaxCliqueSolver::new(Device::unlimited())
+}
+
+#[test]
+fn bfs_matches_oracle_on_entire_smoke_corpus() {
+    for spec in corpus(Tier::Smoke) {
+        let graph = spec.load();
+        let (omega, cliques) = ReferenceEnumerator::enumerate(&graph);
+        let result = solver()
+            .solve(&graph)
+            .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        assert_eq!(result.clique_number, omega, "{}: clique number", spec.name);
+        assert_eq!(result.cliques, cliques, "{}: clique sets", spec.name);
+        assert!(result.complete_enumeration);
+    }
+}
+
+#[test]
+fn pmc_matches_oracle_on_entire_smoke_corpus() {
+    let pmc = ParallelBranchBound::new(2);
+    for spec in corpus(Tier::Smoke) {
+        let graph = spec.load();
+        let omega = ReferenceEnumerator::clique_number(&graph);
+        let result = pmc.solve(&graph);
+        assert_eq!(result.clique_number, omega, "{}", spec.name);
+        assert!(graph.is_clique(&result.clique), "{}", spec.name);
+    }
+}
+
+#[test]
+fn all_heuristics_and_orders_agree_on_random_graphs() {
+    for seed in 0..6 {
+        let graph = generators::gnp(70, 0.15, seed);
+        let (omega, cliques) = ReferenceEnumerator::enumerate(&graph);
+        for heuristic in HeuristicKind::all() {
+            for orientation in [OrientationRule::Degree, OrientationRule::Index] {
+                for order in [CandidateOrder::Index, CandidateOrder::DegreeAscending] {
+                    let result = solver()
+                        .heuristic(heuristic)
+                        .orientation(orientation)
+                        .candidate_order(order)
+                        .solve(&graph)
+                        .unwrap();
+                    assert_eq!(
+                        result.clique_number, omega,
+                        "seed {seed} {heuristic} {orientation:?} {order:?}"
+                    );
+                    assert_eq!(
+                        result.cliques, cliques,
+                        "seed {seed} {heuristic} {orientation:?} {order:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn windowed_enumeration_matches_oracle_on_random_graphs() {
+    for seed in 10..16 {
+        let graph = generators::gnp(60, 0.2, seed);
+        let (omega, cliques) = ReferenceEnumerator::enumerate(&graph);
+        for size in [4, 32, 1 << 20] {
+            for ordering in [
+                WindowOrdering::Index,
+                WindowOrdering::DegreeAscending,
+                WindowOrdering::DegreeDescending,
+                WindowOrdering::Random(42),
+            ] {
+                let result = solver()
+                    .windowed(WindowConfig {
+                        size,
+                        ordering,
+                        enumerate_all: true,
+                        ..WindowConfig::default()
+                    })
+                    .solve(&graph)
+                    .unwrap();
+                assert_eq!(
+                    result.clique_number, omega,
+                    "seed {seed} size {size} {ordering:?}"
+                );
+                assert_eq!(
+                    result.cliques, cliques,
+                    "seed {seed} size {size} {ordering:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn windowed_find_one_returns_true_maximum() {
+    for seed in 20..26 {
+        let graph = generators::gnp(60, 0.2, seed);
+        let (omega, cliques) = ReferenceEnumerator::enumerate(&graph);
+        let result = solver()
+            .windowed(WindowConfig::with_size(16))
+            .solve(&graph)
+            .unwrap();
+        assert_eq!(result.clique_number, omega, "seed {seed}");
+        assert_eq!(result.cliques.len(), 1);
+        assert!(cliques.contains(&result.cliques[0]), "seed {seed}");
+    }
+}
+
+#[test]
+fn structured_families_solve_correctly() {
+    // Families whose clique numbers are known analytically.
+    let complete = generators::complete(9);
+    let r = solver().solve(&complete).unwrap();
+    assert_eq!(r.clique_number, 9);
+    assert_eq!(r.multiplicity(), 1);
+
+    // Complete bipartite K_{4,4}: ω = 2, every edge is a maximum clique.
+    let mut edges = Vec::new();
+    for u in 0..4u32 {
+        for v in 4..8u32 {
+            edges.push((u, v));
+        }
+    }
+    let bipartite = Csr::from_edges(8, &edges);
+    let r = solver().solve(&bipartite).unwrap();
+    assert_eq!(r.clique_number, 2);
+    assert_eq!(r.multiplicity(), 16);
+
+    // A cycle C7: ω = 2, 7 maximum cliques.
+    let cycle = Csr::from_edges(7, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 0)]);
+    let r = solver().solve(&cycle).unwrap();
+    assert_eq!(r.clique_number, 2);
+    assert_eq!(r.multiplicity(), 7);
+
+    // Two overlapping K5s sharing a triangle.
+    let mut edges = Vec::new();
+    for set in [[0u32, 1, 2, 3, 4], [2, 3, 4, 5, 6]] {
+        for (i, &u) in set.iter().enumerate() {
+            for &v in &set[i + 1..] {
+                edges.push((u, v));
+            }
+        }
+    }
+    let overlapping = Csr::from_edges(7, &edges);
+    let r = solver().solve(&overlapping).unwrap();
+    assert_eq!(r.clique_number, 5);
+    assert_eq!(r.cliques, vec![vec![0, 1, 2, 3, 4], vec![2, 3, 4, 5, 6]]);
+}
+
+#[test]
+fn planted_cliques_are_recovered_exactly() {
+    for seed in 0..5 {
+        let base = generators::gnp(150, 0.04, seed);
+        let (graph, members) = generators::plant_clique(&base, 10, seed + 50);
+        let result = solver().solve(&graph).unwrap();
+        assert_eq!(result.clique_number, 10, "seed {seed}");
+        assert!(result.cliques.contains(&members), "seed {seed}");
+    }
+}
+
+#[test]
+fn multiplicity_counts_every_tie() {
+    // d disjoint triangles → multiplicity d.
+    let d = 12;
+    let mut edges = Vec::new();
+    for t in 0..d as u32 {
+        let base = 3 * t;
+        edges.extend([(base, base + 1), (base + 1, base + 2), (base, base + 2)]);
+    }
+    let graph = Csr::from_edges(3 * d, &edges);
+    let result = solver().solve(&graph).unwrap();
+    assert_eq!(result.clique_number, 3);
+    assert_eq!(result.multiplicity(), d);
+}
+
+#[test]
+fn moon_moser_graphs_have_closed_form_multiplicity() {
+    // Complete multipartite K_{s,s,…,s}: ω = #parts, and the maximum
+    // cliques are exactly the ways to pick one vertex per part — the
+    // extremal instances behind the Moon–Moser bound the paper's related
+    // work sizes subtrees with. The solver must enumerate every one.
+    for (parts, expected_omega, expected_count) in [
+        (vec![3usize, 3, 3], 3u32, 27usize), // the classic 3^(n/3) case
+        (vec![3, 3, 3, 3], 4, 81),           // n = 12 → 3^4
+        (vec![2, 3, 4], 3, 24),              // mixed part sizes
+        (vec![5, 1, 2], 3, 10),
+    ] {
+        let graph = generators::complete_multipartite(&parts);
+        let result = solver().solve(&graph).unwrap();
+        assert_eq!(result.clique_number, expected_omega, "{parts:?}");
+        assert_eq!(result.multiplicity(), expected_count, "{parts:?}");
+        // Each clique takes exactly one vertex per part.
+        let mut boundaries = vec![0usize];
+        for &p in &parts {
+            boundaries.push(boundaries.last().unwrap() + p);
+        }
+        for clique in &result.cliques {
+            for window in boundaries.windows(2) {
+                let in_part = clique
+                    .iter()
+                    .filter(|&&v| (v as usize) >= window[0] && (v as usize) < window[1])
+                    .count();
+                assert_eq!(in_part, 1, "{parts:?}: {clique:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn complement_of_sparse_graph_solves_via_independent_sets() {
+    // ω(Ḡ) is the independence number of G: check on a known case. C5 is
+    // self-complementary, so both have ω = 2 with 5 maximum cliques.
+    let c5 = Csr::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+    let direct = solver().solve(&c5).unwrap();
+    let complement = solver().solve(&c5.complement()).unwrap();
+    assert_eq!(direct.clique_number, 2);
+    assert_eq!(complement.clique_number, 2);
+    assert_eq!(direct.multiplicity(), 5);
+    assert_eq!(complement.multiplicity(), 5);
+}
+
+#[test]
+fn unpruned_level_one_equals_triangle_count() {
+    // With no pruning, the second clique-list level holds exactly the
+    // graph's triangles (each once, by orientation) — a cross-check between
+    // the solver's expansion and an independent triangle counter.
+    let exec = gpu_max_clique::prelude::Executor::new(2);
+    for seed in 0..5 {
+        let graph = generators::gnp(80, 0.15, seed);
+        let result = solver()
+            .heuristic(HeuristicKind::None)
+            .early_exit(false)
+            .solve(&graph)
+            .unwrap();
+        let triangles = gpu_max_clique::graph::algo::triangle_count(&exec, &graph);
+        let level1 = result.stats.level_entries.get(1).copied().unwrap_or(0);
+        assert_eq!(level1 as u64, triangles, "seed {seed}");
+        // And level 0 is the full oriented edge set.
+        assert_eq!(
+            result.stats.level_entries[0],
+            graph.num_edges(),
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn heuristic_bound_is_always_sound() {
+    for spec in corpus(Tier::Smoke).into_iter().step_by(4) {
+        let graph = spec.load();
+        let omega = ReferenceEnumerator::clique_number(&graph);
+        let device = Device::unlimited();
+        for kind in HeuristicKind::all() {
+            let h = gpu_max_clique::heuristic::run_heuristic(&device, &graph, kind, None).unwrap();
+            assert!(
+                h.lower_bound() <= omega,
+                "{}: {kind} overshot ω ({} > {omega})",
+                spec.name,
+                h.lower_bound()
+            );
+            assert!(graph.is_clique(&h.clique), "{}: {kind} witness", spec.name);
+        }
+    }
+}

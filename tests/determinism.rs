@@ -1,0 +1,140 @@
+//! Determinism guarantees: identical results run-to-run, across worker
+//! counts, and label-invariance under vertex permutation.
+
+use gpu_max_clique::corpus::{corpus, Tier};
+use gpu_max_clique::graph::generators;
+use gpu_max_clique::heuristic::HeuristicKind;
+use gpu_max_clique::mce::{MaxCliqueSolver, WindowConfig};
+use gpu_max_clique::prelude::Device;
+
+#[test]
+fn repeated_solves_are_identical() {
+    let graph = generators::gnp(120, 0.12, 1);
+    let solver = MaxCliqueSolver::new(Device::unlimited());
+    let first = solver.solve(&graph).unwrap();
+    for _ in 0..3 {
+        let again = solver.solve(&graph).unwrap();
+        assert_eq!(again.clique_number, first.clique_number);
+        assert_eq!(again.cliques, first.cliques);
+        assert_eq!(again.stats.lower_bound, first.stats.lower_bound);
+        assert_eq!(again.stats.level_entries, first.stats.level_entries);
+    }
+}
+
+#[test]
+fn worker_count_does_not_change_results() {
+    let graph = generators::barabasi_albert(400, 5, 2);
+    let reference = MaxCliqueSolver::new(Device::new(1, usize::MAX))
+        .solve(&graph)
+        .unwrap();
+    for workers in [2, 3, 8] {
+        let result = MaxCliqueSolver::new(Device::new(workers, usize::MAX))
+            .solve(&graph)
+            .unwrap();
+        assert_eq!(result.cliques, reference.cliques, "workers {workers}");
+        assert_eq!(
+            result.stats.level_entries, reference.stats.level_entries,
+            "workers {workers}: level shape changed"
+        );
+        assert_eq!(
+            result.stats.peak_device_bytes, reference.stats.peak_device_bytes,
+            "workers {workers}: memory accounting changed"
+        );
+    }
+}
+
+#[test]
+fn windowed_solves_are_deterministic() {
+    let graph = generators::gnp(100, 0.18, 3);
+    let solve = |workers: usize| {
+        MaxCliqueSolver::new(Device::new(workers, usize::MAX))
+            .windowed(WindowConfig::with_size(16))
+            .solve(&graph)
+            .unwrap()
+    };
+    let a = solve(1);
+    let b = solve(4);
+    assert_eq!(a.cliques, b.cliques);
+    assert_eq!(
+        a.stats.window.unwrap().peak_window_bytes,
+        b.stats.window.unwrap().peak_window_bytes
+    );
+}
+
+#[test]
+fn corpus_datasets_are_reproducible() {
+    // Same spec → byte-identical graph → identical solve, across processes
+    // and runs (the corpus is the experiment harness's ground truth).
+    for spec in corpus(Tier::Smoke).into_iter().step_by(7) {
+        let a = spec.load();
+        let b = spec.load();
+        assert_eq!(a, b, "{}", spec.name);
+        let ra = MaxCliqueSolver::new(Device::unlimited()).solve(&a).unwrap();
+        let rb = MaxCliqueSolver::new(Device::unlimited()).solve(&b).unwrap();
+        assert_eq!(ra.cliques, rb.cliques, "{}", spec.name);
+    }
+}
+
+#[test]
+fn permutation_invariance_of_clique_number() {
+    for spec in corpus(Tier::Smoke).into_iter().step_by(9) {
+        let graph = spec.load();
+        let base = MaxCliqueSolver::new(Device::unlimited())
+            .solve(&graph)
+            .unwrap();
+        for seed in [11, 22] {
+            let (shuffled, _) = graph.randomize_vertex_ids(seed);
+            let result = MaxCliqueSolver::new(Device::unlimited())
+                .solve(&shuffled)
+                .unwrap();
+            assert_eq!(
+                result.clique_number, base.clique_number,
+                "{} seed {seed}",
+                spec.name
+            );
+            assert_eq!(
+                result.multiplicity(),
+                base.multiplicity(),
+                "{} seed {seed}",
+                spec.name
+            );
+        }
+    }
+}
+
+#[test]
+fn heuristics_are_deterministic_across_workers() {
+    let graph = generators::holme_kim(500, 5, 0.6, 4);
+    for kind in HeuristicKind::all() {
+        let a = gpu_max_clique::heuristic::run_heuristic(
+            &Device::new(1, usize::MAX),
+            &graph,
+            kind,
+            None,
+        )
+        .unwrap();
+        let b = gpu_max_clique::heuristic::run_heuristic(
+            &Device::new(6, usize::MAX),
+            &graph,
+            kind,
+            None,
+        )
+        .unwrap();
+        assert_eq!(a.clique, b.clique, "{kind}");
+    }
+}
+
+#[test]
+fn launch_stats_are_deterministic() {
+    // The number of virtual-GPU launches is a structural property of the
+    // algorithm, not of the machine.
+    let graph = generators::gnp(150, 0.1, 5);
+    let run = |workers: usize| {
+        MaxCliqueSolver::new(Device::new(workers, usize::MAX))
+            .solve(&graph)
+            .unwrap()
+            .stats
+            .launches
+    };
+    assert_eq!(run(1), run(5));
+}

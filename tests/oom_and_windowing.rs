@@ -1,0 +1,179 @@
+//! Device-memory behaviour: OOM surfaces as an error (never a wrong
+//! answer), windowing reduces peak memory and rescues OOM instances, and
+//! accounting never leaks.
+
+use gpu_max_clique::graph::generators;
+use gpu_max_clique::heuristic::HeuristicKind;
+use gpu_max_clique::mce::{MaxCliqueSolver, SolveError, WindowConfig};
+use gpu_max_clique::pmc::ReferenceEnumerator;
+use gpu_max_clique::prelude::Device;
+
+#[test]
+fn oom_error_carries_accounting_details() {
+    let graph = generators::gnp(150, 0.3, 1);
+    let device = Device::with_memory_budget(4096);
+    let err = MaxCliqueSolver::new(device.clone())
+        .heuristic(HeuristicKind::None)
+        .solve(&graph)
+        .unwrap_err();
+    let SolveError::DeviceOom(oom) = err;
+    assert_eq!(oom.capacity, 4096);
+    assert!(oom.requested > 0);
+    // Nothing leaks after the failed run.
+    assert_eq!(device.memory().live(), 0);
+}
+
+#[test]
+fn failed_runs_leave_no_live_memory_at_any_budget() {
+    let graph = generators::gnp(120, 0.25, 2);
+    for budget in [64, 1024, 16 * 1024, 256 * 1024] {
+        let device = Device::with_memory_budget(budget);
+        let _ = MaxCliqueSolver::new(device.clone())
+            .heuristic(HeuristicKind::None)
+            .solve(&graph);
+        assert_eq!(device.memory().live(), 0, "budget {budget} leaked");
+    }
+}
+
+#[test]
+fn better_heuristics_rescue_oom_instances() {
+    // Find a budget where the unpruned search OOMs but the multi-run
+    // degree-pruned search fits — the paper's Table I mechanism. A union of
+    // many mid-size cliques with one larger planted clique is the shape
+    // where an accurate bound prunes away almost the entire search: every
+    // mid-size clique's subtree dies at the sublist-length cut.
+    let base = generators::collaboration(300, 120, 8, 12, 1.5, 3);
+    let (graph, _) = generators::plant_clique(&base, 18, 33);
+    let reference = MaxCliqueSolver::new(Device::unlimited())
+        .solve(&graph)
+        .unwrap();
+
+    let mut demonstrated = false;
+    for budget_kb in [16, 32, 64, 128, 256, 512, 1024] {
+        let device = Device::with_memory_budget(budget_kb * 1024);
+        let none = MaxCliqueSolver::new(device.clone())
+            .heuristic(HeuristicKind::None)
+            .solve(&graph);
+        let multi = MaxCliqueSolver::new(device)
+            .heuristic(HeuristicKind::MultiDegree)
+            .solve(&graph);
+        if none.is_err() {
+            if let Ok(result) = multi {
+                assert_eq!(result.clique_number, reference.clique_number);
+                assert_eq!(result.cliques, reference.cliques);
+                demonstrated = true;
+                break;
+            }
+        }
+    }
+    assert!(demonstrated, "no budget separated the heuristics");
+}
+
+#[test]
+fn windowing_rescues_oom_and_stays_correct() {
+    let graph = generators::gnp(200, 0.15, 4);
+    let (omega, cliques) = ReferenceEnumerator::enumerate(&graph);
+
+    let mut demonstrated = false;
+    for budget_kb in [1, 2, 4, 8, 16, 32, 64] {
+        let device = Device::with_memory_budget(budget_kb * 1024);
+        let full = MaxCliqueSolver::new(device.clone())
+            .heuristic(HeuristicKind::None)
+            .solve(&graph);
+        if full.is_ok() {
+            continue;
+        }
+        // Full BFS is OOM at this budget; a small-window find-one run must
+        // fit and agree.
+        let windowed = MaxCliqueSolver::new(device)
+            .heuristic(HeuristicKind::None)
+            .windowed(WindowConfig::with_size(32))
+            .solve(&graph);
+        if let Ok(result) = windowed {
+            assert_eq!(result.clique_number, omega);
+            assert!(cliques.contains(&result.cliques[0]));
+            demonstrated = true;
+            break;
+        }
+    }
+    assert!(demonstrated, "windowing never rescued an OOM budget");
+}
+
+#[test]
+fn smaller_windows_use_less_peak_memory() {
+    let graph = generators::gnp(200, 0.2, 5);
+    let mut previous_peak = usize::MAX;
+    for size in [usize::MAX / 2, 4096, 256, 16] {
+        let device = Device::unlimited();
+        let result = MaxCliqueSolver::new(device)
+            .heuristic(HeuristicKind::MultiDegree)
+            .windowed(WindowConfig::with_size(size))
+            .solve(&graph)
+            .unwrap();
+        let peak = result.stats.window.unwrap().peak_window_bytes;
+        assert!(
+            peak <= previous_peak,
+            "window {size}: peak {peak} exceeds larger window's {previous_peak}"
+        );
+        previous_peak = peak;
+    }
+}
+
+#[test]
+fn windowed_peak_is_below_full_bfs_peak() {
+    let graph = generators::gnp(250, 0.15, 6);
+    let full = MaxCliqueSolver::new(Device::unlimited())
+        .solve(&graph)
+        .unwrap();
+    let windowed = MaxCliqueSolver::new(Device::unlimited())
+        .windowed(WindowConfig::with_size(64))
+        .solve(&graph)
+        .unwrap();
+    let windowed_peak = windowed.stats.window.unwrap().peak_window_bytes;
+    assert!(
+        windowed_peak < full.stats.peak_device_bytes,
+        "windowed {windowed_peak} vs full {}",
+        full.stats.peak_device_bytes
+    );
+    assert_eq!(windowed.clique_number, full.clique_number);
+}
+
+#[test]
+fn bound_improvements_happen_across_windows() {
+    // With no heuristic, the incumbent starts empty and must improve at
+    // least once while windows are processed.
+    let graph = generators::gnp(120, 0.15, 7);
+    let result = MaxCliqueSolver::new(Device::unlimited())
+        .heuristic(HeuristicKind::None)
+        .windowed(WindowConfig::with_size(16))
+        .solve(&graph)
+        .unwrap();
+    let stats = result.stats.window.unwrap();
+    assert!(stats.bound_improvements >= 1);
+    assert!(stats.num_windows > 1);
+}
+
+#[test]
+fn peak_memory_statistic_reflects_level_growth() {
+    // On a complete graph the clique list peaks at the widest binomial
+    // level; the recorded peak must be at least that volume.
+    let graph = generators::complete(16);
+    let result = MaxCliqueSolver::new(Device::unlimited())
+        .heuristic(HeuristicKind::None)
+        .early_exit(false)
+        .solve(&graph)
+        .unwrap();
+    let widest = result.stats.level_entries.iter().max().copied().unwrap();
+    assert!(result.stats.peak_device_bytes >= widest * 8);
+}
+
+#[test]
+fn heuristic_phase_oom_is_reported() {
+    // A budget so small even the heuristic's neighbor arrays fail.
+    let graph = generators::gnp(200, 0.2, 8);
+    let device = Device::with_memory_budget(128);
+    let result = MaxCliqueSolver::new(device)
+        .heuristic(HeuristicKind::MultiDegree)
+        .solve(&graph);
+    assert!(matches!(result, Err(SolveError::DeviceOom(_))));
+}

@@ -1,0 +1,169 @@
+//! Property-based cross-checks of the full solver stack on arbitrary small
+//! graphs.
+
+use gpu_max_clique::graph::{kcore, Csr};
+use gpu_max_clique::heuristic::HeuristicKind;
+use gpu_max_clique::mce::{MaxCliqueSolver, WindowConfig, WindowOrdering};
+use gpu_max_clique::pmc::{ParallelBranchBound, ReferenceEnumerator};
+use gpu_max_clique::prelude::{Device, Executor};
+use proptest::prelude::*;
+
+/// An arbitrary graph on up to `max_n` vertices with the given edge
+/// probability distribution.
+fn arb_graph(max_n: usize) -> impl Strategy<Value = Csr> {
+    (2..=max_n).prop_flat_map(|n| {
+        let pairs = n * (n - 1) / 2;
+        proptest::collection::vec(proptest::bool::weighted(0.25), pairs).prop_map(move |bits| {
+            let mut edges = Vec::new();
+            let mut idx = 0;
+            for u in 0..n as u32 {
+                for v in (u + 1)..n as u32 {
+                    if bits[idx] {
+                        edges.push((u, v));
+                    }
+                    idx += 1;
+                }
+            }
+            Csr::from_edges(n, &edges)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn bfs_enumeration_equals_oracle(graph in arb_graph(20)) {
+        let (omega, cliques) = ReferenceEnumerator::enumerate(&graph);
+        let result = MaxCliqueSolver::new(Device::unlimited()).solve(&graph).unwrap();
+        prop_assert_eq!(result.clique_number, omega);
+        prop_assert_eq!(result.cliques, cliques);
+    }
+
+    #[test]
+    fn every_heuristic_is_a_sound_lower_bound(graph in arb_graph(18)) {
+        let omega = ReferenceEnumerator::clique_number(&graph);
+        let device = Device::unlimited();
+        for kind in HeuristicKind::all() {
+            let h = gpu_max_clique::heuristic::run_heuristic(&device, &graph, kind, None).unwrap();
+            prop_assert!(h.lower_bound() <= omega);
+            prop_assert!(graph.is_clique(&h.clique));
+        }
+    }
+
+    #[test]
+    fn windowed_enumeration_equals_oracle(
+        graph in arb_graph(16),
+        size in 1usize..32,
+        ordering_pick in 0u8..4,
+    ) {
+        let ordering = match ordering_pick {
+            0 => WindowOrdering::Index,
+            1 => WindowOrdering::DegreeAscending,
+            2 => WindowOrdering::DegreeDescending,
+            _ => WindowOrdering::Random(9),
+        };
+        let (omega, cliques) = ReferenceEnumerator::enumerate(&graph);
+        let result = MaxCliqueSolver::new(Device::unlimited())
+            .windowed(WindowConfig { size, ordering, enumerate_all: true, ..WindowConfig::default() })
+            .solve(&graph)
+            .unwrap();
+        prop_assert_eq!(result.clique_number, omega);
+        prop_assert_eq!(result.cliques, cliques);
+    }
+
+    #[test]
+    fn windowed_find_one_is_maximum(graph in arb_graph(16), size in 1usize..16) {
+        let (omega, cliques) = ReferenceEnumerator::enumerate(&graph);
+        let result = MaxCliqueSolver::new(Device::unlimited())
+            .windowed(WindowConfig::with_size(size))
+            .solve(&graph)
+            .unwrap();
+        prop_assert_eq!(result.clique_number, omega);
+        if omega >= 2 {
+            prop_assert_eq!(result.cliques.len(), 1);
+            prop_assert!(cliques.contains(&result.cliques[0]));
+        }
+    }
+
+    #[test]
+    fn parallel_and_recursive_windows_equal_oracle(
+        graph in arb_graph(14),
+        size in 1usize..12,
+        workers in 1usize..4,
+        depth in 1usize..6,
+    ) {
+        let (omega, cliques) = ReferenceEnumerator::enumerate(&graph);
+        let result = MaxCliqueSolver::new(Device::new(2, usize::MAX))
+            .windowed(WindowConfig {
+                size,
+                enumerate_all: true,
+                max_depth: depth,
+                parallel_windows: workers,
+                ..WindowConfig::default()
+            })
+            .solve(&graph)
+            .unwrap();
+        prop_assert_eq!(result.clique_number, omega);
+        prop_assert_eq!(result.cliques, cliques);
+    }
+
+    #[test]
+    fn pmc_finds_the_clique_number(graph in arb_graph(20)) {
+        let omega = ReferenceEnumerator::clique_number(&graph);
+        let result = ParallelBranchBound::new(2).solve(&graph);
+        prop_assert_eq!(result.clique_number, omega);
+        prop_assert!(graph.is_clique(&result.clique));
+    }
+
+    #[test]
+    fn clique_number_bounded_by_degeneracy(graph in arb_graph(20)) {
+        let omega = ReferenceEnumerator::clique_number(&graph);
+        if graph.num_edges() > 0 {
+            let degeneracy = kcore::degeneracy(&graph);
+            prop_assert!(omega <= degeneracy + 1);
+        }
+    }
+
+    #[test]
+    fn parallel_kcore_equals_sequential(graph in arb_graph(24)) {
+        let exec = Executor::new(3);
+        prop_assert_eq!(
+            kcore::core_numbers_parallel(&exec, &graph),
+            kcore::core_numbers(&graph)
+        );
+    }
+
+    #[test]
+    fn enumerated_cliques_are_valid_distinct_and_maximal(graph in arb_graph(18)) {
+        let result = MaxCliqueSolver::new(Device::unlimited()).solve(&graph).unwrap();
+        let omega = result.clique_number as usize;
+        for clique in &result.cliques {
+            prop_assert_eq!(clique.len(), omega);
+            prop_assert!(graph.is_clique(clique));
+            // Sorted ascending within each clique.
+            prop_assert!(clique.windows(2).all(|w| w[0] < w[1]));
+        }
+        // Pairwise distinct (the list is sorted, so adjacent equality
+        // suffices).
+        prop_assert!(result.cliques.windows(2).all(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn early_exit_never_changes_the_answer(graph in arb_graph(18)) {
+        let with = MaxCliqueSolver::new(Device::unlimited()).early_exit(true).solve(&graph).unwrap();
+        let without = MaxCliqueSolver::new(Device::unlimited()).early_exit(false).solve(&graph).unwrap();
+        prop_assert_eq!(with.clique_number, without.clique_number);
+        prop_assert_eq!(with.cliques, without.cliques);
+    }
+
+    #[test]
+    fn oom_never_returns_a_wrong_answer(graph in arb_graph(16), budget in 64usize..4096) {
+        let device = Device::with_memory_budget(budget);
+        // OOM is acceptable; a wrong answer is not.
+        if let Ok(result) = MaxCliqueSolver::new(device).solve(&graph) {
+            let omega = ReferenceEnumerator::clique_number(&graph);
+            prop_assert_eq!(result.clique_number, omega);
+        }
+    }
+}
