@@ -16,15 +16,14 @@
 //! A representative cross-category slice of the corpus keeps the runtime
 //! manageable.
 
+use gmc_bench::impl_to_json;
 use gmc_bench::{load_corpus, print_table, run_solver, save_json, BenchEnv, RunOutcome};
 use gmc_heuristic::HeuristicKind;
 use gmc_mce::{
     CandidateOrder, EdgeIndexKind, OrientationRule, SolverConfig, SublistBound, WindowConfig,
     WindowOrdering,
 };
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct AblationRecord {
     orientation: Vec<OrientationRow>,
     candidate_order: Vec<TimingRow>,
@@ -33,7 +32,14 @@ struct AblationRecord {
     edge_index: Vec<EdgeIndexRow>,
 }
 
-#[derive(Serialize)]
+impl_to_json!(AblationRecord {
+    orientation,
+    candidate_order,
+    window_ordering,
+    early_exit,
+    edge_index
+});
+
 struct EdgeIndexRow {
     dataset: String,
     kind: String,
@@ -41,7 +47,13 @@ struct EdgeIndexRow {
     footprint_bytes: usize,
 }
 
-#[derive(Serialize)]
+impl_to_json!(EdgeIndexRow {
+    dataset,
+    kind,
+    ms,
+    footprint_bytes
+});
+
 struct OrientationRow {
     dataset: String,
     degree_entries: usize,
@@ -50,7 +62,14 @@ struct OrientationRow {
     index_ms: Option<f64>,
 }
 
-#[derive(Serialize)]
+impl_to_json!(OrientationRow {
+    dataset,
+    degree_entries,
+    index_entries,
+    degree_ms,
+    index_ms
+});
+
 struct TimingRow {
     dataset: String,
     variant_a: String,
@@ -59,13 +78,27 @@ struct TimingRow {
     b_ms: Option<f64>,
 }
 
-#[derive(Serialize)]
+impl_to_json!(TimingRow {
+    dataset,
+    variant_a,
+    a_ms,
+    variant_b,
+    b_ms
+});
+
 struct WindowOrderRow {
     dataset: String,
     ordering: String,
     peak_window_bytes: Option<usize>,
     ms: Option<f64>,
 }
+
+impl_to_json!(WindowOrderRow {
+    dataset,
+    ordering,
+    peak_window_bytes,
+    ms
+});
 
 fn main() {
     let env = BenchEnv::from_env();

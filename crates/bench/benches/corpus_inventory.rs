@@ -3,11 +3,10 @@
 //! the true clique number ω (from the DFS baseline) and its multiplicity
 //! (from the breadth-first enumerator, where it fits in memory).
 
+use gmc_bench::impl_to_json;
 use gmc_bench::{load_corpus, print_table, run_solver, save_json, BenchEnv, RunOutcome};
 use gmc_mce::SolverConfig;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct InventoryRow {
     dataset: String,
     category: String,
@@ -19,6 +18,18 @@ struct InventoryRow {
     omega: u32,
     multiplicity: Option<usize>,
 }
+
+impl_to_json!(InventoryRow {
+    dataset,
+    category,
+    vertices,
+    edges,
+    avg_degree,
+    max_degree,
+    degeneracy,
+    omega,
+    multiplicity
+});
 
 fn main() {
     let env = BenchEnv::from_env();

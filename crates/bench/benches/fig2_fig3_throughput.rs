@@ -6,12 +6,12 @@
 //! rises, and rises with graph size. This bench prints both series (sorted
 //! each way) and the rank correlation between throughput and the x-axis.
 
+use gmc_bench::impl_to_json;
 use gmc_bench::{load_corpus, print_table, save_json, BenchEnv, RunOutcome};
 use gmc_heuristic::HeuristicKind;
 use gmc_mce::{SolverConfig, WindowConfig};
-use serde::Serialize;
 
-#[derive(Serialize, Clone)]
+#[derive(Clone)]
 struct ThroughputPoint {
     dataset: String,
     category: String,
@@ -23,12 +23,28 @@ struct ThroughputPoint {
     windowed_size: Option<usize>,
 }
 
-#[derive(Serialize)]
+impl_to_json!(ThroughputPoint {
+    dataset,
+    category,
+    edges,
+    avg_degree,
+    bfs_eps,
+    bfs_config,
+    windowed_eps,
+    windowed_size
+});
+
 struct Record {
     points: Vec<ThroughputPoint>,
     spearman_tput_vs_degree_bfs: f64,
     spearman_tput_vs_edges_bfs: f64,
 }
+
+impl_to_json!(Record {
+    points,
+    spearman_tput_vs_degree_bfs,
+    spearman_tput_vs_edges_bfs
+});
 
 /// Heuristics tried for the "fastest configuration", simplest first (the
 /// paper's recommendation in §V-B4).

@@ -6,12 +6,11 @@
 //! windowing favour PMC strongly. The overall geometric-mean speedup across
 //! solvable graphs is the paper's headline 1.9×.
 
+use gmc_bench::impl_to_json;
 use gmc_bench::{geometric_mean, load_corpus, print_table, save_json, BenchEnv, RunOutcome};
 use gmc_heuristic::HeuristicKind;
 use gmc_mce::{SolverConfig, WindowConfig};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct SpeedupPoint {
     dataset: String,
     category: String,
@@ -24,7 +23,18 @@ struct SpeedupPoint {
     windowed_speedup: Option<f64>,
 }
 
-#[derive(Serialize)]
+impl_to_json!(SpeedupPoint {
+    dataset,
+    category,
+    avg_degree,
+    edges,
+    pmc_ms,
+    bfs_ms,
+    windowed_ms,
+    bfs_speedup,
+    windowed_speedup
+});
+
 struct Record {
     points: Vec<SpeedupPoint>,
     geomean_bfs_speedup: f64,
@@ -32,6 +42,14 @@ struct Record {
     geomean_low_degree_bfs_speedup: f64,
     geomean_high_degree_bfs_speedup: f64,
 }
+
+impl_to_json!(Record {
+    points,
+    geomean_bfs_speedup,
+    geomean_windowed_speedup,
+    geomean_low_degree_bfs_speedup,
+    geomean_high_degree_bfs_speedup
+});
 
 const CONFIG_LADDER: [HeuristicKind; 4] = [
     HeuristicKind::None,

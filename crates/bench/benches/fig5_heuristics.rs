@@ -9,12 +9,11 @@
 //! setup is replayed to measure the pruned 2-clique volume each bound
 //! achieves.
 
+use gmc_bench::impl_to_json;
 use gmc_bench::{load_corpus, millis, print_table, save_json, BenchEnv};
 use gmc_heuristic::HeuristicKind;
 use gmc_mce::SolverConfig;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct HeuristicPoint {
     dataset: String,
     edges: usize,
@@ -28,10 +27,24 @@ struct HeuristicPoint {
     pruning_fraction: f64,
 }
 
-#[derive(Serialize)]
+impl_to_json!(HeuristicPoint {
+    dataset,
+    edges,
+    avg_degree,
+    true_omega,
+    heuristic,
+    runtime_ms,
+    core_ms,
+    lower_bound,
+    accuracy,
+    pruning_fraction
+});
+
 struct Record {
     points: Vec<HeuristicPoint>,
 }
+
+impl_to_json!(Record { points });
 
 fn main() {
     let env = BenchEnv::from_env();

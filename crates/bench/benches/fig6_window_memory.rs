@@ -6,14 +6,13 @@
 //! smaller windows saving more, at a runtime cost (geomean speedups of
 //! roughly 0.53× at 1024 and 0.89× at 32768).
 
+use gmc_bench::impl_to_json;
 use gmc_bench::{
     geometric_mean, load_corpus, print_table, run_solver, save_json, BenchEnv, RunOutcome,
 };
 use gmc_heuristic::HeuristicKind;
 use gmc_mce::{SolverConfig, WindowConfig};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct MemoryPoint {
     dataset: String,
     edges: usize,
@@ -23,7 +22,15 @@ struct MemoryPoint {
     windowed: Vec<WindowedPoint>,
 }
 
-#[derive(Serialize)]
+impl_to_json!(MemoryPoint {
+    dataset,
+    edges,
+    full_peak_bytes,
+    full_ms,
+    full_launches,
+    windowed
+});
+
 struct WindowedPoint {
     size: usize,
     peak_bytes: Option<usize>,
@@ -31,12 +38,24 @@ struct WindowedPoint {
     launches: Option<u64>,
 }
 
-#[derive(Serialize)]
+impl_to_json!(WindowedPoint {
+    size,
+    peak_bytes,
+    ms,
+    launches
+});
+
 struct Record {
     points: Vec<MemoryPoint>,
     mean_reduction_pct: Vec<(usize, f64)>,
     geomean_speedup_vs_full: Vec<(usize, f64)>,
 }
+
+impl_to_json!(Record {
+    points,
+    mean_reduction_pct,
+    geomean_speedup_vs_full
+});
 
 const WINDOW_SIZES: [usize; 3] = [1024, 8192, 32768];
 

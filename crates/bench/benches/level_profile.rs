@@ -10,18 +10,17 @@
 //! finish early because what we are solving for is the depth itself",
 //! §VI).
 
+use gmc_bench::impl_to_json;
 use gmc_bench::{load_corpus, print_table, save_json, BenchEnv};
 use gmc_dpp::Device;
 use gmc_heuristic::HeuristicKind;
 use gmc_mce::{MaxCliqueSolver, SolveError, SolverConfig};
-use serde::Serialize;
 
 /// Profiles are measured under a generous-but-finite budget so that
 /// genuinely explosive unpruned searches abort instead of exhausting host
 /// memory (they are reported as OOM rows).
 const PROFILE_BUDGET: usize = 128 << 20;
 
-#[derive(Serialize)]
 struct ProfileRow {
     dataset: String,
     heuristic: String,
@@ -31,6 +30,16 @@ struct ProfileRow {
     peak_entries: usize,
     total_entries: usize,
 }
+
+impl_to_json!(ProfileRow {
+    dataset,
+    heuristic,
+    lower_bound,
+    omega,
+    level_entries,
+    peak_entries,
+    total_entries
+});
 
 fn main() {
     let env = BenchEnv::from_env();

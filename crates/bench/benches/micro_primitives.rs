@@ -1,7 +1,9 @@
-//! Criterion micro-benchmarks for the virtual-GPU primitives — the
-//! operations the paper's kernels are composed of.
+//! Micro-benchmarks for the virtual-GPU primitives — the operations the
+//! paper's kernels are composed of. Runs on the in-tree harness
+//! (`gmc_bench::harness`): warmup, calibrated iteration counts,
+//! median-of-k ns/op.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gmc_bench::harness::Harness;
 use gmc_dpp::Executor;
 use gmc_graph::generators;
 
@@ -15,68 +17,68 @@ fn pseudo_random(n: usize, seed: u32) -> Vec<u32> {
         .collect()
 }
 
-fn bench_scan(c: &mut Criterion) {
+fn bench_scan(h: &mut Harness) {
     let exec = Executor::with_default_parallelism();
-    let mut group = c.benchmark_group("scan");
+    let mut group = h.group("scan");
     for n in [10_000usize, 1_000_000] {
         let input: Vec<usize> = (0..n).map(|i| i % 13).collect();
-        group.throughput(Throughput::Elements(n as u64));
-        group.bench_with_input(BenchmarkId::new("exclusive", n), &input, |b, input| {
-            b.iter(|| gmc_dpp::exclusive_scan(&exec, input));
+        group.throughput_elements(n as u64);
+        group.bench(&format!("exclusive/{n}"), |b| {
+            b.iter(|| gmc_dpp::exclusive_scan(&exec, &input));
         });
     }
     group.finish();
 }
 
-fn bench_select(c: &mut Criterion) {
+fn bench_select(h: &mut Harness) {
     let exec = Executor::with_default_parallelism();
-    let mut group = c.benchmark_group("select");
+    let mut group = h.group("select");
     for n in [10_000usize, 1_000_000] {
         let input = pseudo_random(n, 3);
-        group.throughput(Throughput::Elements(n as u64));
-        group.bench_with_input(BenchmarkId::new("half", n), &input, |b, input| {
-            b.iter(|| gmc_dpp::select_if(&exec, input, |_, v| v & 1 == 0));
+        group.throughput_elements(n as u64);
+        group.bench(&format!("half/{n}"), |b| {
+            b.iter(|| gmc_dpp::select_if(&exec, &input, |_, v| v & 1 == 0));
         });
     }
     group.finish();
 }
 
-fn bench_sort(c: &mut Criterion) {
+fn bench_sort(h: &mut Harness) {
     let exec = Executor::with_default_parallelism();
-    let mut group = c.benchmark_group("radix_sort");
+    let mut group = h.group("radix_sort");
     for n in [10_000usize, 1_000_000] {
         let keys = pseudo_random(n, 5);
         let values: Vec<u32> = (0..n as u32).collect();
-        group.throughput(Throughput::Elements(n as u64));
-        group.bench_with_input(BenchmarkId::new("pairs", n), &n, |b, _| {
+        group.throughput_elements(n as u64);
+        group.bench(&format!("pairs/{n}"), |b| {
             b.iter(|| gmc_dpp::sort_pairs_u32(&exec, &keys, &values));
         });
         // Degree-like keys (small range) hit the constant-digit fast path.
         let degree_keys: Vec<u32> = keys.iter().map(|k| k % 256).collect();
-        group.bench_with_input(BenchmarkId::new("degree_keys", n), &n, |b, _| {
+        group.bench(&format!("degree_keys/{n}"), |b| {
             b.iter(|| gmc_dpp::sort_u32(&exec, &degree_keys));
         });
     }
     group.finish();
 }
 
-fn bench_segmented_max(c: &mut Criterion) {
+fn bench_segmented_max(h: &mut Harness) {
     let exec = Executor::with_default_parallelism();
     let n = 1_000_000usize;
     let values = pseudo_random(n, 7);
     let offsets: Vec<usize> = (0..=n / 100).map(|s| s * 100).collect();
-    c.bench_function("segmented_argmax/10k_segments_of_100", |b| {
+    h.bench("segmented_argmax/10k_segments_of_100", |b| {
         b.iter(|| gmc_dpp::segmented_argmax_by_key(&exec, n, &offsets, |i| values[i]));
     });
 }
 
-fn bench_edge_lookup(c: &mut Criterion) {
+fn bench_edge_lookup(h: &mut Harness) {
     // The solver's hot operation: binary-search edge membership (Algorithm 2
     // lines 5 & 19).
     let graph = generators::barabasi_albert(50_000, 8, 11);
     let queries = pseudo_random(100_000, 13);
     let n = graph.num_vertices() as u32;
-    c.bench_function("has_edge/100k_lookups_ba_graph", |b| {
+    h.bench("has_edge/100k_lookups_ba_graph", |b| {
         b.iter(|| {
             let mut hits = 0u32;
             for pair in queries.chunks_exact(2) {
@@ -89,49 +91,48 @@ fn bench_edge_lookup(c: &mut Criterion) {
     });
 }
 
-fn bench_kcore(c: &mut Criterion) {
+fn bench_kcore(h: &mut Harness) {
     let exec = Executor::with_default_parallelism();
     let graph = generators::barabasi_albert(20_000, 6, 17);
-    let mut group = c.benchmark_group("kcore");
-    group.bench_function("sequential_bz", |b| {
+    let mut group = h.group("kcore");
+    group.bench("sequential_bz", |b| {
         b.iter(|| gmc_graph::kcore::core_numbers(&graph));
     });
-    group.bench_function("data_parallel_peel", |b| {
+    group.bench("data_parallel_peel", |b| {
         b.iter(|| gmc_graph::kcore::core_numbers_parallel(&exec, &graph));
     });
     group.finish();
 }
 
-fn bench_rle(c: &mut Criterion) {
+fn bench_rle(h: &mut Harness) {
     let exec = Executor::with_default_parallelism();
     // Sublist-like input: runs of varying length.
     let values: Vec<u32> = (0..1_000_000).map(|i| (i / 37) as u32).collect();
-    c.bench_function("run_length_encode/1m_values", |b| {
+    h.bench("run_length_encode/1m_values", |b| {
         b.iter(|| gmc_dpp::run_length_encode(&exec, &values));
     });
 }
 
-fn bench_histogram(c: &mut Criterion) {
+fn bench_histogram(h: &mut Harness) {
     let exec = Executor::with_default_parallelism();
     let data: Vec<u32> = pseudo_random(1_000_000, 19)
         .iter()
         .map(|v| v % 1000)
         .collect();
-    c.bench_function("histogram/1m_values_1k_bins", |b| {
+    h.bench("histogram/1m_values_1k_bins", |b| {
         b.iter(|| gmc_dpp::histogram_u32(&exec, &data, 1000));
     });
 }
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_scan,
-        bench_select,
-        bench_sort,
-        bench_segmented_max,
-        bench_edge_lookup,
-        bench_kcore,
-        bench_rle,
-        bench_histogram
-);
-criterion_main!(benches);
+fn main() {
+    let mut harness = Harness::from_args();
+    bench_scan(&mut harness);
+    bench_select(&mut harness);
+    bench_sort(&mut harness);
+    bench_segmented_max(&mut harness);
+    bench_edge_lookup(&mut harness);
+    bench_kcore(&mut harness);
+    bench_rle(&mut harness);
+    bench_histogram(&mut harness);
+    harness.finish();
+}

@@ -1,8 +1,8 @@
-//! Criterion micro-benchmarks for the solver phases: heuristics, setup and
+//! Micro-benchmarks for the solver phases: heuristics, setup and
 //! end-to-end solves on representative corpus datasets, plus the PMC
-//! baseline on the same instances.
+//! baseline on the same instances. Runs on the in-tree harness.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gmc_bench::harness::Harness;
 use gmc_corpus::{by_name, Tier};
 use gmc_dpp::Device;
 use gmc_graph::Csr;
@@ -16,37 +16,33 @@ fn dataset(name: &str) -> Csr {
         .load()
 }
 
-fn bench_heuristics(c: &mut Criterion) {
+fn bench_heuristics(h: &mut Harness) {
     let device = Device::unlimited();
     let graph = dataset("soc-sphere-05");
-    let mut group = c.benchmark_group("heuristic");
+    let mut group = h.group("heuristic");
     for kind in [
         HeuristicKind::SingleDegree,
         HeuristicKind::SingleCore,
         HeuristicKind::MultiDegree,
         HeuristicKind::MultiCore,
     ] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(kind.name()),
-            &kind,
-            |b, &kind| {
-                b.iter(|| gmc_heuristic::run_heuristic(&device, &graph, kind, None).unwrap());
-            },
-        );
+        group.bench(kind.name(), |b| {
+            b.iter(|| gmc_heuristic::run_heuristic(&device, &graph, kind, None).unwrap());
+        });
     }
     group.finish();
 }
 
-fn bench_setup(c: &mut Criterion) {
+fn bench_setup(h: &mut Harness) {
     let device = Device::unlimited();
     let graph = dataset("socfb-campus-07");
-    c.bench_function("setup/preview_socfb", |b| {
+    h.bench("setup/preview_socfb", |b| {
         b.iter(|| gmc_mce::preview_setup(&device, &graph, &SolverConfig::default()).unwrap());
     });
 }
 
-fn bench_full_solve(c: &mut Criterion) {
-    let mut group = c.benchmark_group("solve");
+fn bench_full_solve(h: &mut Harness) {
+    let mut group = h.group("solve");
     for name in [
         "road-grid-02",
         "ca-papers-03",
@@ -54,35 +50,37 @@ fn bench_full_solve(c: &mut Criterion) {
         "web-crawl-03",
     ] {
         let graph = dataset(name);
-        group.bench_with_input(BenchmarkId::new("bfs", name), &graph, |b, graph| {
+        group.bench(&format!("bfs/{name}"), |b| {
             let solver = MaxCliqueSolver::new(Device::unlimited());
-            b.iter(|| solver.solve(graph).unwrap());
+            b.iter(|| solver.solve(&graph).unwrap());
         });
-        group.bench_with_input(BenchmarkId::new("windowed", name), &graph, |b, graph| {
+        group.bench(&format!("windowed/{name}"), |b| {
             let solver =
                 MaxCliqueSolver::new(Device::unlimited()).windowed(WindowConfig::with_size(1024));
-            b.iter(|| solver.solve(graph).unwrap());
+            b.iter(|| solver.solve(&graph).unwrap());
         });
-        group.bench_with_input(BenchmarkId::new("pmc", name), &graph, |b, graph| {
+        group.bench(&format!("pmc/{name}"), |b| {
             let pmc = ParallelBranchBound::with_default_parallelism();
-            b.iter(|| pmc.solve(graph));
+            b.iter(|| pmc.solve(&graph));
         });
     }
     group.finish();
 }
 
-fn bench_expansion_heavy(c: &mut Criterion) {
+fn bench_expansion_heavy(h: &mut Harness) {
     // A denser instance exercising multiple expansion levels.
     let graph = gmc_graph::generators::gnp(400, 0.15, 99);
-    c.bench_function("solve/gnp_400_dense", |b| {
+    h.bench("solve/gnp_400_dense", |b| {
         let solver = MaxCliqueSolver::new(Device::unlimited());
         b.iter(|| solver.solve(&graph).unwrap());
     });
 }
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_heuristics, bench_setup, bench_full_solve, bench_expansion_heavy
-);
-criterion_main!(benches);
+fn main() {
+    let mut harness = Harness::from_args();
+    bench_heuristics(&mut harness);
+    bench_setup(&mut harness);
+    bench_full_solve(&mut harness);
+    bench_expansion_heavy(&mut harness);
+    harness.finish();
+}

@@ -8,14 +8,13 @@
 //! and the OOM percentage. A PMC row (its own greedy bound, never
 //! memory-limited) closes the table as in the paper.
 
+use gmc_bench::impl_to_json;
 use gmc_bench::{
     geometric_mean, load_corpus, print_table, run_solver, save_json, BenchEnv, RunOutcome,
 };
 use gmc_heuristic::HeuristicKind;
 use gmc_mce::SolverConfig;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Table1Row {
     heuristic: String,
     mean_error_pct: f64,
@@ -25,13 +24,22 @@ struct Table1Row {
     geomean_solve_ms: f64,
 }
 
-#[derive(Serialize)]
+impl_to_json!(Table1Row {
+    heuristic,
+    mean_error_pct,
+    solved,
+    total,
+    oom_pct,
+    geomean_solve_ms
+});
+
 struct Table1Record {
     rows: Vec<Table1Row>,
     per_dataset: Vec<PerDataset>,
 }
 
-#[derive(Serialize)]
+impl_to_json!(Table1Record { rows, per_dataset });
+
 struct PerDataset {
     dataset: String,
     category: String,
@@ -40,6 +48,15 @@ struct PerDataset {
     true_omega: u32,
     outcomes: Vec<(String, RunOutcome)>,
 }
+
+impl_to_json!(PerDataset {
+    dataset,
+    category,
+    edges,
+    avg_degree,
+    true_omega,
+    outcomes
+});
 
 fn main() {
     let env = BenchEnv::from_env();

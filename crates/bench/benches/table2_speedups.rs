@@ -7,22 +7,28 @@
 //! preprocessing costs more than it saves — the paper's headline finding
 //! that "better pruning does not dependably improve runtimes".
 
+use gmc_bench::impl_to_json;
 use gmc_bench::{geometric_mean, load_corpus, print_table, run_solver, save_json, BenchEnv};
 use gmc_heuristic::HeuristicKind;
 use gmc_mce::SolverConfig;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Table2Record {
     baselines: Vec<BaselineRow>,
 }
 
-#[derive(Serialize)]
+impl_to_json!(Table2Record { baselines });
+
 struct BaselineRow {
     baseline: String,
     group_size: usize,
     speedups: Vec<(String, f64)>,
 }
+
+impl_to_json!(BaselineRow {
+    baseline,
+    group_size,
+    speedups
+});
 
 fn main() {
     let env = BenchEnv::from_env();

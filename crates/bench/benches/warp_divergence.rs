@@ -8,12 +8,11 @@
 //! 32-lane lockstep accounting and prints the utilisation each achieves on
 //! every corpus dataset — the numbers behind the paper's Section II-C.
 
+use gmc_bench::impl_to_json;
 use gmc_bench::{load_corpus, print_table, run_solver, save_json, BenchEnv, RunOutcome};
 use gmc_mce::SolverConfig;
 use gmc_pmc::simt;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct UtilizationRow {
     dataset: String,
     category: String,
@@ -22,6 +21,15 @@ struct UtilizationRow {
     warp_dfs_utilization: f64,
     thread_dfs_utilization: f64,
 }
+
+impl_to_json!(UtilizationRow {
+    dataset,
+    category,
+    avg_degree,
+    bfs_utilization,
+    warp_dfs_utilization,
+    thread_dfs_utilization
+});
 
 fn main() {
     let env = BenchEnv::from_env();

@@ -1,0 +1,304 @@
+//! Minimal in-tree micro-benchmark harness (the `criterion` stand-in).
+//!
+//! Bench targets are plain `harness = false` binaries: they build a
+//! [`Harness`] from the command line, register closures under
+//! slash-separated names, and get warmup, iteration-count calibration,
+//! median-of-k timing and a ns/op (plus optional elements/s) report line
+//! per benchmark.
+//!
+//! Environment knobs (all optional):
+//!
+//! * `GMC_BENCH_SAMPLES` — samples per benchmark (default 10).
+//! * `GMC_BENCH_WARMUP_MS` — warmup budget per benchmark (default 100).
+//! * `GMC_BENCH_SAMPLE_MS` — target wall time per sample (default 50).
+//!
+//! `cargo bench -p gmc-bench --bench micro_primitives -- scan` runs only
+//! benchmarks whose name contains `scan`; cargo's own `--bench` flag and
+//! criterion-style passthrough flags are ignored.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Per-benchmark measurement settings.
+#[derive(Debug, Clone)]
+pub struct Settings {
+    /// Timed samples collected per benchmark (the report is their median).
+    pub samples: usize,
+    /// Warmup budget before calibration.
+    pub warmup: Duration,
+    /// Target wall time per sample; iteration count is calibrated to it.
+    pub sample_time: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        let ms = |var: &str, default: u64| {
+            Duration::from_millis(
+                std::env::var(var)
+                    .ok()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(default),
+            )
+        };
+        Self {
+            samples: std::env::var("GMC_BENCH_SAMPLES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .filter(|&s: &usize| s >= 1)
+                .unwrap_or(10),
+            warmup: ms("GMC_BENCH_WARMUP_MS", 100),
+            sample_time: ms("GMC_BENCH_SAMPLE_MS", 50),
+        }
+    }
+}
+
+/// The bench registry and runner for one `harness = false` target.
+pub struct Harness {
+    settings: Settings,
+    filter: Option<String>,
+    ran: usize,
+    skipped: usize,
+}
+
+impl Harness {
+    /// Builds a harness from `std::env::args`, treating the first
+    /// non-flag argument as a substring name filter. Flags cargo/criterion
+    /// conventionally pass (`--bench`, `--test`, `--exact`, `--nocapture`,
+    /// and any other `--...`) are ignored so `cargo bench` keeps working.
+    pub fn from_args() -> Self {
+        let filter = std::env::args().skip(1).find(|arg| !arg.starts_with('-'));
+        Self::with_filter(filter)
+    }
+
+    /// A harness with an explicit (optional) name filter.
+    pub fn with_filter(filter: Option<String>) -> Self {
+        Self {
+            settings: Settings::default(),
+            filter,
+            ran: 0,
+            skipped: 0,
+        }
+    }
+
+    /// Overrides the measurement settings.
+    pub fn settings(&mut self, settings: Settings) -> &mut Self {
+        self.settings = settings;
+        self
+    }
+
+    /// A named group; benchmarks registered on it get `name/` prefixed.
+    pub fn group(&mut self, name: &str) -> Group<'_> {
+        Group {
+            harness: self,
+            prefix: name.to_string(),
+            elements: None,
+        }
+    }
+
+    /// Registers and (filter permitting) runs one benchmark.
+    pub fn bench(&mut self, name: &str, body: impl FnMut(&mut Bencher)) {
+        self.run_one(name, None, body);
+    }
+
+    /// Prints the closing line; call last in `main`.
+    pub fn finish(&self) {
+        println!(
+            "bench summary: {} run, {} filtered out",
+            self.ran, self.skipped
+        );
+    }
+
+    fn run_one(&mut self, name: &str, elements: Option<u64>, mut body: impl FnMut(&mut Bencher)) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                self.skipped += 1;
+                return;
+            }
+        }
+        self.ran += 1;
+        let mut bencher = Bencher {
+            settings: self.settings.clone(),
+            elements,
+            report: None,
+        };
+        body(&mut bencher);
+        match bencher.report {
+            Some(report) => println!("{name:<48} {report}"),
+            None => println!("{name:<48} (no measurement — body never called iter)"),
+        }
+    }
+}
+
+/// A benchmark group: shared name prefix plus optional throughput metadata.
+pub struct Group<'h> {
+    harness: &'h mut Harness,
+    prefix: String,
+    elements: Option<u64>,
+}
+
+impl Group<'_> {
+    /// Declares that each iteration processes `n` logical elements, adding
+    /// an elements/s column to subsequent benchmarks in this group.
+    pub fn throughput_elements(&mut self, n: u64) -> &mut Self {
+        self.elements = Some(n);
+        self
+    }
+
+    /// Registers `prefix/name`.
+    pub fn bench(&mut self, name: &str, body: impl FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.prefix, name);
+        self.harness.run_one(&full, self.elements, body);
+    }
+
+    /// No-op kept for call-site symmetry with the old criterion groups.
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark body; `iter` performs the actual measurement.
+pub struct Bencher {
+    settings: Settings,
+    elements: Option<u64>,
+    report: Option<String>,
+}
+
+impl Bencher {
+    /// Measures `f`: warmup, calibrate iterations per sample, then time
+    /// `samples` batches and keep per-iteration durations.
+    pub fn iter<T>(&mut self, mut f: impl FnMut() -> T) {
+        // Warmup: run until the budget is spent, tracking mean cost.
+        let warmup_start = Instant::now();
+        let mut warmup_iters = 0u64;
+        while warmup_start.elapsed() < self.settings.warmup || warmup_iters == 0 {
+            black_box(f());
+            warmup_iters += 1;
+        }
+        let per_iter = warmup_start.elapsed().as_secs_f64() / warmup_iters as f64;
+
+        // Calibrate: enough iterations that one sample hits the target time.
+        let iters = ((self.settings.sample_time.as_secs_f64() / per_iter.max(1e-9)).ceil() as u64)
+            .clamp(1, 1_000_000_000);
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.settings.samples);
+        for _ in 0..self.settings.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            samples_ns.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let median = median_of_sorted(&samples_ns);
+        let min = samples_ns[0];
+        let max = *samples_ns.last().expect("samples >= 1");
+
+        let mut report = format!(
+            "{:>12}/iter  [{} .. {}]  ({} samples × {} iters)",
+            fmt_ns(median),
+            fmt_ns(min),
+            fmt_ns(max),
+            samples_ns.len(),
+            iters
+        );
+        if let Some(elements) = self.elements {
+            let eps = elements as f64 / (median * 1e-9);
+            report.push_str(&format!("  {}/s", fmt_count(eps)));
+        }
+        self.report = Some(report);
+    }
+}
+
+fn median_of_sorted(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+/// Formats nanoseconds with an adaptive unit.
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Formats a large count with an adaptive SI suffix (for elements/s).
+fn fmt_count(v: f64) -> String {
+    if v < 1e3 {
+        format!("{v:.0} elem")
+    } else if v < 1e6 {
+        format!("{:.1} Kelem", v / 1e3)
+    } else if v < 1e9 {
+        format!("{:.1} Melem", v / 1e6)
+    } else {
+        format!("{:.2} Gelem", v / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_settings() -> Settings {
+        Settings {
+            samples: 3,
+            warmup: Duration::from_millis(1),
+            sample_time: Duration::from_millis(1),
+        }
+    }
+
+    #[test]
+    fn measures_a_trivial_closure() {
+        let mut harness = Harness::with_filter(None);
+        harness.settings(fast_settings());
+        let mut calls = 0u64;
+        harness.bench("trivial", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        assert!(calls > 0, "body should have been exercised");
+        harness.finish();
+    }
+
+    #[test]
+    fn filter_skips_non_matching_names() {
+        let mut harness = Harness::with_filter(Some("match-me".into()));
+        harness.settings(fast_settings());
+        let mut ran_skipped = false;
+        let mut ran_matching = false;
+        harness.bench("other", |b| {
+            ran_skipped = true;
+            b.iter(|| 1)
+        });
+        let mut group = harness.group("contains");
+        group.throughput_elements(10);
+        group.bench("match-me-too", |b| {
+            ran_matching = true;
+            b.iter(|| 2)
+        });
+        group.finish();
+        assert!(!ran_skipped);
+        assert!(ran_matching, "group prefix/name should be filtered jointly");
+        assert_eq!(harness.ran, 1);
+        assert_eq!(harness.skipped, 1);
+    }
+
+    #[test]
+    fn median_and_formatting() {
+        assert_eq!(median_of_sorted(&[1.0, 2.0, 50.0]), 2.0);
+        assert_eq!(median_of_sorted(&[1.0, 3.0]), 2.0);
+        assert_eq!(fmt_ns(500.0), "500.0 ns");
+        assert_eq!(fmt_ns(2_500.0), "2.50 µs");
+        assert_eq!(fmt_ns(3_200_000.0), "3.20 ms");
+        assert_eq!(fmt_count(5.0e6), "5.0 Melem");
+    }
+}

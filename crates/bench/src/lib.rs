@@ -1,7 +1,7 @@
 //! # gmc-bench: the experiment harness
 //!
 //! One bench target per table/figure of the paper's evaluation (run with
-//! `cargo bench -p gmc-bench --bench <name>`), plus criterion
+//! `cargo bench -p gmc-bench --bench <name>`), plus in-tree
 //! micro-benchmarks. Every target prints the paper-style rows/series to
 //! stdout and writes a JSON record under `target/experiments/`.
 //!
@@ -22,13 +22,15 @@
 
 #![warn(missing_docs)]
 
+pub mod harness;
+pub mod json;
 pub mod report;
 
 use gmc_corpus::{corpus, DatasetSpec, Tier};
 use gmc_dpp::Device;
 use gmc_graph::Csr;
 use gmc_mce::{MaxCliqueSolver, SolveError, SolveResult, SolverConfig};
-use serde::Serialize;
+use json::{Json, ToJson};
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
@@ -210,8 +212,7 @@ fn default_out_dir() -> PathBuf {
 }
 
 /// Outcome of one solver run on one dataset.
-#[derive(Debug, Clone, Serialize)]
-#[serde(tag = "status", rename_all = "snake_case")]
+#[derive(Debug, Clone)]
 pub enum RunOutcome {
     /// The run completed.
     Solved(SolvedRecord),
@@ -234,8 +235,25 @@ impl RunOutcome {
     }
 }
 
+impl ToJson for RunOutcome {
+    /// Internally tagged, matching the previous serde shape:
+    /// `{"status":"solved", ...record fields}` / `{"status":"oom"}`.
+    fn to_json(&self) -> Json {
+        match self {
+            RunOutcome::Solved(rec) => {
+                let mut fields = vec![("status".to_string(), Json::Str("solved".into()))];
+                if let Json::Obj(rest) = rec.to_json() {
+                    fields.extend(rest);
+                }
+                Json::Obj(fields)
+            }
+            RunOutcome::Oom => Json::object([("status", Json::Str("oom".into()))]),
+        }
+    }
+}
+
 /// Measurements from a completed solve.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct SolvedRecord {
     /// Clique number found.
     pub omega: u32,
@@ -259,6 +277,18 @@ pub struct SolvedRecord {
     /// (like small windows) that multiply launch counts.
     pub launches: u64,
 }
+
+impl_to_json!(SolvedRecord {
+    omega,
+    multiplicity,
+    lower_bound,
+    total_ms,
+    heuristic_ms,
+    peak_bytes,
+    pruning_fraction,
+    throughput_eps,
+    launches,
+});
 
 /// Runs the solver on a graph, mapping OOM to [`RunOutcome::Oom`].
 pub fn run_solver(
@@ -347,21 +377,17 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
 }
 
 /// Writes `value` as pretty JSON to `target/experiments/<name>.json`.
-pub fn save_json<T: Serialize>(env: &BenchEnv, name: &str, value: &T) {
+pub fn save_json<T: ToJson + ?Sized>(env: &BenchEnv, name: &str, value: &T) {
     if let Err(e) = std::fs::create_dir_all(&env.out_dir) {
         eprintln!("warning: cannot create {}: {e}", env.out_dir.display());
         return;
     }
     let path = env.out_dir.join(format!("{name}.json"));
-    match serde_json::to_string_pretty(value) {
-        Ok(json) => {
-            if let Err(e) = std::fs::write(&path, json) {
-                eprintln!("warning: cannot write {}: {e}", path.display());
-            } else {
-                println!("(json record: {})", path.display());
-            }
-        }
-        Err(e) => eprintln!("warning: cannot serialise {name}: {e}"),
+    let json = value.to_json().to_string_pretty();
+    if let Err(e) = std::fs::write(&path, json) {
+        eprintln!("warning: cannot write {}: {e}", path.display());
+    } else {
+        println!("(json record: {})", path.display());
     }
 }
 

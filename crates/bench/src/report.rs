@@ -6,7 +6,7 @@
 //! summary — the raw material for EXPERIMENTS.md and for comparing runs
 //! across environments.
 
-use serde_json::Value;
+use crate::json::{self, Json};
 use std::fmt::Write as _;
 use std::path::Path;
 
@@ -40,7 +40,7 @@ pub fn render_report(dir: &Path) -> String {
     out
 }
 
-type SectionRenderer = fn(&mut String, &Value);
+type SectionRenderer = fn(&mut String, &Json);
 
 const SECTIONS: &[(&str, SectionRenderer)] = &[
     ("table1_heuristics", render_table1),
@@ -51,7 +51,7 @@ const SECTIONS: &[(&str, SectionRenderer)] = &[
     ("warp_divergence", render_divergence),
 ];
 
-fn load(dir: &Path, name: &str) -> Option<Result<Value, String>> {
+fn load(dir: &Path, name: &str) -> Option<Result<Json, String>> {
     let path = dir.join(format!("{name}.json"));
     if !path.exists() {
         return None;
@@ -59,11 +59,11 @@ fn load(dir: &Path, name: &str) -> Option<Result<Value, String>> {
     Some(
         std::fs::read_to_string(&path)
             .map_err(|e| e.to_string())
-            .and_then(|text| serde_json::from_str(&text).map_err(|e| e.to_string())),
+            .and_then(|text| json::parse(&text)),
     )
 }
 
-fn render_table1(out: &mut String, value: &Value) {
+fn render_table1(out: &mut String, value: &Json) {
     let _ = writeln!(out, "## Table I — heuristic comparison\n");
     let _ = writeln!(out, "| Heuristic | Mean error | Solved | OOM |");
     let _ = writeln!(out, "|---|---|---|---|");
@@ -81,7 +81,7 @@ fn render_table1(out: &mut String, value: &Value) {
     let _ = writeln!(out);
 }
 
-fn render_table2(out: &mut String, value: &Value) {
+fn render_table2(out: &mut String, value: &Json) {
     let _ = writeln!(out, "## Table II — heuristic upgrade speedups (geomean)\n");
     for row in value["baselines"].as_array().into_iter().flatten() {
         let upgrades: Vec<String> = row["speedups"]
@@ -107,7 +107,7 @@ fn render_table2(out: &mut String, value: &Value) {
     let _ = writeln!(out);
 }
 
-fn render_fig23(out: &mut String, value: &Value) {
+fn render_fig23(out: &mut String, value: &Json) {
     let _ = writeln!(out, "## Figures 2–3 — throughput trends\n");
     let _ = writeln!(
         out,
@@ -125,7 +125,7 @@ fn render_fig23(out: &mut String, value: &Value) {
     );
 }
 
-fn render_fig4(out: &mut String, value: &Value) {
+fn render_fig4(out: &mut String, value: &Json) {
     let _ = writeln!(out, "## Figure 4 — speedup over PMC\n");
     for (label, key) in [
         ("overall geomean", "geomean_bfs_speedup"),
@@ -142,7 +142,7 @@ fn render_fig4(out: &mut String, value: &Value) {
     let _ = writeln!(out);
 }
 
-fn render_fig6(out: &mut String, value: &Value) {
+fn render_fig6(out: &mut String, value: &Json) {
     let _ = writeln!(out, "## Figure 6 — windowed memory\n");
     for pair in value["mean_reduction_pct"].as_array().into_iter().flatten() {
         let _ = writeln!(
@@ -155,7 +155,7 @@ fn render_fig6(out: &mut String, value: &Value) {
     let _ = writeln!(out);
 }
 
-fn render_divergence(out: &mut String, value: &Value) {
+fn render_divergence(out: &mut String, value: &Json) {
     let _ = writeln!(out, "## §II-C — mean lane utilisation\n");
     let rows = value.as_array().cloned().unwrap_or_default();
     let mean = |key: &str| {

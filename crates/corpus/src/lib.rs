@@ -121,10 +121,21 @@ pub enum Recipe {
     /// Watts–Strogatz small world.
     SmallWorld { n: usize, k: usize, seed: u64 },
     /// Holme–Kim with per-vertex attachment counts in `m_min..=m_max`.
-    HolmeKimMixed { n: usize, m_min: usize, m_max: usize, p_triad: f64, seed: u64 },
+    HolmeKimMixed {
+        n: usize,
+        m_min: usize,
+        m_max: usize,
+        p_triad: f64,
+        seed: u64,
+    },
     /// Disjoint member cliques whose members carry private acquaintance
     /// fans (degree far above core number).
-    FannedCommunities { communities: usize, community: usize, fan: usize, seed: u64 },
+    FannedCommunities {
+        communities: usize,
+        community: usize,
+        fan: usize,
+        seed: u64,
+    },
     /// Any base recipe with an extra planted clique.
     Planted {
         base: Box<Recipe>,
@@ -183,12 +194,19 @@ impl Recipe {
                 *seed,
             ),
             Recipe::SmallWorld { n, k, seed } => generators::watts_strogatz(*n, *k, 0.08, *seed),
-            Recipe::HolmeKimMixed { n, m_min, m_max, p_triad, seed } => {
-                generators::holme_kim_mixed(*n, *m_min, *m_max, *p_triad, *seed)
-            }
-            Recipe::FannedCommunities { communities, community, fan, seed } => {
-                generators::fanned_communities(*communities, *community, *fan, *seed)
-            }
+            Recipe::HolmeKimMixed {
+                n,
+                m_min,
+                m_max,
+                p_triad,
+                seed,
+            } => generators::holme_kim_mixed(*n, *m_min, *m_max, *p_triad, *seed),
+            Recipe::FannedCommunities {
+                communities,
+                community,
+                fan,
+                seed,
+            } => generators::fanned_communities(*communities, *community, *fan, *seed),
             Recipe::Planted { base, size, seed } => {
                 let g = base.build();
                 generators::plant_clique(&g, *size, *seed).0

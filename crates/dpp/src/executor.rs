@@ -1,8 +1,7 @@
 use crate::stats::{LaunchStats, StatsCells};
-use parking_lot::{Condvar, Mutex};
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 
 /// Launches below this element count run inline on the calling thread. Real
@@ -36,6 +35,18 @@ struct PoolShared {
     work_ready: Condvar,
     work_done: Condvar,
     panicked: AtomicBool,
+}
+
+impl PoolShared {
+    /// Locks the pool state. Worker panics are caught around the task call
+    /// (never while the lock is held), so poisoning can only come from a
+    /// panic in the launcher's own bookkeeping — recovering the guard is
+    /// safe and keeps the pool usable after a propagated kernel panic.
+    fn lock_state(&self) -> MutexGuard<'_, PoolState> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
 }
 
 struct ExecutorInner {
@@ -251,14 +262,17 @@ impl Executor {
             std::mem::transmute::<&(dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync)>(task)
         });
         {
-            let mut st = shared.state.lock();
+            let mut st = shared.lock_state();
             debug_assert_eq!(st.pending, 0, "overlapping launches are not allowed");
             st.task = Some(ptr);
             st.generation += 1;
             st.pending = self.inner.num_workers;
             shared.work_ready.notify_all();
             while st.pending > 0 {
-                shared.work_done.wait(&mut st);
+                st = shared
+                    .work_done
+                    .wait(st)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
             }
             st.task = None;
         }
@@ -271,7 +285,7 @@ impl Executor {
 impl Drop for ExecutorInner {
     fn drop(&mut self) {
         {
-            let mut st = self.shared.state.lock();
+            let mut st = self.shared.lock_state();
             st.shutdown = true;
             self.shared.work_ready.notify_all();
         }
@@ -293,7 +307,7 @@ fn worker_loop(shared: &PoolShared, worker_id: usize) {
     let mut last_generation = 0u64;
     loop {
         let task = {
-            let mut st = shared.state.lock();
+            let mut st = shared.lock_state();
             loop {
                 if st.shutdown {
                     return;
@@ -304,7 +318,10 @@ fn worker_loop(shared: &PoolShared, worker_id: usize) {
                         break task;
                     }
                 }
-                shared.work_ready.wait(&mut st);
+                st = shared
+                    .work_ready
+                    .wait(st)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
             }
         };
         // SAFETY: the launcher keeps the task alive until `pending == 0`,
@@ -313,7 +330,7 @@ fn worker_loop(shared: &PoolShared, worker_id: usize) {
         if std::panic::catch_unwind(call).is_err() {
             shared.panicked.store(true, Ordering::Relaxed);
         }
-        let mut st = shared.state.lock();
+        let mut st = shared.lock_state();
         st.pending -= 1;
         if st.pending == 0 {
             shared.work_done.notify_all();
@@ -413,6 +430,67 @@ mod tests {
             "50 launches at 200µs each should take ≥ 10ms, took {elapsed:?}"
         );
         exec.set_launch_overhead(std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn launch_boundaries_are_barriers() {
+        // The kernel-boundary contract `for_each_indexed` guarantees: every
+        // write from launch k is visible to every virtual thread of launch
+        // k+1, no matter how virtual threads map onto workers. A ping-pong
+        // chain of dependent launches detects any missing barrier — a
+        // single stale read would corrupt all subsequent iterations.
+        let n = 50_000;
+        for workers in [1, 2, 4, 7] {
+            let exec = Executor::new(workers);
+            let mut a: Vec<u64> = (0..n as u64).collect();
+            let mut b = vec![0u64; n];
+            for _ in 0..8 {
+                let src = crate::SharedSlice::new(&mut a);
+                let dst = crate::SharedSlice::new(&mut b);
+                exec.for_each_indexed(n, |i| {
+                    // Each element reads two locations written by the
+                    // *previous* launch.
+                    let left = unsafe { src.read(i) };
+                    let right = unsafe { src.read((i + 1) % n) };
+                    unsafe { dst.write(i, left.wrapping_add(right)) };
+                });
+                std::mem::swap(&mut a, &mut b);
+            }
+            // Reference: the same chain run sequentially.
+            let mut ra: Vec<u64> = (0..n as u64).collect();
+            let mut rb = vec![0u64; n];
+            for _ in 0..8 {
+                for i in 0..n {
+                    rb[i] = ra[i].wrapping_add(ra[(i + 1) % n]);
+                }
+                std::mem::swap(&mut ra, &mut rb);
+            }
+            assert_eq!(a, ra, "workers {workers}: a launch boundary leaked");
+        }
+    }
+
+    #[test]
+    fn pool_matches_scoped_thread_execution() {
+        // The pool's chunked dispatch must be observationally identical to
+        // running the same contiguous chunks on plain `std::thread::scope`
+        // threads — the scoped-thread semantics the executor stands in for.
+        let n = 60_000;
+        let exec = Executor::new(4);
+        let pool_out = exec.map_indexed(n, |i| (i as u64).wrapping_mul(0x9E3779B97F4A7C15));
+
+        let mut scoped_out = vec![0u64; n];
+        let chunk = n.div_ceil(4);
+        std::thread::scope(|scope| {
+            for (w, slot) in scoped_out.chunks_mut(chunk).enumerate() {
+                scope.spawn(move || {
+                    for (k, out) in slot.iter_mut().enumerate() {
+                        let i = w * chunk + k;
+                        *out = (i as u64).wrapping_mul(0x9E3779B97F4A7C15);
+                    }
+                });
+            }
+        });
+        assert_eq!(pool_out, scoped_out);
     }
 
     #[test]

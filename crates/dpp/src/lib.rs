@@ -18,6 +18,12 @@
 //!   allocator standing in for the GPU's on-board RAM. Exhausting it yields
 //!   [`DeviceOom`], which is how the reproduction models the paper's
 //!   out-of-memory outcomes (Table I, Fig. 6).
+//! * [`rng`] — a deterministic SplitMix64-seeded xoshiro256** generator
+//!   behind every seeded graph generator, corpus dataset and shuffle in the
+//!   repo (no external `rand`).
+//! * [`prop`] — a seeded property-testing harness (case generation plus
+//!   bounded shrinking) behind the repo's property suites (no external
+//!   `proptest`).
 //!
 //! Determinism: every primitive in this crate returns byte-identical output
 //! for a given input regardless of how many workers the executor has; all
@@ -28,7 +34,9 @@
 mod executor;
 mod histogram;
 mod memory;
+pub mod prop;
 mod rle;
+pub mod rng;
 mod scan;
 mod segmented;
 mod select;
@@ -40,6 +48,7 @@ pub use executor::Executor;
 pub use histogram::histogram_u32;
 pub use memory::{DeviceBuffer, DeviceMemory, DeviceOom, MemoryGuard};
 pub use rle::{run_length_encode, run_starts};
+pub use rng::Rng;
 pub use scan::{exclusive_scan, exclusive_scan_by, inclusive_scan, reduce, reduce_by};
 pub use segmented::{
     remove_empty_segments, segment_lengths, segmented_argmax_by_key, segmented_sum,

@@ -1,0 +1,387 @@
+//! A small seeded property-testing harness (in-tree `proptest` stand-in).
+//!
+//! Drives a property over many pseudo-randomly generated cases and, on
+//! failure, performs bounded greedy shrinking to report a minimal
+//! counterexample. Everything is seeded through [`Rng`], so failures are
+//! reproducible: the panic message names the seed and case index, and
+//! setting `GMC_PROP_SEED` replays the exact stream.
+//!
+//! Usage:
+//!
+//! ```
+//! use gmc_dpp::prop::{self, gens, shrinks};
+//! use gmc_dpp::prop_assert_eq;
+//!
+//! prop::check(
+//!     "reverse twice is identity",
+//!     |rng| gens::vec_u32(rng, 0..100, 0..1000),
+//!     shrinks::vec,
+//!     |input| {
+//!         let mut twice = input.clone();
+//!         twice.reverse();
+//!         twice.reverse();
+//!         prop_assert_eq!(&twice, input);
+//!         Ok(())
+//!     },
+//! );
+//! ```
+//!
+//! Environment knobs: `GMC_PROP_CASES` (default 64) and `GMC_PROP_SEED`
+//! (default a fixed seed — property runs are deterministic unless asked
+//! otherwise).
+
+use crate::rng::Rng;
+use std::fmt::Debug;
+
+/// Harness configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Number of generated cases per property.
+    pub cases: u32,
+    /// Seed for the case-generation stream.
+    pub seed: u64,
+    /// Cap on accepted shrinking steps (bounded shrinking).
+    pub max_shrink_steps: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        let cases = std::env::var("GMC_PROP_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        let seed = std::env::var("GMC_PROP_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0x6D63_7072_6F70); // "mcprop"
+        Self {
+            cases,
+            seed,
+            max_shrink_steps: 512,
+        }
+    }
+}
+
+/// Runs `prop` on [`Config::default`]'s number of cases drawn from `gen`,
+/// shrinking failures with `shrink`. Panics (like a failing test) with the
+/// minimal counterexample found.
+pub fn check<T, G, S, P>(name: &str, gen: G, shrink: S, prop: P)
+where
+    T: Clone + Debug,
+    G: Fn(&mut Rng) -> T,
+    S: Fn(&T) -> Vec<T>,
+    P: Fn(&T) -> Result<(), String>,
+{
+    check_with(Config::default(), name, gen, shrink, prop);
+}
+
+/// [`check`] with an explicit configuration.
+pub fn check_with<T, G, S, P>(config: Config, name: &str, gen: G, shrink: S, prop: P)
+where
+    T: Clone + Debug,
+    G: Fn(&mut Rng) -> T,
+    S: Fn(&T) -> Vec<T>,
+    P: Fn(&T) -> Result<(), String>,
+{
+    let mut rng = Rng::seed_from_u64(config.seed);
+    for case in 0..config.cases {
+        let input = gen(&mut rng);
+        if let Err(first_failure) = prop(&input) {
+            let (minimal, failure, steps) = shrink_failure(
+                input,
+                first_failure,
+                &shrink,
+                &prop,
+                config.max_shrink_steps,
+            );
+            panic!(
+                "property `{name}` failed (case {case} of {}, seed {:#x}, {steps} shrink steps)\n\
+                 minimal counterexample: {minimal:?}\n\
+                 failure: {failure}",
+                config.cases, config.seed
+            );
+        }
+    }
+}
+
+/// Greedy bounded shrinking: repeatedly adopt the first shrink candidate
+/// that still fails, until no candidate fails or the step budget runs out.
+fn shrink_failure<T, S, P>(
+    mut current: T,
+    mut failure: String,
+    shrink: &S,
+    prop: &P,
+    max_steps: u32,
+) -> (T, String, u32)
+where
+    T: Clone + Debug,
+    S: Fn(&T) -> Vec<T>,
+    P: Fn(&T) -> Result<(), String>,
+{
+    let mut steps = 0;
+    'outer: while steps < max_steps {
+        for candidate in shrink(&current) {
+            if let Err(e) = prop(&candidate) {
+                current = candidate;
+                failure = e;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (current, failure, steps)
+}
+
+/// Returns `Err` unless `cond` holds — the harness's `assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed: {} ({}:{})",
+                stringify!($cond),
+                file!(),
+                line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed: {} ({}:{})",
+                format_args!($($fmt)+),
+                file!(),
+                line!()
+            ));
+        }
+    };
+}
+
+/// Returns `Err` unless both sides are equal — the harness's `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?} ({}:{})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r,
+                file!(),
+                line!()
+            ));
+        }
+    }};
+}
+
+/// Ready-made case generators.
+pub mod gens {
+    use super::Rng;
+    use std::ops::Range;
+
+    /// A vector with length drawn from `len` and `u32` elements from `vals`.
+    pub fn vec_u32(rng: &mut Rng, len: Range<usize>, vals: Range<u32>) -> Vec<u32> {
+        let n = sample_len(rng, len);
+        (0..n).map(|_| rng.gen_range(vals.clone())).collect()
+    }
+
+    /// A vector with length drawn from `len` and `usize` elements from
+    /// `vals`.
+    pub fn vec_usize(rng: &mut Rng, len: Range<usize>, vals: Range<usize>) -> Vec<usize> {
+        let n = sample_len(rng, len);
+        (0..n).map(|_| rng.gen_range(vals.clone())).collect()
+    }
+
+    /// A vector of arbitrary (full-range) `u32`s.
+    pub fn vec_any_u32(rng: &mut Rng, len: Range<usize>) -> Vec<u32> {
+        let n = sample_len(rng, len);
+        (0..n).map(|_| rng.next_u32()).collect()
+    }
+
+    /// One of the listed values, uniformly.
+    pub fn one_of<T: Copy>(rng: &mut Rng, choices: &[T]) -> T {
+        *rng.choose(choices).expect("non-empty choices")
+    }
+
+    /// An undirected edge list on `n` vertices where each of the
+    /// `n·(n−1)/2` pairs appears with probability `p` — the harness's
+    /// "arbitrary small graph" generator.
+    pub fn edges_gnp(rng: &mut Rng, n: usize, p: f64) -> Vec<(u32, u32)> {
+        let mut edges = Vec::new();
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                if rng.gen_bool(p) {
+                    edges.push((u, v));
+                }
+            }
+        }
+        edges
+    }
+
+    fn sample_len(rng: &mut Rng, len: Range<usize>) -> usize {
+        if len.start + 1 >= len.end {
+            len.start
+        } else {
+            rng.gen_range(len)
+        }
+    }
+}
+
+/// Ready-made shrinkers. All are *bounded*: the candidate list is small per
+/// step, and the harness caps total accepted steps.
+pub mod shrinks {
+    /// Shrinks a vector by structure only: drop halves, then drop a bounded
+    /// sample of single elements. Element values are left alone — for the
+    /// repo's properties the interesting minimisation is input *size*.
+    // `&Vec` (not `&[T]`): shrinkers must be usable directly as
+    // `Fn(&T) -> Vec<T>` with `T = Vec<_>`, and trait-bound matching does
+    // not coerce `&Vec<T>` to `&[T]`.
+    #[allow(clippy::ptr_arg)]
+    pub fn vec<T: Clone>(v: &Vec<T>) -> Vec<Vec<T>> {
+        let mut out = Vec::new();
+        let n = v.len();
+        if n == 0 {
+            return out;
+        }
+        out.push(v[..n / 2].to_vec());
+        out.push(v[n / 2..].to_vec());
+        // Single-element removals, at most 16 spread across the vector.
+        let step = (n / 16).max(1);
+        for i in (0..n).step_by(step) {
+            let mut smaller = v.clone();
+            smaller.remove(i);
+            out.push(smaller);
+        }
+        out
+    }
+
+    /// Shrinks an integer toward `lo`: the floor itself, then halves of the
+    /// distance, then the predecessor.
+    pub fn usize_toward(lo: usize) -> impl Fn(&usize) -> Vec<usize> {
+        move |&x| {
+            let mut out = Vec::new();
+            if x > lo {
+                out.push(lo);
+                let mid = lo + (x - lo) / 2;
+                if mid != lo && mid != x {
+                    out.push(mid);
+                }
+                out.push(x - 1);
+            }
+            out.dedup();
+            out
+        }
+    }
+
+    /// No shrinking (for inputs where minimisation has no meaning).
+    pub fn none<T: Clone>(_: &T) -> Vec<T> {
+        Vec::new()
+    }
+
+    /// Shrinks an edge list like [`vec()`](fn@vec) — dropping edges keeps any
+    /// graph-shaped input valid.
+    #[allow(clippy::ptr_arg)]
+    pub fn edges(v: &Vec<(u32, u32)>) -> Vec<Vec<(u32, u32)>> {
+        vec(v)
+    }
+
+    /// Combines two shrinkers over a pair, shrinking one side at a time.
+    pub fn pair<A: Clone, B: Clone>(
+        sa: impl Fn(&A) -> Vec<A>,
+        sb: impl Fn(&B) -> Vec<B>,
+    ) -> impl Fn(&(A, B)) -> Vec<(A, B)> {
+        move |(a, b)| {
+            let mut out: Vec<(A, B)> = sa(a).into_iter().map(|a2| (a2, b.clone())).collect();
+            out.extend(sb(b).into_iter().map(|b2| (a.clone(), b2)));
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_passes() {
+        check(
+            "sum is order independent",
+            |rng| gens::vec_usize(rng, 0..50, 0..100),
+            shrinks::vec,
+            |v| {
+                let forward: usize = v.iter().sum();
+                let backward: usize = v.iter().rev().sum();
+                prop_assert_eq!(forward, backward);
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
+    fn failing_property_shrinks_to_a_minimal_case() {
+        let result = std::panic::catch_unwind(|| {
+            check_with(
+                Config {
+                    cases: 64,
+                    seed: 1,
+                    max_shrink_steps: 512,
+                },
+                "no element is 7 or more",
+                |rng| gens::vec_usize(rng, 0..40, 0..10),
+                shrinks::vec,
+                |v| {
+                    prop_assert!(v.iter().all(|&x| x < 7), "found {v:?}");
+                    Ok(())
+                },
+            );
+        });
+        let message = *result.expect_err("must fail").downcast::<String>().unwrap();
+        assert!(message.contains("minimal counterexample"), "{message}");
+        // Greedy structural shrinking must land on a single-element vector.
+        assert!(message.contains("minimal counterexample: ["), "{message}");
+        let list = message
+            .split("minimal counterexample: [")
+            .nth(1)
+            .and_then(|s| s.split(']').next())
+            .unwrap();
+        assert_eq!(list.split(',').count(), 1, "not minimal: [{list}]");
+    }
+
+    #[test]
+    fn failures_are_reproducible_per_seed() {
+        let run = || {
+            std::panic::catch_unwind(|| {
+                check_with(
+                    Config {
+                        cases: 32,
+                        seed: 42,
+                        max_shrink_steps: 64,
+                    },
+                    "always fails eventually",
+                    |rng| rng.gen_range(0usize..1000),
+                    shrinks::usize_toward(0),
+                    |&x| {
+                        prop_assert!(x < 900, "x = {x}");
+                        Ok(())
+                    },
+                )
+            })
+            .expect_err("must fail")
+            .downcast::<String>()
+            .unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn usize_shrinker_descends() {
+        let sh = shrinks::usize_toward(3);
+        assert!(sh(&3).is_empty());
+        let candidates = sh(&100);
+        assert!(candidates.contains(&3));
+        assert!(candidates.iter().all(|&c| c < 100));
+    }
+}

@@ -71,10 +71,9 @@ mod tests {
     #[test]
     fn turan_is_a_true_lower_bound_on_random_graphs() {
         // Cross-check against brute force on small graphs.
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut rng = gmc_dpp::Rng::seed_from_u64(5);
         for _ in 0..20 {
-            let n = rng.gen_range(3..12);
+            let n = rng.gen_range(3usize..12);
             let mut edges = Vec::new();
             for u in 0..n as u32 {
                 for v in (u + 1)..n as u32 {

@@ -1,6 +1,3 @@
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-
 /// An undirected graph in compressed sparse row form with sorted adjacency
 /// lists.
 ///
@@ -182,9 +179,9 @@ impl Csr {
     /// original datasets" (§V). Returns the relabelled graph and the
     /// permutation used (`new_id = perm[old_id]`).
     pub fn randomize_vertex_ids(&self, seed: u64) -> (Csr, Vec<u32>) {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = gmc_dpp::Rng::seed_from_u64(seed);
         let mut perm: Vec<u32> = (0..self.num_vertices() as u32).collect();
-        perm.shuffle(&mut rng);
+        rng.shuffle(&mut perm);
         (self.relabel(&perm), perm)
     }
 

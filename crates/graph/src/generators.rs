@@ -9,8 +9,7 @@
 //! generators are deterministic in `(parameters, seed)`.
 
 use crate::{Csr, GraphBuilder};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use gmc_dpp::Rng;
 use std::collections::HashSet;
 
 /// The complete graph `K_n`.
@@ -51,7 +50,7 @@ pub fn complete_multipartite(parts: &[usize]) -> Csr {
 /// `O(n + m)` expected time.
 pub fn gnp(n: usize, p: f64, seed: u64) -> Csr {
     assert!((0.0..=1.0).contains(&p), "p must be a probability");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut b = GraphBuilder::new(n);
     if p <= 0.0 || n < 2 {
         return b.build();
@@ -59,12 +58,12 @@ pub fn gnp(n: usize, p: f64, seed: u64) -> Csr {
     if p >= 1.0 {
         return complete(n);
     }
-    let log_1p = (1.0 - p).ln();
     let mut v: i64 = 1;
     let mut w: i64 = -1;
     while (v as usize) < n {
-        let r: f64 = rng.gen_range(f64::EPSILON..1.0);
-        w += 1 + ((1.0 - r).ln() / log_1p) as i64;
+        // Geometric skip over the implicit pair enumeration: the gap until
+        // the next present edge is Geometric(p).
+        w += 1 + rng.geometric(p) as i64;
         while w >= v && (v as usize) < n {
             w -= v;
             v += 1;
@@ -79,7 +78,7 @@ pub fn gnp(n: usize, p: f64, seed: u64) -> Csr {
 /// Erdős–Rényi `G(n, m)`: exactly `m` distinct random edges (capped at the
 /// number of possible pairs).
 pub fn gnm(n: usize, m: usize, seed: u64) -> Csr {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let possible = n.saturating_mul(n.saturating_sub(1)) / 2;
     let m = m.min(possible);
     let mut chosen: HashSet<u64> = HashSet::with_capacity(m * 2);
@@ -105,7 +104,7 @@ pub fn gnm(n: usize, m: usize, seed: u64) -> Csr {
 pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Csr {
     assert!(m >= 1, "attachment count must be positive");
     assert!(n > m, "need more vertices than attachments");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut b = GraphBuilder::new(n);
     // Seed: a star on the first m + 1 vertices (connected, minimal bias).
     let mut targets: Vec<u32> = Vec::new(); // repeated-endpoint urn
@@ -146,7 +145,7 @@ pub fn holme_kim(n: usize, m: usize, p_triad: f64, seed: u64) -> Csr {
         (0.0..=1.0).contains(&p_triad),
         "p_triad must be a probability"
     );
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut b = GraphBuilder::new(n);
     let mut adjacency: Vec<Vec<u32>> = vec![Vec::new(); n];
     let mut targets: Vec<u32> = Vec::new();
@@ -209,16 +208,10 @@ pub fn holme_kim(n: usize, m: usize, p_triad: f64, seed: u64) -> Csr {
 /// degree-vs-core-number gap that makes core-based pruning visibly tighter
 /// than degree-based pruning (paper §II-B2 and the multi-core rows of
 /// Table I).
-pub fn holme_kim_mixed(
-    n: usize,
-    m_min: usize,
-    m_max: usize,
-    p_triad: f64,
-    seed: u64,
-) -> Csr {
+pub fn holme_kim_mixed(n: usize, m_min: usize, m_max: usize, p_triad: f64, seed: u64) -> Csr {
     assert!(m_min >= 1 && m_max >= m_min, "need 1 <= m_min <= m_max");
     assert!(n > m_max, "need more vertices than attachments");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut b = GraphBuilder::new(n);
     let mut adjacency: Vec<Vec<u32>> = vec![Vec::new(); n];
     let mut targets: Vec<u32> = Vec::new();
@@ -283,16 +276,11 @@ pub fn holme_kim_mixed(
 /// size, core-number pruning removes every community outright while degree
 /// pruning keeps them all — the paper's "tighter vertex pruning upper
 /// bounds from the core numbers" mechanism (§V-B3c) in its purest form.
-pub fn fanned_communities(
-    n_communities: usize,
-    community: usize,
-    fan: usize,
-    seed: u64,
-) -> Csr {
+pub fn fanned_communities(n_communities: usize, community: usize, fan: usize, seed: u64) -> Csr {
     assert!(community >= 2, "communities need at least two members");
     let members = n_communities * community;
     let n = members + members * fan;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut b = GraphBuilder::new(n);
     let mut next_leaf = members as u32;
     for c in 0..n_communities {
@@ -326,7 +314,7 @@ pub fn fanned_communities(
 pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> Csr {
     assert!(n > k + 1, "need n > k + 1");
     let k = k & !1; // even
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut b = GraphBuilder::new(n);
     let mut existing: HashSet<u64> = HashSet::new();
     let key = |u: u32, v: u32| ((u.min(v) as u64) << 32) | u.max(v) as u64;
@@ -365,10 +353,8 @@ pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> Csr {
 /// networks.
 pub fn random_geometric(n: usize, radius: f64, seed: u64) -> Csr {
     assert!(radius > 0.0, "radius must be positive");
-    let mut rng = StdRng::seed_from_u64(seed);
-    let points: Vec<(f64, f64)> = (0..n)
-        .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
-        .collect();
+    let mut rng = Rng::seed_from_u64(seed);
+    let points: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen_f64(), rng.gen_f64())).collect();
     let cells_per_side = ((1.0 / radius).floor() as usize).clamp(1, 4096);
     let cell_of = |x: f64, y: f64| {
         let cx = ((x * cells_per_side as f64) as usize).min(cells_per_side - 1);
@@ -422,7 +408,7 @@ pub fn random_geometric(n: usize, radius: f64, seed: u64) -> Csr {
 /// with probability `diag_prob`. Average degree stays below 4 — the "low
 /// average degree" regime where the paper's BFS approach performs best.
 pub fn road_mesh(rows: usize, cols: usize, keep_prob: f64, diag_prob: f64, seed: u64) -> Csr {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let n = rows * cols;
     let mut b = GraphBuilder::new(n);
     let id = |r: usize, c: usize| (r * cols + c) as u32;
@@ -450,12 +436,12 @@ pub fn rmat(scale: u32, edge_factor: usize, a: f64, b_p: f64, c_p: f64, seed: u6
     assert!(d >= -1e-9, "quadrant probabilities exceed 1");
     let n = 1usize << scale;
     let m = edge_factor * n;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut builder = GraphBuilder::new(n);
     for _ in 0..m {
         let (mut u, mut v) = (0usize, 0usize);
         for _ in 0..scale {
-            let r: f64 = rng.gen();
+            let r: f64 = rng.gen_f64();
             let (du, dv) = if r < a {
                 (0, 0)
             } else if r < a + b_p {
@@ -494,14 +480,14 @@ pub fn collaboration(
         n_authors >= max_authors,
         "need at least max_authors authors"
     );
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut b = GraphBuilder::new(n_authors);
     for _ in 0..n_papers {
         let size = rng.gen_range(min_authors..=max_authors);
         let mut authors: HashSet<u32> = HashSet::with_capacity(size * 2);
         while authors.len() < size {
             // Power-law bias toward low author ids.
-            let u: f64 = rng.gen();
+            let u: f64 = rng.gen_f64();
             let author = ((u.powf(concentration)) * n_authors as f64) as usize;
             authors.insert(author.min(n_authors - 1) as u32);
         }
@@ -524,7 +510,7 @@ pub fn collaboration(
 /// such graphs memory-hard to solve unpruned.
 pub fn plant_cliques(graph: &Csr, sizes: &[usize], seed: u64) -> (Csr, Vec<Vec<u32>>) {
     let n = graph.num_vertices();
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut b = GraphBuilder::new(n);
     for v in 0..n as u32 {
         for &u in graph.neighbors(v) {
@@ -667,7 +653,11 @@ mod tests {
         let max_core = *cores.iter().max().unwrap() as usize;
         // Cores are capped near m_max while hub degrees run far higher.
         assert!(max_core <= 40, "max core {max_core}");
-        assert!(g.max_degree() > 3 * max_core, "degree {} vs core {max_core}", g.max_degree());
+        assert!(
+            g.max_degree() > 3 * max_core,
+            "degree {} vs core {max_core}",
+            g.max_degree()
+        );
         // A real spread of core numbers exists (low-core tail present).
         assert!(cores.iter().filter(|&&c| c <= 4).count() > 100);
     }

@@ -226,8 +226,7 @@ mod tests {
 
     #[test]
     fn parallel_matches_sequential_on_random_graph() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let mut rng = gmc_dpp::Rng::seed_from_u64(42);
         let n = 300;
         let mut edges = Vec::new();
         for u in 0..n as u32 {

@@ -30,8 +30,6 @@ use crate::setup::SetupOutput;
 use gmc_cliquelist::CliqueLevel;
 use gmc_dpp::{Device, DeviceOom, SharedSlice};
 use gmc_graph::{Csr, EdgeOracle};
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
 use std::sync::Mutex;
 
 /// Counters from a windowed run, reported in [`SolveStats`].
@@ -163,8 +161,7 @@ pub(crate) fn reorder_sublists(
             });
         }
         WindowOrdering::Random(seed) => {
-            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-            ranges.shuffle(&mut rng);
+            gmc_dpp::Rng::seed_from_u64(seed).shuffle(&mut ranges);
         }
     }
     let mut new_vertex = Vec::with_capacity(vertex_id.len());

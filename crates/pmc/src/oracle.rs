@@ -133,10 +133,9 @@ mod tests {
     fn brute_force_agreement_on_small_random_graphs() {
         // Compare against an independent bitmask brute force on ≤ 16
         // vertices.
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut rng = gmc_dpp::Rng::seed_from_u64(7);
         for _ in 0..30 {
-            let n = rng.gen_range(2..14);
+            let n = rng.gen_range(2usize..14);
             let mut edges = Vec::new();
             for u in 0..n as u32 {
                 for v in (u + 1)..n as u32 {

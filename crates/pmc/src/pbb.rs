@@ -128,9 +128,9 @@ impl ParallelBranchBound {
         // first, which tends to improve the incumbent early.
         let roots: Vec<u32> = order.iter().rev().copied().collect();
 
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..self.threads {
-                scope.spawn(|_| {
+                scope.spawn(|| {
                     let mut local_nodes = 0u64;
                     let mut local_roots_pruned = 0u64;
                     let mut current: Vec<u32> = Vec::new();
@@ -172,8 +172,7 @@ impl ParallelBranchBound {
                     roots_pruned.fetch_add(local_roots_pruned, Ordering::Relaxed);
                 });
             }
-        })
-        .expect("pmc worker panicked");
+        });
 
         let mut clique = best_clique.into_inner().expect("lock poisoned");
         clique.sort_unstable();

@@ -1,0 +1,10 @@
+#!/usr/bin/env sh
+# Tier-1 verification gate: the exact commands the project promises will
+# pass from a clean checkout with NO network access (ROADMAP.md). The
+# workspace has no registry dependencies, so --offline must always work.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline
+cargo test -q --offline

@@ -1,169 +1,327 @@
 //! Property-based cross-checks of the full solver stack on arbitrary small
-//! graphs.
+//! graphs, on the in-tree seeded harness (`gmc_dpp::prop`). Failures
+//! shrink the edge list and replay via `GMC_PROP_SEED`.
 
+use gmc_dpp::prop::{self, gens, shrinks, Config};
+use gmc_dpp::{prop_assert, prop_assert_eq, Rng};
 use gpu_max_clique::graph::{kcore, Csr};
 use gpu_max_clique::heuristic::HeuristicKind;
 use gpu_max_clique::mce::{MaxCliqueSolver, WindowConfig, WindowOrdering};
 use gpu_max_clique::pmc::{ParallelBranchBound, ReferenceEnumerator};
 use gpu_max_clique::prelude::{Device, Executor};
-use proptest::prelude::*;
 
-/// An arbitrary graph on up to `max_n` vertices with the given edge
-/// probability distribution.
-fn arb_graph(max_n: usize) -> impl Strategy<Value = Csr> {
-    (2..=max_n).prop_flat_map(|n| {
-        let pairs = n * (n - 1) / 2;
-        proptest::collection::vec(proptest::bool::weighted(0.25), pairs).prop_map(move |bits| {
-            let mut edges = Vec::new();
-            let mut idx = 0;
-            for u in 0..n as u32 {
-                for v in (u + 1)..n as u32 {
-                    if bits[idx] {
-                        edges.push((u, v));
-                    }
-                    idx += 1;
-                }
-            }
-            Csr::from_edges(n, &edges)
-        })
-    })
+/// An arbitrary graph case: vertex count plus G(n, 0.25) edge list. Kept
+/// as raw parts so shrinking can drop edges while the vertex set stays
+/// valid.
+type GraphCase = (usize, Vec<(u32, u32)>);
+
+fn arb_graph(rng: &mut Rng, max_n: usize) -> GraphCase {
+    let n = rng.gen_range(2usize..=max_n);
+    (n, gens::edges_gnp(rng, n, 0.25))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn shrink_graph(case: &GraphCase) -> Vec<GraphCase> {
+    shrinks::edges(&case.1)
+        .into_iter()
+        .map(|edges| (case.0, edges))
+        .collect()
+}
 
-    #[test]
-    fn bfs_enumeration_equals_oracle(graph in arb_graph(20)) {
-        let (omega, cliques) = ReferenceEnumerator::enumerate(&graph);
-        let result = MaxCliqueSolver::new(Device::unlimited()).solve(&graph).unwrap();
-        prop_assert_eq!(result.clique_number, omega);
-        prop_assert_eq!(result.cliques, cliques);
+fn csr(case: &GraphCase) -> Csr {
+    Csr::from_edges(case.0, &case.1)
+}
+
+/// The original proptest suite ran 48 cases per property; keep that scale
+/// (still overridable through `GMC_PROP_CASES`).
+fn config() -> Config {
+    let mut config = Config::default();
+    if std::env::var("GMC_PROP_CASES").is_err() {
+        config.cases = 48;
     }
+    config
+}
 
-    #[test]
-    fn every_heuristic_is_a_sound_lower_bound(graph in arb_graph(18)) {
-        let omega = ReferenceEnumerator::clique_number(&graph);
-        let device = Device::unlimited();
-        for kind in HeuristicKind::all() {
-            let h = gpu_max_clique::heuristic::run_heuristic(&device, &graph, kind, None).unwrap();
-            prop_assert!(h.lower_bound() <= omega);
-            prop_assert!(graph.is_clique(&h.clique));
-        }
-    }
-
-    #[test]
-    fn windowed_enumeration_equals_oracle(
-        graph in arb_graph(16),
-        size in 1usize..32,
-        ordering_pick in 0u8..4,
-    ) {
-        let ordering = match ordering_pick {
-            0 => WindowOrdering::Index,
-            1 => WindowOrdering::DegreeAscending,
-            2 => WindowOrdering::DegreeDescending,
-            _ => WindowOrdering::Random(9),
-        };
-        let (omega, cliques) = ReferenceEnumerator::enumerate(&graph);
-        let result = MaxCliqueSolver::new(Device::unlimited())
-            .windowed(WindowConfig { size, ordering, enumerate_all: true, ..WindowConfig::default() })
-            .solve(&graph)
-            .unwrap();
-        prop_assert_eq!(result.clique_number, omega);
-        prop_assert_eq!(result.cliques, cliques);
-    }
-
-    #[test]
-    fn windowed_find_one_is_maximum(graph in arb_graph(16), size in 1usize..16) {
-        let (omega, cliques) = ReferenceEnumerator::enumerate(&graph);
-        let result = MaxCliqueSolver::new(Device::unlimited())
-            .windowed(WindowConfig::with_size(size))
-            .solve(&graph)
-            .unwrap();
-        prop_assert_eq!(result.clique_number, omega);
-        if omega >= 2 {
-            prop_assert_eq!(result.cliques.len(), 1);
-            prop_assert!(cliques.contains(&result.cliques[0]));
-        }
-    }
-
-    #[test]
-    fn parallel_and_recursive_windows_equal_oracle(
-        graph in arb_graph(14),
-        size in 1usize..12,
-        workers in 1usize..4,
-        depth in 1usize..6,
-    ) {
-        let (omega, cliques) = ReferenceEnumerator::enumerate(&graph);
-        let result = MaxCliqueSolver::new(Device::new(2, usize::MAX))
-            .windowed(WindowConfig {
-                size,
-                enumerate_all: true,
-                max_depth: depth,
-                parallel_windows: workers,
-                ..WindowConfig::default()
-            })
-            .solve(&graph)
-            .unwrap();
-        prop_assert_eq!(result.clique_number, omega);
-        prop_assert_eq!(result.cliques, cliques);
-    }
-
-    #[test]
-    fn pmc_finds_the_clique_number(graph in arb_graph(20)) {
-        let omega = ReferenceEnumerator::clique_number(&graph);
-        let result = ParallelBranchBound::new(2).solve(&graph);
-        prop_assert_eq!(result.clique_number, omega);
-        prop_assert!(graph.is_clique(&result.clique));
-    }
-
-    #[test]
-    fn clique_number_bounded_by_degeneracy(graph in arb_graph(20)) {
-        let omega = ReferenceEnumerator::clique_number(&graph);
-        if graph.num_edges() > 0 {
-            let degeneracy = kcore::degeneracy(&graph);
-            prop_assert!(omega <= degeneracy + 1);
-        }
-    }
-
-    #[test]
-    fn parallel_kcore_equals_sequential(graph in arb_graph(24)) {
-        let exec = Executor::new(3);
-        prop_assert_eq!(
-            kcore::core_numbers_parallel(&exec, &graph),
-            kcore::core_numbers(&graph)
-        );
-    }
-
-    #[test]
-    fn enumerated_cliques_are_valid_distinct_and_maximal(graph in arb_graph(18)) {
-        let result = MaxCliqueSolver::new(Device::unlimited()).solve(&graph).unwrap();
-        let omega = result.clique_number as usize;
-        for clique in &result.cliques {
-            prop_assert_eq!(clique.len(), omega);
-            prop_assert!(graph.is_clique(clique));
-            // Sorted ascending within each clique.
-            prop_assert!(clique.windows(2).all(|w| w[0] < w[1]));
-        }
-        // Pairwise distinct (the list is sorted, so adjacent equality
-        // suffices).
-        prop_assert!(result.cliques.windows(2).all(|w| w[0] != w[1]));
-    }
-
-    #[test]
-    fn early_exit_never_changes_the_answer(graph in arb_graph(18)) {
-        let with = MaxCliqueSolver::new(Device::unlimited()).early_exit(true).solve(&graph).unwrap();
-        let without = MaxCliqueSolver::new(Device::unlimited()).early_exit(false).solve(&graph).unwrap();
-        prop_assert_eq!(with.clique_number, without.clique_number);
-        prop_assert_eq!(with.cliques, without.cliques);
-    }
-
-    #[test]
-    fn oom_never_returns_a_wrong_answer(graph in arb_graph(16), budget in 64usize..4096) {
-        let device = Device::with_memory_budget(budget);
-        // OOM is acceptable; a wrong answer is not.
-        if let Ok(result) = MaxCliqueSolver::new(device).solve(&graph) {
-            let omega = ReferenceEnumerator::clique_number(&graph);
+#[test]
+fn bfs_enumeration_equals_oracle() {
+    prop::check_with(
+        config(),
+        "bfs_enumeration_equals_oracle",
+        |rng| arb_graph(rng, 20),
+        shrink_graph,
+        |case| {
+            let graph = csr(case);
+            let (omega, cliques) = ReferenceEnumerator::enumerate(&graph);
+            let result = MaxCliqueSolver::new(Device::unlimited())
+                .solve(&graph)
+                .unwrap();
             prop_assert_eq!(result.clique_number, omega);
-        }
-    }
+            prop_assert_eq!(result.cliques, cliques);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn every_heuristic_is_a_sound_lower_bound() {
+    prop::check_with(
+        config(),
+        "every_heuristic_is_a_sound_lower_bound",
+        |rng| arb_graph(rng, 18),
+        shrink_graph,
+        |case| {
+            let graph = csr(case);
+            let omega = ReferenceEnumerator::clique_number(&graph);
+            let device = Device::unlimited();
+            for kind in HeuristicKind::all() {
+                let h =
+                    gpu_max_clique::heuristic::run_heuristic(&device, &graph, kind, None).unwrap();
+                prop_assert!(h.lower_bound() <= omega);
+                prop_assert!(graph.is_clique(&h.clique));
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn windowed_enumeration_equals_oracle() {
+    prop::check_with(
+        config(),
+        "windowed_enumeration_equals_oracle",
+        |rng| {
+            let ordering = gens::one_of(
+                rng,
+                &[
+                    WindowOrdering::Index,
+                    WindowOrdering::DegreeAscending,
+                    WindowOrdering::DegreeDescending,
+                    WindowOrdering::Random(9),
+                ],
+            );
+            (arb_graph(rng, 16), rng.gen_range(1usize..32), ordering)
+        },
+        |(case, size, ordering)| {
+            shrink_graph(case)
+                .into_iter()
+                .map(|c| (c, *size, *ordering))
+                .collect()
+        },
+        |(case, size, ordering)| {
+            let graph = csr(case);
+            let (omega, cliques) = ReferenceEnumerator::enumerate(&graph);
+            let result = MaxCliqueSolver::new(Device::unlimited())
+                .windowed(WindowConfig {
+                    size: *size,
+                    ordering: *ordering,
+                    enumerate_all: true,
+                    ..WindowConfig::default()
+                })
+                .solve(&graph)
+                .unwrap();
+            prop_assert_eq!(result.clique_number, omega);
+            prop_assert_eq!(result.cliques, cliques);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn windowed_find_one_is_maximum() {
+    prop::check_with(
+        config(),
+        "windowed_find_one_is_maximum",
+        |rng| (arb_graph(rng, 16), rng.gen_range(1usize..16)),
+        |(case, size)| shrink_graph(case).into_iter().map(|c| (c, *size)).collect(),
+        |(case, size)| {
+            let graph = csr(case);
+            let (omega, cliques) = ReferenceEnumerator::enumerate(&graph);
+            let result = MaxCliqueSolver::new(Device::unlimited())
+                .windowed(WindowConfig::with_size(*size))
+                .solve(&graph)
+                .unwrap();
+            prop_assert_eq!(result.clique_number, omega);
+            if omega >= 2 {
+                prop_assert_eq!(result.cliques.len(), 1);
+                prop_assert!(cliques.contains(&result.cliques[0]));
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn parallel_and_recursive_windows_equal_oracle() {
+    prop::check_with(
+        config(),
+        "parallel_and_recursive_windows_equal_oracle",
+        |rng| {
+            (
+                arb_graph(rng, 14),
+                rng.gen_range(1usize..12),
+                rng.gen_range(1usize..4),
+                rng.gen_range(1usize..6),
+            )
+        },
+        |(case, size, workers, depth)| {
+            shrink_graph(case)
+                .into_iter()
+                .map(|c| (c, *size, *workers, *depth))
+                .collect()
+        },
+        |(case, size, workers, depth)| {
+            let graph = csr(case);
+            let (omega, cliques) = ReferenceEnumerator::enumerate(&graph);
+            let result = MaxCliqueSolver::new(Device::new(2, usize::MAX))
+                .windowed(WindowConfig {
+                    size: *size,
+                    enumerate_all: true,
+                    max_depth: *depth,
+                    parallel_windows: *workers,
+                    ..WindowConfig::default()
+                })
+                .solve(&graph)
+                .unwrap();
+            prop_assert_eq!(result.clique_number, omega);
+            prop_assert_eq!(result.cliques, cliques);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn pmc_finds_the_clique_number() {
+    prop::check_with(
+        config(),
+        "pmc_finds_the_clique_number",
+        |rng| arb_graph(rng, 20),
+        shrink_graph,
+        |case| {
+            let graph = csr(case);
+            let omega = ReferenceEnumerator::clique_number(&graph);
+            let result = ParallelBranchBound::new(2).solve(&graph);
+            prop_assert_eq!(result.clique_number, omega);
+            prop_assert!(graph.is_clique(&result.clique));
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn clique_number_bounded_by_degeneracy() {
+    prop::check_with(
+        config(),
+        "clique_number_bounded_by_degeneracy",
+        |rng| arb_graph(rng, 20),
+        shrink_graph,
+        |case| {
+            let graph = csr(case);
+            let omega = ReferenceEnumerator::clique_number(&graph);
+            if graph.num_edges() > 0 {
+                let degeneracy = kcore::degeneracy(&graph);
+                prop_assert!(omega <= degeneracy + 1);
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn parallel_kcore_equals_sequential() {
+    prop::check_with(
+        config(),
+        "parallel_kcore_equals_sequential",
+        |rng| arb_graph(rng, 24),
+        shrink_graph,
+        |case| {
+            let graph = csr(case);
+            let exec = Executor::new(3);
+            prop_assert_eq!(
+                kcore::core_numbers_parallel(&exec, &graph),
+                kcore::core_numbers(&graph)
+            );
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn enumerated_cliques_are_valid_distinct_and_maximal() {
+    prop::check_with(
+        config(),
+        "enumerated_cliques_are_valid_distinct_and_maximal",
+        |rng| arb_graph(rng, 18),
+        shrink_graph,
+        |case| {
+            let graph = csr(case);
+            let result = MaxCliqueSolver::new(Device::unlimited())
+                .solve(&graph)
+                .unwrap();
+            let omega = result.clique_number as usize;
+            for clique in &result.cliques {
+                prop_assert_eq!(clique.len(), omega);
+                prop_assert!(graph.is_clique(clique));
+                // Sorted ascending within each clique.
+                prop_assert!(clique.windows(2).all(|w| w[0] < w[1]));
+            }
+            // Pairwise distinct (the list is sorted, so adjacent equality
+            // suffices).
+            prop_assert!(result.cliques.windows(2).all(|w| w[0] != w[1]));
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn early_exit_never_changes_the_answer() {
+    prop::check_with(
+        config(),
+        "early_exit_never_changes_the_answer",
+        |rng| arb_graph(rng, 18),
+        shrink_graph,
+        |case| {
+            let graph = csr(case);
+            let with = MaxCliqueSolver::new(Device::unlimited())
+                .early_exit(true)
+                .solve(&graph)
+                .unwrap();
+            let without = MaxCliqueSolver::new(Device::unlimited())
+                .early_exit(false)
+                .solve(&graph)
+                .unwrap();
+            prop_assert_eq!(with.clique_number, without.clique_number);
+            prop_assert_eq!(with.cliques, without.cliques);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn oom_never_returns_a_wrong_answer() {
+    prop::check_with(
+        config(),
+        "oom_never_returns_a_wrong_answer",
+        |rng| (arb_graph(rng, 16), rng.gen_range(64usize..4096)),
+        |(case, budget)| {
+            let mut out: Vec<(GraphCase, usize)> = shrink_graph(case)
+                .into_iter()
+                .map(|c| (c, *budget))
+                .collect();
+            out.extend(
+                shrinks::usize_toward(64)(budget)
+                    .into_iter()
+                    .map(|b| (case.clone(), b)),
+            );
+            out
+        },
+        |(case, budget)| {
+            let graph = csr(case);
+            let device = Device::with_memory_budget(*budget);
+            // OOM is acceptable; a wrong answer is not.
+            if let Ok(result) = MaxCliqueSolver::new(device).solve(&graph) {
+                let omega = ReferenceEnumerator::clique_number(&graph);
+                prop_assert_eq!(result.clique_number, omega);
+            }
+            Ok(())
+        },
+    );
 }
