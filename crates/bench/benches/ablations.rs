@@ -12,6 +12,9 @@
 //! 6. Multi-run heuristic seed count h.
 //! 7. Sublist bound: length (the paper's) vs greedy colouring (§II-B3's
 //!    tighter alternative).
+//! 8. Fused vs unfused expansion pipeline (record-and-replay bitmasks,
+//!    bound-directed count walk, single-pass scan, arena scratch — vs the
+//!    paper-literal count → scan → re-walk baseline).
 //!
 //! A representative cross-category slice of the corpus keeps the runtime
 //! manageable.
@@ -30,6 +33,7 @@ struct AblationRecord {
     window_ordering: Vec<WindowOrderRow>,
     early_exit: Vec<TimingRow>,
     edge_index: Vec<EdgeIndexRow>,
+    fused_pipeline: Vec<FusedRow>,
 }
 
 impl_to_json!(AblationRecord {
@@ -37,7 +41,24 @@ impl_to_json!(AblationRecord {
     candidate_order,
     window_ordering,
     early_exit,
-    edge_index
+    edge_index,
+    fused_pipeline
+});
+
+struct FusedRow {
+    dataset: String,
+    fused_ms: Option<f64>,
+    unfused_ms: Option<f64>,
+    fused_queries: Option<u64>,
+    unfused_queries: Option<u64>,
+}
+
+impl_to_json!(FusedRow {
+    dataset,
+    fused_ms,
+    unfused_ms,
+    fused_queries,
+    unfused_queries
 });
 
 struct EdgeIndexRow {
@@ -386,6 +407,60 @@ fn main() {
     println!("\n-- Sublist bound: length vs greedy colouring (§II-B3) --");
     print_table(&["Dataset", "Bound", "Entries kept", "ms"], &bound_rows);
 
+    // 8. Fused vs unfused expansion pipeline: wall time plus the query
+    // counter that proves where the win comes from.
+    let mut fused_rows = Vec::new();
+    for d in &slice {
+        let run = |fused: bool| {
+            let device = env.device();
+            match run_solver(
+                &device,
+                &d.graph,
+                SolverConfig {
+                    heuristic: HeuristicKind::MultiDegree,
+                    fused,
+                    ..SolverConfig::default()
+                },
+            )
+            .expect("runs")
+            {
+                RunOutcome::Solved(r) => (Some(r.total_ms), Some(r.oracle_queries)),
+                RunOutcome::Oom => (None, None),
+            }
+        };
+        let (fused_ms, fused_queries) = run(true);
+        let (unfused_ms, unfused_queries) = run(false);
+        fused_rows.push(FusedRow {
+            dataset: d.name().to_string(),
+            fused_ms,
+            unfused_ms,
+            fused_queries,
+            unfused_queries,
+        });
+    }
+    println!("\n-- Expansion pipeline: fused (record/replay + bound-directed walk) vs unfused --");
+    print_table(
+        &[
+            "Dataset",
+            "Fused ms",
+            "Unfused ms",
+            "Fused queries",
+            "Unfused queries",
+        ],
+        &fused_rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.dataset.clone(),
+                    fmt_ms(r.fused_ms),
+                    fmt_ms(r.unfused_ms),
+                    r.fused_queries.map_or("OOM".into(), |q| q.to_string()),
+                    r.unfused_queries.map_or("OOM".into(), |q| q.to_string()),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
     save_json(
         &env,
         "ablations",
@@ -395,6 +470,7 @@ fn main() {
             window_ordering: window_rows,
             early_exit: early_rows,
             edge_index: edge_index_rows,
+            fused_pipeline: fused_rows,
         },
     );
 }

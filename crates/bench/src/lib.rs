@@ -276,6 +276,9 @@ pub struct SolvedRecord {
     /// launch has a fixed cost, so this is the cost proxy for strategies
     /// (like small windows) that multiply launch counts.
     pub launches: u64,
+    /// Edge-oracle membership queries the expansion kernels issued — the
+    /// adjacency-walk cost the fused pipeline exists to cut.
+    pub oracle_queries: u64,
 }
 
 impl_to_json!(SolvedRecord {
@@ -288,6 +291,7 @@ impl_to_json!(SolvedRecord {
     pruning_fraction,
     throughput_eps,
     launches,
+    oracle_queries,
 });
 
 /// Runs the solver on a graph, mapping OOM to [`RunOutcome::Oom`].
@@ -320,6 +324,7 @@ pub fn record_of(graph: &Csr, result: &SolveResult) -> SolvedRecord {
             graph.num_edges() as f64 / total.as_secs_f64()
         },
         launches: result.stats.launches.launches,
+        oracle_queries: result.stats.oracle_queries,
     }
 }
 

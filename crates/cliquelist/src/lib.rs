@@ -52,6 +52,13 @@ impl CliqueLevel {
         })
     }
 
+    /// Consumes the level, releasing its device charge and returning the two
+    /// host arrays — lets callers recycle a retired level's buffers across
+    /// levels and windows instead of reallocating them.
+    pub fn into_vecs(self) -> (Vec<u32>, Vec<u32>) {
+        (self.vertex_id.into_vec(), self.sublist_id.into_vec())
+    }
+
     /// Number of candidate entries in this level.
     pub fn len(&self) -> usize {
         self.vertex_id.len()

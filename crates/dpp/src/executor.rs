@@ -1,14 +1,28 @@
 use crate::stats::{LaunchStats, StatsCells};
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 
-/// Launches below this element count run inline on the calling thread. Real
-/// GPU launches have a fixed overhead that dwarfs tiny grids; here the
-/// analogue is condvar wake-up latency, so small grids are executed
-/// sequentially. Results are identical either way.
-const SEQUENTIAL_GRID_LIMIT: usize = 2048;
+/// Default for [`Executor::sequential_grid_limit`]: launches below this
+/// element count run inline on the calling thread. Real GPU launches have a
+/// fixed overhead that dwarfs tiny grids; here the analogue is condvar
+/// wake-up latency, so small grids are executed sequentially. Results are
+/// identical either way. The value was picked from a `micro_primitives`
+/// sweep (`GMC_SEQ_GRID` ∈ {512, 1024, 2048, 4096, 8192} over the scan and
+/// select groups): dispatch overhead still beats the pool below ~2k elements
+/// on the benchmark machine, and larger limits start serialising grids that
+/// would profit from workers.
+pub const DEFAULT_SEQUENTIAL_GRID_LIMIT: usize = 2048;
+
+/// Initial per-executor limit: the `GMC_SEQ_GRID` environment variable when
+/// set to a valid `usize`, otherwise [`DEFAULT_SEQUENTIAL_GRID_LIMIT`].
+fn initial_sequential_grid_limit() -> usize {
+    std::env::var("GMC_SEQ_GRID")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(DEFAULT_SEQUENTIAL_GRID_LIMIT)
+}
 
 /// A task dispatched to the pool: invoked once per worker with the worker's
 /// index. Stored as a raw fat pointer so that borrowed captures are allowed;
@@ -57,6 +71,9 @@ struct ExecutorInner {
     /// Simulated fixed cost per launch, in nanoseconds (see
     /// [`Executor::set_launch_overhead`]).
     launch_overhead_ns: std::sync::atomic::AtomicU64,
+    /// Grids at or below this size run inline (see
+    /// [`Executor::set_sequential_grid_limit`]).
+    sequential_grid_limit: AtomicUsize,
 }
 
 /// Bulk-synchronous parallel executor: the reproduction's stand-in for a GPU.
@@ -104,6 +121,7 @@ impl Executor {
                 num_workers,
                 stats: StatsCells::default(),
                 launch_overhead_ns: std::sync::atomic::AtomicU64::new(0),
+                sequential_grid_limit: AtomicUsize::new(initial_sequential_grid_limit()),
             }),
         }
     }
@@ -150,6 +168,24 @@ impl Executor {
         std::time::Duration::from_nanos(self.inner.launch_overhead_ns.load(Ordering::Relaxed))
     }
 
+    /// Sets the grid size at or below which launches run inline on the
+    /// calling thread instead of being dispatched to the worker pool.
+    ///
+    /// Defaults to [`DEFAULT_SEQUENTIAL_GRID_LIMIT`], overridable at
+    /// executor construction via the `GMC_SEQ_GRID` environment variable.
+    /// Results are identical either way; this only tunes dispatch overhead.
+    pub fn set_sequential_grid_limit(&self, limit: usize) {
+        self.inner
+            .sequential_grid_limit
+            .store(limit, Ordering::Relaxed);
+    }
+
+    /// Grid size at or below which launches run inline (see
+    /// [`Executor::set_sequential_grid_limit`]).
+    pub fn sequential_grid_limit(&self) -> usize {
+        self.inner.sequential_grid_limit.load(Ordering::Relaxed)
+    }
+
     /// Spin-waits the configured per-launch overhead (sleep granularity is
     /// far too coarse for microsecond costs).
     fn pay_launch_overhead(&self) {
@@ -171,11 +207,30 @@ impl Executor {
         F: Fn(usize) + Sync,
     {
         self.inner.stats.record_launch(n);
+        self.dispatch_indexed(n, kernel);
+    }
+
+    /// Like [`Executor::for_each_indexed`] but records the launch as a
+    /// *fused* one in [`LaunchStats::fused_launches`]: a kernel that folds
+    /// the work of several logical pipeline stages (e.g. count + emit) into
+    /// a single launch. Dispatch semantics are identical.
+    pub fn for_each_indexed_fused<F>(&self, n: usize, kernel: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        self.inner.stats.record_fused_launch(n);
+        self.dispatch_indexed(n, kernel);
+    }
+
+    fn dispatch_indexed<F>(&self, n: usize, kernel: F)
+    where
+        F: Fn(usize) + Sync,
+    {
         self.pay_launch_overhead();
         if n == 0 {
             return;
         }
-        if n <= SEQUENTIAL_GRID_LIMIT || self.inner.num_workers == 1 {
+        if n <= self.sequential_grid_limit() || self.inner.num_workers == 1 {
             for i in 0..n {
                 kernel(i);
             }
@@ -222,7 +277,7 @@ impl Executor {
     /// The number of chunks [`Executor::for_each_chunk`] will produce for an
     /// `n`-element problem.
     pub fn num_chunks(&self, n: usize) -> usize {
-        if n <= SEQUENTIAL_GRID_LIMIT || self.inner.num_workers == 1 {
+        if n <= self.sequential_grid_limit() || self.inner.num_workers == 1 {
             1
         } else {
             self.inner.num_workers
@@ -491,6 +546,49 @@ mod tests {
             }
         });
         assert_eq!(pool_out, scoped_out);
+    }
+
+    #[test]
+    fn sequential_grid_limit_is_tunable() {
+        let exec = Executor::new(4);
+        assert_eq!(exec.sequential_grid_limit(), DEFAULT_SEQUENTIAL_GRID_LIMIT);
+        assert_eq!(exec.num_chunks(DEFAULT_SEQUENTIAL_GRID_LIMIT + 1), 4);
+        exec.set_sequential_grid_limit(0);
+        assert_eq!(exec.sequential_grid_limit(), 0);
+        assert_eq!(exec.num_chunks(1), 4);
+        exec.set_sequential_grid_limit(usize::MAX);
+        assert_eq!(exec.num_chunks(1 << 20), 1);
+        // Results stay correct at both extremes.
+        for limit in [0, usize::MAX] {
+            exec.set_sequential_grid_limit(limit);
+            let out = exec.map_indexed(10_000, |i| i as u32 + 1);
+            assert_eq!(out[9999], 10_000);
+        }
+    }
+
+    #[test]
+    fn fused_launches_are_counted_separately() {
+        let exec = Executor::new(2);
+        let before = exec.stats();
+        exec.for_each_indexed(100, |_| {});
+        exec.for_each_indexed_fused(100, |_| {});
+        exec.for_each_indexed_fused(100, |_| {});
+        let delta = exec.stats().since(before);
+        assert_eq!(delta.launches, 3);
+        assert_eq!(delta.fused_launches, 2);
+        assert_eq!(delta.virtual_threads, 300);
+    }
+
+    #[test]
+    fn fused_dispatch_matches_plain_dispatch() {
+        let exec = Executor::new(4);
+        let n = 50_000;
+        let mut out = vec![0u64; n];
+        let shared = crate::SharedSlice::new(&mut out);
+        exec.for_each_indexed_fused(n, |i| unsafe { shared.write(i, (i * 3) as u64) });
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, (i * 3) as u64);
+        }
     }
 
     #[test]

@@ -44,17 +44,20 @@ mod shared;
 mod sort;
 mod stats;
 
-pub use executor::Executor;
+pub use executor::{Executor, DEFAULT_SEQUENTIAL_GRID_LIMIT};
 pub use histogram::histogram_u32;
 pub use memory::{DeviceBuffer, DeviceMemory, DeviceOom, MemoryGuard};
 pub use rle::{run_length_encode, run_starts};
 pub use rng::Rng;
-pub use scan::{exclusive_scan, exclusive_scan_by, inclusive_scan, reduce, reduce_by};
+pub use scan::{
+    exclusive_scan, exclusive_scan_by, exclusive_scan_by_into, exclusive_scan_into, inclusive_scan,
+    reduce, reduce_by,
+};
 pub use segmented::{
     remove_empty_segments, segment_lengths, segmented_argmax_by_key, segmented_sum,
 };
-pub use select::{select_count, select_flagged, select_if, select_indices};
-pub use shared::SharedSlice;
+pub use select::{select_count, select_flagged, select_if, select_if_into, select_indices};
+pub use shared::{SharedSlice, UninitSlice};
 pub use sort::{sort_pairs_u32, sort_u32, sort_u32_desc};
 pub use stats::LaunchStats;
 

@@ -1,14 +1,25 @@
 //! Prefix-scan and reduction primitives (CUB `DeviceScan` / `DeviceReduce`
 //! analogues).
 //!
-//! All scans are deterministic two-phase chunked algorithms: each worker
-//! produces a partial aggregate for its contiguous chunk, the chunk
-//! aggregates are scanned sequentially, and a second pass writes the final
-//! prefixes. Because chunk boundaries depend only on the input length and
-//! the executor's chunk policy, output is identical for any worker count.
+//! Two scan strategies coexist:
+//!
+//! * **Two-phase chunked** ([`exclusive_scan_by`], [`exclusive_scan_by_into`]):
+//!   each worker produces a partial aggregate for its contiguous chunk, the
+//!   chunk aggregates are scanned sequentially, and a second pass writes the
+//!   final prefixes. Two launches, two full passes over the input.
+//! * **Single-pass decoupled look-back** ([`exclusive_scan_into`]): the CUB
+//!   `DecoupledLookback` analogue. One launch; each chunk publishes its
+//!   aggregate to a lock-free status array, then resolves its exclusive
+//!   prefix by walking back over predecessors' published aggregates, so the
+//!   input is read exactly once.
+//!
+//! Both are deterministic: chunk boundaries depend only on the input length
+//! and the executor's chunk policy, and per-chunk combination happens in
+//! chunk order, so output is identical for any worker count.
 
 use crate::executor::Executor;
-use crate::shared::SharedSlice;
+use crate::shared::{SharedSlice, UninitSlice};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Generic exclusive scan with a caller-supplied associative operator.
 ///
@@ -21,19 +32,47 @@ where
     T: Copy + Send + Sync,
     Op: Fn(T, T) -> T + Sync,
 {
+    let mut out = Vec::new();
+    let total = exclusive_scan_by_into(exec, input, identity, op, &mut out);
+    (out, total)
+}
+
+/// [`exclusive_scan_by`] writing into a caller-owned buffer.
+///
+/// `out` is cleared and overwritten (its capacity is reused), so repeated
+/// scans — one per BFS level — stop allocating once the buffer has grown to
+/// the high-water length. The output is written exactly once per element
+/// into uninitialised spare capacity, fixing the double initialisation the
+/// allocating variant used to pay (`vec![identity; n]` fully written, then
+/// fully overwritten by phase 2). Returns the total aggregate.
+pub fn exclusive_scan_by_into<T, Op>(
+    exec: &Executor,
+    input: &[T],
+    identity: T,
+    op: Op,
+    out: &mut Vec<T>,
+) -> T
+where
+    T: Copy + Send + Sync,
+    Op: Fn(T, T) -> T + Sync,
+{
     let n = input.len();
     if n == 0 {
-        return (Vec::new(), identity);
+        out.clear();
+        return identity;
     }
     let chunks = exec.num_chunks(n);
+    let dst = UninitSlice::for_vec(out, n);
     if chunks == 1 {
-        let mut out = Vec::with_capacity(n);
         let mut acc = identity;
-        for &v in input {
-            out.push(acc);
+        for (i, &v) in input.iter().enumerate() {
+            // SAFETY: sequential pass writes each index exactly once.
+            unsafe { dst.write(i, acc) };
             acc = op(acc, v);
         }
-        return (out, acc);
+        // SAFETY: all n indices initialised above.
+        unsafe { out.set_len(n) };
+        return acc;
     }
 
     // Phase 1: per-chunk aggregates.
@@ -58,25 +97,123 @@ where
         carry = op(carry, p);
     }
 
-    // Phase 2: write final prefixes.
-    let mut out = vec![identity; n];
-    {
-        let out_shared = SharedSlice::new(&mut out);
-        exec.for_each_chunk(n, |chunk_id, range| {
-            let mut acc = chunk_offsets[chunk_id];
-            for i in range {
-                // SAFETY: chunks are disjoint index ranges.
-                unsafe { out_shared.write(i, acc) };
-                acc = op(acc, input[i]);
-            }
-        });
-    }
-    (out, carry)
+    // Phase 2: write final prefixes straight into the spare capacity.
+    exec.for_each_chunk(n, |chunk_id, range| {
+        let mut acc = chunk_offsets[chunk_id];
+        for i in range {
+            // SAFETY: chunks are disjoint index ranges; each index is
+            // written exactly once across the launch.
+            unsafe { dst.write(i, acc) };
+            acc = op(acc, input[i]);
+        }
+    });
+    // SAFETY: the chunks cover 0..n, so every index is initialised.
+    unsafe { out.set_len(n) };
+    carry
 }
 
 /// Exclusive prefix sum over `usize` values; returns `(prefixes, total)`.
 pub fn exclusive_scan(exec: &Executor, input: &[usize]) -> (Vec<usize>, usize) {
     exclusive_scan_by(exec, input, 0usize, |a, b| a + b)
+}
+
+/// Status-flag encoding for the decoupled look-back scan: the top two bits
+/// of each `AtomicU64` cell carry the publication state, the low 62 bits the
+/// published value. `EMPTY` (0b00) = nothing published yet; `AGG` = the
+/// chunk's local aggregate; `PREFIX` = the inclusive prefix through the
+/// chunk (look-back can stop here).
+const FLAG_AGG: u64 = 1 << 62;
+const FLAG_PREFIX: u64 = 2 << 62;
+const VALUE_MASK: u64 = FLAG_AGG - 1;
+
+/// Single-pass exclusive prefix sum (decoupled look-back) into a
+/// caller-owned buffer; returns the total.
+///
+/// The CUB `DecoupledLookback` analogue: one launch instead of two, one read
+/// of the input instead of two. Each chunk scans locally into the output and
+/// publishes its aggregate to a lock-free status array; every chunk but the
+/// first then resolves its exclusive prefix by walking back over
+/// predecessors' published entries (spinning on not-yet-published ones),
+/// publishes the inclusive prefix for its successors, and adds the resolved
+/// prefix to its own output range. Safe on this executor because
+/// [`Executor::for_each_chunk`] runs all active chunks concurrently, so a
+/// spinning chunk never waits on work that has not been scheduled.
+///
+/// `out` is cleared and overwritten, reusing its capacity. Values are
+/// limited to 62-bit sums (debug-asserted), far beyond any clique-list size.
+pub fn exclusive_scan_into(exec: &Executor, input: &[usize], out: &mut Vec<usize>) -> usize {
+    let n = input.len();
+    if n == 0 {
+        out.clear();
+        return 0;
+    }
+    let chunks = exec.num_chunks(n);
+    let dst = UninitSlice::for_vec(out, n);
+    if chunks == 1 {
+        let mut acc = 0usize;
+        for (i, &v) in input.iter().enumerate() {
+            // SAFETY: sequential pass writes each index exactly once.
+            unsafe { dst.write(i, acc) };
+            acc += v;
+        }
+        // SAFETY: all n indices initialised above.
+        unsafe { out.set_len(n) };
+        return acc;
+    }
+
+    let chunk = n.div_ceil(chunks);
+    // Only chunks whose start lies inside the input actually run; they form
+    // a prefix of the chunk ids, so look-back never waits on a skipped one.
+    let active = n.div_ceil(chunk);
+    let status: Vec<AtomicU64> = (0..active).map(|_| AtomicU64::new(0)).collect();
+    exec.for_each_chunk(n, |chunk_id, range| {
+        // Local exclusive scan into the output; `acc` ends as the aggregate.
+        let mut acc = 0usize;
+        for i in range.clone() {
+            // SAFETY: chunks are disjoint; each index written exactly once.
+            unsafe { dst.write(i, acc) };
+            acc += input[i];
+        }
+        debug_assert!(acc as u64 <= VALUE_MASK, "scan total overflows 62 bits");
+        if chunk_id == 0 {
+            // The first chunk's aggregate *is* its inclusive prefix.
+            status[0].store(FLAG_PREFIX | acc as u64, Ordering::Release);
+            return;
+        }
+        status[chunk_id].store(FLAG_AGG | acc as u64, Ordering::Release);
+        // Look-back: accumulate predecessors' aggregates until a published
+        // inclusive prefix terminates the walk.
+        let mut exclusive = 0usize;
+        let mut back = chunk_id - 1;
+        loop {
+            let s = status[back].load(Ordering::Acquire);
+            let flag = s & !VALUE_MASK;
+            if flag == FLAG_PREFIX {
+                exclusive += (s & VALUE_MASK) as usize;
+                break;
+            }
+            if flag == FLAG_AGG {
+                exclusive += (s & VALUE_MASK) as usize;
+                back -= 1;
+                continue;
+            }
+            std::hint::spin_loop();
+        }
+        // Publish the inclusive prefix so successors can stop here.
+        status[chunk_id].store(FLAG_PREFIX | (exclusive + acc) as u64, Ordering::Release);
+        if exclusive != 0 {
+            for i in range {
+                // SAFETY: re-reading/rewriting slots this same virtual
+                // thread initialised above.
+                let local = unsafe { dst.read(i) };
+                unsafe { dst.write(i, local + exclusive) };
+            }
+        }
+    });
+    // SAFETY: the chunks cover 0..n, so every index is initialised.
+    unsafe { out.set_len(n) };
+    // The last active chunk's inclusive prefix is the grand total.
+    (status[active - 1].load(Ordering::Acquire) & VALUE_MASK) as usize
 }
 
 /// Inclusive prefix sum over `usize` values.
@@ -161,6 +298,68 @@ mod tests {
         let (expected, expected_total) = reference_exclusive(&input);
         assert_eq!(out, expected);
         assert_eq!(total, expected_total);
+    }
+
+    #[test]
+    fn single_pass_scan_matches_reference() {
+        let exec = Executor::new(7);
+        let input: Vec<usize> = (0..200_000).map(|i| (i * 2654435761) % 17).collect();
+        let (expected, expected_total) = reference_exclusive(&input);
+        let mut out = Vec::new();
+        let total = exclusive_scan_into(&exec, &input, &mut out);
+        assert_eq!(out, expected);
+        assert_eq!(total, expected_total);
+    }
+
+    #[test]
+    fn single_pass_scan_deterministic_across_worker_counts() {
+        let input: Vec<usize> = (0..100_000).map(|i| i % 7).collect();
+        let mut baseline = Vec::new();
+        let baseline_total = exclusive_scan_into(&Executor::new(1), &input, &mut baseline);
+        for workers in [2, 3, 8] {
+            let mut out = Vec::new();
+            let total = exclusive_scan_into(&Executor::new(workers), &input, &mut out);
+            assert_eq!(out, baseline, "workers {workers}");
+            assert_eq!(total, baseline_total, "workers {workers}");
+        }
+    }
+
+    #[test]
+    fn single_pass_scan_is_one_launch() {
+        let exec = Executor::new(4);
+        let input: Vec<usize> = (0..50_000).map(|i| i % 5).collect();
+        let before = exec.stats();
+        let mut out = Vec::new();
+        exclusive_scan_into(&exec, &input, &mut out);
+        assert_eq!(exec.stats().since(before).launches, 1);
+        let before = exec.stats();
+        let _ = exclusive_scan(&exec, &input);
+        assert_eq!(exec.stats().since(before).launches, 2);
+    }
+
+    #[test]
+    fn into_variants_reuse_capacity_and_handle_empty() {
+        let exec = Executor::new(4);
+        let mut out = Vec::new();
+        exclusive_scan_into(&exec, &(0..50_000usize).collect::<Vec<_>>(), &mut out);
+        let cap = out.capacity();
+        assert!(cap >= 50_000);
+        // A smaller follow-up scan reuses the grown buffer.
+        let total = exclusive_scan_into(&exec, &[5usize, 7], &mut out);
+        assert_eq!(out, vec![0, 5]);
+        assert_eq!(total, 12);
+        assert_eq!(out.capacity(), cap);
+        // Empty input clears the buffer without shrinking it.
+        let total = exclusive_scan_into(&exec, &[], &mut out);
+        assert!(out.is_empty());
+        assert_eq!(total, 0);
+        assert_eq!(out.capacity(), cap);
+
+        let mut generic = Vec::new();
+        let total =
+            exclusive_scan_by_into(&exec, &[2u32, 9, 1], 0u32, |a, b| a.max(b), &mut generic);
+        assert_eq!(generic, vec![0, 2, 9]);
+        assert_eq!(total, 9);
     }
 
     #[test]

@@ -6,12 +6,12 @@
 
 use crate::executor::Executor;
 use crate::scan::exclusive_scan;
-use crate::shared::SharedSlice;
+use crate::shared::{SharedSlice, UninitSlice};
 
 /// Keeps `data[i]` where `flags[i]` is true. Panics if lengths differ.
 pub fn select_flagged<T>(exec: &Executor, data: &[T], flags: &[bool]) -> Vec<T>
 where
-    T: Copy + Send + Sync + Default,
+    T: Copy + Send + Sync,
 {
     assert_eq!(data.len(), flags.len(), "data/flags length mismatch");
     select_if(exec, data, |i, _| flags[i])
@@ -30,30 +30,48 @@ where
 /// Keeps `data[i]` where `pred(i, data[i])` is true; stable.
 pub fn select_if<T, P>(exec: &Executor, data: &[T], pred: P) -> Vec<T>
 where
-    T: Copy + Send + Sync + Default,
+    T: Copy + Send + Sync,
+    P: Fn(usize, T) -> bool + Sync,
+{
+    let mut out = Vec::new();
+    select_if_into(exec, data, pred, &mut out);
+    out
+}
+
+/// [`select_if`] writing into a caller-owned buffer; returns the number of
+/// survivors.
+///
+/// `out` is cleared and overwritten (capacity reused), and survivors are
+/// written exactly once into uninitialised spare capacity — no
+/// `vec![T::default(); total]` pre-fill — so tight per-level loops stop
+/// paying an allocation plus a redundant initialisation pass.
+pub fn select_if_into<T, P>(exec: &Executor, data: &[T], pred: P, out: &mut Vec<T>) -> usize
+where
+    T: Copy + Send + Sync,
     P: Fn(usize, T) -> bool + Sync,
 {
     let n = data.len();
     if n == 0 {
-        return Vec::new();
+        out.clear();
+        return 0;
     }
     let counts = per_chunk_counts(exec, data, &pred);
     let (offsets, total) = exclusive_scan(exec, &counts);
-    let mut out = vec![T::default(); total];
-    {
-        let out_shared = SharedSlice::new(&mut out);
-        exec.for_each_chunk(n, |chunk_id, range| {
-            let mut cursor = offsets[chunk_id];
-            for i in range {
-                if pred(i, data[i]) {
-                    // SAFETY: each chunk writes its own disjoint output span.
-                    unsafe { out_shared.write(cursor, data[i]) };
-                    cursor += 1;
-                }
+    let dst = UninitSlice::for_vec(out, total);
+    exec.for_each_chunk(n, |chunk_id, range| {
+        let mut cursor = offsets[chunk_id];
+        for i in range {
+            if pred(i, data[i]) {
+                // SAFETY: each chunk writes its own disjoint output span,
+                // each slot exactly once.
+                unsafe { dst.write(cursor, data[i]) };
+                cursor += 1;
             }
-        });
-    }
-    out
+        }
+    });
+    // SAFETY: the chunk spans tile 0..total, so every slot is initialised.
+    unsafe { out.set_len(total) };
+    total
 }
 
 /// Returns the indices `i` where `pred(i, data[i])` holds, in ascending order.
@@ -160,5 +178,28 @@ mod tests {
         let empty: [u32; 0] = [];
         assert!(select_if(&exec, &empty, |_, _| true).is_empty());
         assert!(select_indices(&exec, &empty, |_, _| true).is_empty());
+    }
+
+    #[test]
+    fn select_if_into_reuses_buffer() {
+        let exec = Executor::new(5);
+        let data: Vec<u32> = (0..300_000).collect();
+        let mut out = Vec::new();
+        let total = select_if_into(&exec, &data, |_, v| v % 3 == 0, &mut out);
+        let expected: Vec<u32> = (0..300_000).filter(|v| v % 3 == 0).collect();
+        assert_eq!(total, expected.len());
+        assert_eq!(out, expected);
+        let cap = out.capacity();
+        // A smaller follow-up select reuses the grown buffer.
+        let total = select_if_into(&exec, &data[..10], |_, v| v < 4, &mut out);
+        assert_eq!(total, 4);
+        assert_eq!(out, vec![0, 1, 2, 3]);
+        assert_eq!(out.capacity(), cap);
+        // Types without Default work (survivors fully written, never filled).
+        #[derive(Clone, Copy, PartialEq, Debug)]
+        struct NoDefault(u32);
+        let data: Vec<NoDefault> = (0..10_000).map(NoDefault).collect();
+        let picked = select_if(&exec, &data, |_, v| v.0 % 5000 == 0);
+        assert_eq!(picked, vec![NoDefault(0), NoDefault(5000)]);
     }
 }

@@ -76,6 +76,67 @@ impl<'a, T> SharedSlice<'a, T> {
     }
 }
 
+/// A shared view of the *spare capacity* of a `Vec`, for primitives that
+/// write every output element exactly once and therefore never need the
+/// buffer pre-initialised (the `_into` scan/select variants).
+///
+/// # Safety contract
+///
+/// The wrapped region is uninitialised memory. During one launch every index
+/// in `0..len` must be written exactly once before it is read, no two virtual
+/// threads may touch the same index, and the caller must `set_len(len)` on
+/// the vector only after the launch completes. The `Vec` must not be touched
+/// (moved, grown, dropped) while the wrapper is alive.
+pub struct UninitSlice<T> {
+    ptr: *mut T,
+    len: usize,
+}
+
+// SAFETY: access only through `unsafe` methods whose contract requires
+// disjoint exactly-once writes; with that upheld, sharing the raw pointer
+// across threads is sound for `T: Send`.
+unsafe impl<T: Send> Sync for UninitSlice<T> {}
+unsafe impl<T: Send> Send for UninitSlice<T> {}
+
+impl<T> UninitSlice<T> {
+    /// Clears `vec`, reserves room for `len` elements and wraps the spare
+    /// capacity. The caller must `set_len(len)` after every index has been
+    /// written.
+    pub fn for_vec(vec: &mut Vec<T>, len: usize) -> Self {
+        vec.clear();
+        vec.reserve(len);
+        Self {
+            ptr: vec.as_mut_ptr(),
+            len,
+        }
+    }
+
+    /// Writes `value` at `index`.
+    ///
+    /// # Safety
+    /// `index < len`, written exactly once per launch, and no other virtual
+    /// thread touches `index` during this launch.
+    #[inline]
+    pub unsafe fn write(&self, index: usize, value: T) {
+        debug_assert!(index < self.len);
+        unsafe { self.ptr.add(index).write(value) };
+    }
+
+    /// Reads the element at `index`, which must already have been written
+    /// by the *same* virtual thread during this launch.
+    ///
+    /// # Safety
+    /// `index < len` and the slot was previously initialised by this thread.
+    #[inline]
+    pub unsafe fn read(&self, index: usize) -> T
+    where
+        T: Copy,
+    {
+        debug_assert!(index < self.len);
+        unsafe { self.ptr.add(index).read() }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -100,5 +161,20 @@ mod tests {
         assert_eq!(unsafe { shared.read(1) }, 42);
         assert_eq!(shared.len(), 3);
         assert!(!shared.is_empty());
+    }
+
+    #[test]
+    fn uninit_slice_fills_spare_capacity() {
+        let mut v: Vec<u32> = vec![99; 3];
+        {
+            let u = UninitSlice::for_vec(&mut v, 5);
+            for i in 0..5 {
+                unsafe { u.write(i, i as u32 * 10) };
+            }
+            assert_eq!(unsafe { u.read(3) }, 30);
+        }
+        // SAFETY: all 5 indices written above.
+        unsafe { v.set_len(5) };
+        assert_eq!(v, vec![0, 10, 20, 30, 40]);
     }
 }

@@ -9,6 +9,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 pub(crate) struct StatsCells {
     pub launches: AtomicU64,
     pub virtual_threads: AtomicU64,
+    pub fused_launches: AtomicU64,
 }
 
 impl StatsCells {
@@ -18,16 +19,23 @@ impl StatsCells {
             .fetch_add(virtual_threads as u64, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_fused_launch(&self, virtual_threads: usize) {
+        self.record_launch(virtual_threads);
+        self.fused_launches.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub(crate) fn snapshot(&self) -> LaunchStats {
         LaunchStats {
             launches: self.launches.load(Ordering::Relaxed),
             virtual_threads: self.virtual_threads.load(Ordering::Relaxed),
+            fused_launches: self.fused_launches.load(Ordering::Relaxed),
         }
     }
 
     pub(crate) fn reset(&self) {
         self.launches.store(0, Ordering::Relaxed);
         self.virtual_threads.store(0, Ordering::Relaxed);
+        self.fused_launches.store(0, Ordering::Relaxed);
     }
 }
 
@@ -38,6 +46,12 @@ pub struct LaunchStats {
     pub launches: u64,
     /// Total virtual threads across all launches (one per element).
     pub virtual_threads: u64,
+    /// Launches issued through [`Executor::for_each_indexed_fused`] — kernels
+    /// that fold work of several logical pipeline stages into one launch
+    /// (also counted in `launches`).
+    ///
+    /// [`Executor::for_each_indexed_fused`]: crate::Executor::for_each_indexed_fused
+    pub fused_launches: u64,
 }
 
 impl LaunchStats {
@@ -46,6 +60,7 @@ impl LaunchStats {
         LaunchStats {
             launches: self.launches.saturating_sub(earlier.launches),
             virtual_threads: self.virtual_threads.saturating_sub(earlier.virtual_threads),
+            fused_launches: self.fused_launches.saturating_sub(earlier.fused_launches),
         }
     }
 }

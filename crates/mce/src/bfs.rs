@@ -9,17 +9,48 @@
 //!    pruned.
 //! 2. **Scan** over the counts yields the output offsets and the size of the
 //!    next level.
-//! 3. **Output kernel** (`OUTPUTNEWCLIQUES`): each unpruned entry re-walks
-//!    its sublist tail and emits one `(vertex, parent)` pair per adjacent
-//!    candidate into its span of the next level's arrays.
+//! 3. **Output kernel** (`OUTPUTNEWCLIQUES`): each unpruned entry emits one
+//!    `(vertex, parent)` pair per adjacent candidate into its span of the
+//!    next level's arrays.
+//!
+//! Two pipelines implement that level step:
+//!
+//! * **Fused** (the default, [`SolverConfig::fused`]): the count walk
+//!   records each adjacency answer as a bitmask — one inline `u64` covers
+//!   the first [`INLINE_BITS`] tail positions, longer tails spill whole
+//!   `u64` words into a shared side buffer — and the output kernel *replays*
+//!   the bits instead of re-querying the [`EdgeOracle`]. The count walk is
+//!   also *bound-directed*: it stops as soon as the candidates left cannot
+//!   lift the entry to the target (such an entry is pruned to zero either
+//!   way, so the truncation never changes the output). Sublist tail
+//!   lengths are threaded level to level (the emit kernel writes each new
+//!   entry's tail), so neither kernel compares `sublist_id` values. The scan
+//!   is the single-pass chunk-carry [`gmc_dpp::exclusive_scan_into`]. Three
+//!   launches per level instead of four, and typically well under half the
+//!   oracle queries; all scratch lives in a [`LevelArena`] recycled across
+//!   levels and windows.
+//! * **Unfused** (the ablation baseline): the seed pipeline verbatim — the
+//!   paper-literal full count walk, an output kernel that re-walks every
+//!   unpruned sublist tail (repeating the count kernel's oracle queries),
+//!   fresh per-level allocations and the two-phase scan.
+//!
+//! Both pipelines count their `EdgeOracle::connected` calls exactly into
+//! [`ExpansionOutcome::oracle_queries`]. The unfused walks are fully
+//! deterministic, so their tally is computed analytically on the host; the
+//! fused count kernel records each pruned entry's truncated walk length in
+//! that entry's otherwise-dead mask slot, and the host folds the tally from
+//! there at zero hot-path cost.
 //!
 //! The loop ends when a level produces no entries; every entry of the last
 //! level is then a maximum clique (each entry of level `L` is a valid
 //! `(L + 2)`-clique, and each clique appears exactly once because the
 //! orientation makes its vertex order unique).
+//!
+//! [`SolverConfig::fused`]: crate::SolverConfig::fused
 
+use crate::arena::LevelArena;
 use gmc_cliquelist::{CliqueLevel, CliqueList};
-use gmc_dpp::{Device, DeviceOom, SharedSlice};
+use gmc_dpp::{Device, DeviceOom, SharedSlice, UninitSlice};
 use gmc_graph::{Csr, EdgeOracle};
 
 /// Result of expanding one clique list to exhaustion.
@@ -34,18 +65,29 @@ pub(crate) struct ExpansionOutcome {
     pub level_entries: Vec<usize>,
     /// Whether the provably-unique-remainder early exit fired.
     pub early_exit: bool,
+    /// Exact number of `EdgeOracle::connected` calls this expansion made
+    /// (count/output walks plus early-exit checks). The fused pipeline's
+    /// saving over the unfused baseline shows up here.
+    pub oracle_queries: u64,
 }
 
 /// Largest head level for which the early-exit mutual-adjacency check is
 /// attempted; the check costs `len²` edge lookups.
 const EARLY_EXIT_CHECK_LIMIT: usize = 512;
 
+/// Tail positions covered by the per-entry inline adjacency mask; longer
+/// tails spill whole `u64` words into the arena's side buffer.
+const INLINE_BITS: usize = 64;
+
 /// Expands `level0` breadth-first until no further cliques exist, returning
 /// the cliques of the deepest level whose size reaches `min_target`.
 ///
 /// `min_target` is the pruning bound: branches that cannot reach a clique of
 /// at least this size are cut. For full enumeration pass `ω̄` (ties kept);
-/// for find-one-better pass `best + 1`.
+/// for find-one-better pass `best + 1`. `fused` selects the pipeline (see
+/// the module docs); `arena` supplies recycled scratch and absorbs the
+/// retired levels' buffers on return, including the OOM path.
+#[allow(clippy::too_many_arguments)] // mirrors the solver's knobs 1:1
 pub(crate) fn expand<O: EdgeOracle + ?Sized>(
     device: &Device,
     graph: &Csr,
@@ -53,9 +95,10 @@ pub(crate) fn expand<O: EdgeOracle + ?Sized>(
     level0: CliqueLevel,
     min_target: u32,
     early_exit_enabled: bool,
+    fused: bool,
+    arena: &mut LevelArena,
 ) -> Result<ExpansionOutcome, DeviceOom> {
     let _ = graph; // connectivity goes through the oracle; kept for debug asserts
-    let exec = device.exec();
     let mut list = CliqueList::new();
     let mut level_entries = vec![level0.len()];
     if level0.is_empty() {
@@ -64,10 +107,325 @@ pub(crate) fn expand<O: EdgeOracle + ?Sized>(
             clique_size: 0,
             level_entries,
             early_exit: false,
+            oracle_queries: 0,
         });
     }
     list.push_level(level0);
 
+    let mut queries = 0u64;
+    let grown = if fused {
+        grow_fused(
+            device,
+            oracle,
+            &mut list,
+            &mut level_entries,
+            min_target,
+            early_exit_enabled,
+            arena,
+            &mut queries,
+        )
+    } else {
+        grow_unfused(
+            device,
+            oracle,
+            &mut list,
+            &mut level_entries,
+            min_target,
+            early_exit_enabled,
+            arena,
+            &mut queries,
+        )
+    };
+    let outcome = match grown {
+        Err(oom) => {
+            recycle(arena, &mut list);
+            arena.release_charges();
+            return Err(oom);
+        }
+        Ok(Some(clique)) => {
+            // Early exit (paper Algorithm 2, line 36) fired.
+            let clique_size = clique.len();
+            ExpansionOutcome {
+                cliques: vec![clique],
+                clique_size,
+                level_entries,
+                early_exit: true,
+                oracle_queries: queries,
+            }
+        }
+        Ok(None) => {
+            // Read out the deepest level.
+            let final_idx = list.num_levels() - 1;
+            let clique_size = list.clique_size_at(final_idx);
+            if (clique_size as u32) < min_target {
+                // Every branch died before reaching the target: nothing to
+                // report (this happens in windowed mode when a window holds
+                // no clique beating the incumbent).
+                ExpansionOutcome {
+                    cliques: Vec::new(),
+                    clique_size: 0,
+                    level_entries,
+                    early_exit: false,
+                    oracle_queries: queries,
+                }
+            } else {
+                ExpansionOutcome {
+                    cliques: list.read_all_cliques(final_idx),
+                    clique_size,
+                    level_entries,
+                    early_exit: false,
+                    oracle_queries: queries,
+                }
+            }
+        }
+    };
+    recycle(arena, &mut list);
+    arena.release_charges();
+    Ok(outcome)
+}
+
+/// Pops every level back into the arena's staging freelist: the device
+/// charges drop with the [`CliqueLevel`]s while the host buffers survive for
+/// the next level or window.
+fn recycle(arena: &mut LevelArena, list: &mut CliqueList) {
+    while let Some(level) = list.pop_level() {
+        let (vertex, sublist) = level.into_vecs();
+        arena.retire_staging(vertex);
+        arena.retire_staging(sublist);
+    }
+}
+
+/// The fused level loop: record-and-replay adjacency bitmasks, threaded
+/// sublist tails, single-pass scan, arena-recycled scratch. Returns the
+/// early-exit clique when that check fires, `None` when the level loop
+/// drains normally.
+#[allow(clippy::too_many_arguments)]
+fn grow_fused<O: EdgeOracle + ?Sized>(
+    device: &Device,
+    oracle: &O,
+    list: &mut CliqueList,
+    level_entries: &mut Vec<usize>,
+    min_target: u32,
+    early_exit_enabled: bool,
+    arena: &mut LevelArena,
+    queries: &mut u64,
+) -> Result<Option<Vec<u32>>, DeviceOom> {
+    let exec = device.exec();
+    arena.set_tails_from_sublists(list.head().expect("list is non-empty").sublist_ids());
+    loop {
+        let head = list.head().expect("list is non-empty");
+        let k = list.clique_size_at(list.num_levels() - 1); // entries are k-cliques
+        let len = head.len();
+        assert!(len < u32::MAX as usize, "level exceeds u32 indexing");
+        let vertex_id = head.vertex_ids();
+        debug_assert_eq!(arena.tails.len(), len, "tails out of sync with head");
+
+        // Candidates an entry must still find adjacent to reach the target;
+        // the count walk stops the moment that becomes impossible.
+        let need = (min_target as usize).saturating_sub(k);
+        // The longest tail decides whether any bitmask spills past its
+        // inline word.
+        let max_tail = arena.tails.iter().copied().max().unwrap_or(0);
+
+        // Size and charge the spill buffer only when some tail overflows
+        // the inline mask (its bytes are device-resident between the two
+        // kernels, charged at the arena's high-water mark).
+        let spill_total = if max_tail as usize > INLINE_BITS {
+            let tails = &arena.tails;
+            let words_dst = UninitSlice::for_vec(&mut arena.spill_words, len);
+            exec.for_each_indexed(len, |i| {
+                let words = (tails[i] as usize).saturating_sub(INLINE_BITS).div_ceil(64);
+                // SAFETY: one write per index.
+                unsafe { words_dst.write(i, words) };
+            });
+            // SAFETY: the launch above wrote every index in 0..len.
+            unsafe { arena.spill_words.set_len(len) };
+            let total =
+                gmc_dpp::exclusive_scan_into(exec, &arena.spill_words, &mut arena.spill_offsets);
+            arena.charge_spill(device.memory(), total * std::mem::size_of::<u64>())?;
+            total
+        } else {
+            0
+        };
+
+        // Fused COUNTCLIQUES: the single adjacency walk records both the
+        // pruned count and the raw adjacency bitmask the emit kernel will
+        // replay. The walk is *bound-directed*: it runs only while
+        // `connected + remaining >= need`, so a hopeless entry stops at the
+        // first position where pruning is already certain (an entry whose
+        // whole tail is shorter than `need` makes no queries at all) — the
+        // truncated walk is safe because such an entry is zeroed by the
+        // pruning rule either way. A pruned entry's mask slot is dead (the
+        // emit kernel skips it), so the kernel stores the entry's actual
+        // query count there instead, keeping the host-side tally exact.
+        // Spill words are assembled locally and each is stored exactly once
+        // (bailing entries zero-fill the rest of their span), so the side
+        // buffer needs no pre-zeroing.
+        {
+            let tails = &arena.tails;
+            let spill_offsets = &arena.spill_offsets;
+            let counts_dst = UninitSlice::for_vec(&mut arena.counts, len);
+            let masks_dst = UninitSlice::for_vec(&mut arena.masks, len);
+            let spill_dst = UninitSlice::for_vec(&mut arena.spill, spill_total);
+            exec.for_each_indexed_fused(len, |i| {
+                let t = tails[i] as usize;
+                let spill_base = if t > INLINE_BITS { spill_offsets[i] } else { 0 };
+                let spill_len = t.saturating_sub(INLINE_BITS).div_ceil(64);
+                let mut connected = 0usize;
+                let mut inline = 0u64;
+                let mut word = 0u64;
+                let mut flushed = 0usize;
+                let mut walked = 0usize;
+                while walked < t && connected + (t - walked) >= need {
+                    let b = walked;
+                    if oracle.connected(vertex_id[i], vertex_id[i + 1 + b]) {
+                        connected += 1;
+                        if b < INLINE_BITS {
+                            inline |= 1u64 << b;
+                        } else {
+                            word |= 1u64 << ((b - INLINE_BITS) % 64);
+                        }
+                    }
+                    walked += 1;
+                    if b >= INLINE_BITS && (b - INLINE_BITS) % 64 == 63 {
+                        // SAFETY: entry i owns its spill span; each word is
+                        // completed, and therefore written, exactly once.
+                        unsafe { spill_dst.write(spill_base + flushed, word) };
+                        flushed += 1;
+                        word = 0;
+                    }
+                }
+                for w in flushed..spill_len {
+                    // SAFETY: the walk flushed words 0..flushed; this writes
+                    // the trailing partial word plus zeros for the span a
+                    // bailed walk never reached, exactly once each.
+                    unsafe { spill_dst.write(spill_base + w, if w == flushed { word } else { 0 }) };
+                }
+                let count = if connected < need { 0 } else { connected };
+                // SAFETY: one write per index. A zero-count entry is never
+                // replayed, so its mask slot carries the query tally the
+                // truncated walk actually made.
+                unsafe {
+                    counts_dst.write(i, count);
+                    masks_dst.write(i, if count == 0 { walked as u64 } else { inline });
+                }
+            });
+            // SAFETY: the launch wrote every index of all three buffers
+            // (spill spans tile 0..spill_total across entries with long
+            // tails).
+            unsafe {
+                arena.counts.set_len(len);
+                arena.masks.set_len(len);
+                arena.spill.set_len(spill_total);
+            }
+        }
+
+        // Exact query tally: a surviving entry always walked its whole tail
+        // (a bailed walk implies pruning), a pruned entry recorded its
+        // truncated walk length in the dead mask slot.
+        *queries += arena
+            .counts
+            .iter()
+            .zip(&arena.tails)
+            .zip(&arena.masks)
+            .map(|((&c, &t), &m)| if c > 0 { u64::from(t) } else { m })
+            .sum::<u64>();
+
+        let total = gmc_dpp::exclusive_scan_into(exec, &arena.counts, &mut arena.offsets);
+        if total == 0 {
+            return Ok(None);
+        }
+
+        // Fused OUTPUTNEWCLIQUES: replay the recorded bits — zero oracle
+        // queries — and write each emitted entry's sublist tail for the
+        // next level (its sublist is exactly its parent's span).
+        let mut new_vertex = arena.take_staging();
+        let mut new_sublist = arena.take_staging();
+        {
+            let tails = &arena.tails;
+            let counts = &arena.counts;
+            let offsets = &arena.offsets;
+            let masks = &arena.masks;
+            let spill = &arena.spill;
+            let spill_offsets = &arena.spill_offsets;
+            let vertex_dst = UninitSlice::for_vec(&mut new_vertex, total);
+            let sublist_dst = UninitSlice::for_vec(&mut new_sublist, total);
+            let tails_dst = UninitSlice::for_vec(&mut arena.next_tails, total);
+            exec.for_each_indexed_fused(len, |i| {
+                if counts[i] == 0 {
+                    return;
+                }
+                let end = offsets[i] + counts[i];
+                let mut cursor = offsets[i];
+                let emit = |b: usize, cursor: usize| {
+                    // SAFETY: entry i owns offsets[i]..end; the spans tile
+                    // 0..total and each slot is written exactly once.
+                    unsafe {
+                        vertex_dst.write(cursor, vertex_id[i + 1 + b]);
+                        sublist_dst.write(cursor, i as u32);
+                        tails_dst.write(cursor, (end - 1 - cursor) as u32);
+                    }
+                };
+                // Inline bits replay in ascending order, matching the
+                // unfused walk byte for byte.
+                let mut m = masks[i];
+                while m != 0 {
+                    emit(m.trailing_zeros() as usize, cursor);
+                    m &= m - 1;
+                    cursor += 1;
+                }
+                let t = tails[i] as usize;
+                if t > INLINE_BITS {
+                    let base = spill_offsets[i];
+                    for w in 0..(t - INLINE_BITS).div_ceil(64) {
+                        let mut m = spill[base + w];
+                        while m != 0 {
+                            emit(INLINE_BITS + w * 64 + m.trailing_zeros() as usize, cursor);
+                            m &= m - 1;
+                            cursor += 1;
+                        }
+                    }
+                }
+                debug_assert_eq!(cursor, end, "mask replay disagrees with count");
+            });
+            // SAFETY: counts/offsets tile 0..total, so the launch wrote
+            // every slot of all three buffers.
+            unsafe {
+                new_vertex.set_len(total);
+                new_sublist.set_len(total);
+                arena.next_tails.set_len(total);
+            }
+        }
+        std::mem::swap(&mut arena.tails, &mut arena.next_tails);
+
+        let new_level = CliqueLevel::from_vecs(device.memory(), new_vertex, new_sublist)?;
+        level_entries.push(new_level.len());
+        list.push_level(new_level);
+
+        if early_exit_enabled {
+            if let Some(clique) = try_early_exit(oracle, list, min_target, queries) {
+                return Ok(Some(clique));
+            }
+        }
+    }
+}
+
+/// The unfused level loop — the seed pipeline kept verbatim as the ablation
+/// baseline: the output kernel re-walks every unpruned sublist tail
+/// (repeating the count kernel's oracle queries), the scan is two-phase,
+/// and each level allocates fresh buffers.
+#[allow(clippy::too_many_arguments)]
+fn grow_unfused<O: EdgeOracle + ?Sized>(
+    device: &Device,
+    oracle: &O,
+    list: &mut CliqueList,
+    level_entries: &mut Vec<usize>,
+    min_target: u32,
+    early_exit_enabled: bool,
+    arena: &mut LevelArena,
+    queries: &mut u64,
+) -> Result<Option<Vec<u32>>, DeviceOom> {
+    let exec = device.exec();
     loop {
         let head = list.head().expect("list is non-empty");
         let k = list.clique_size_at(list.num_levels() - 1); // entries are k-cliques
@@ -75,6 +433,11 @@ pub(crate) fn expand<O: EdgeOracle + ?Sized>(
         assert!(len < u32::MAX as usize, "level exceeds u32 indexing");
         let vertex_id = head.vertex_ids();
         let sublist_id = head.sublist_ids();
+
+        // Analytic query accounting: the count walk visits exactly the
+        // sublist tail of every entry.
+        arena.set_tails_from_sublists(sublist_id);
+        *queries += arena.tails.iter().map(|&t| u64::from(t)).sum::<u64>();
 
         // COUNTCLIQUES: adjacent successors within the sublist, pruned
         // against the target.
@@ -96,8 +459,17 @@ pub(crate) fn expand<O: EdgeOracle + ?Sized>(
 
         let (offsets, total) = gmc_dpp::exclusive_scan(exec, &counts);
         if total == 0 {
-            break;
+            return Ok(None);
         }
+
+        // The output kernel re-walks the full tail of every unpruned entry.
+        *queries += arena
+            .tails
+            .iter()
+            .zip(&counts)
+            .filter(|&(_, &c)| c > 0)
+            .map(|(&t, _)| u64::from(t))
+            .sum::<u64>();
 
         // OUTPUTNEWCLIQUES: emit each entry's adjacent successors.
         let mut new_vertex = vec![0u32; total];
@@ -129,53 +501,22 @@ pub(crate) fn expand<O: EdgeOracle + ?Sized>(
         level_entries.push(new_level.len());
         list.push_level(new_level);
 
-        // Early exit (paper Algorithm 2, line 36): when every surviving
-        // candidate shares one parent and the candidates are mutually
-        // adjacent, the chain plus all candidates is the unique remaining
-        // maximum clique.
         if early_exit_enabled {
-            if let Some(clique) = try_early_exit(oracle, &list, min_target) {
-                let clique_size = clique.len();
-                return Ok(ExpansionOutcome {
-                    cliques: vec![clique],
-                    clique_size,
-                    level_entries,
-                    early_exit: true,
-                });
+            if let Some(clique) = try_early_exit(oracle, list, min_target, queries) {
+                return Ok(Some(clique));
             }
         }
     }
-
-    // Read out the deepest level.
-    let final_idx = list.num_levels() - 1;
-    let clique_size = list.clique_size_at(final_idx);
-    if (clique_size as u32) < min_target {
-        // Every branch died before reaching the target: nothing to report
-        // (this happens in windowed mode when a window holds no clique
-        // beating the incumbent).
-        return Ok(ExpansionOutcome {
-            cliques: Vec::new(),
-            clique_size: 0,
-            level_entries,
-            early_exit: false,
-        });
-    }
-    let cliques = list.read_all_cliques(final_idx);
-    Ok(ExpansionOutcome {
-        cliques,
-        clique_size,
-        level_entries,
-        early_exit: false,
-    })
 }
 
 /// Checks whether the head level is a single, mutually-adjacent sublist; if
 /// so, returns `chain ∪ candidates` — provably the unique maximum clique
-/// still reachable.
+/// still reachable. Oracle calls are tallied into `queries`.
 fn try_early_exit<O: EdgeOracle + ?Sized>(
     oracle: &O,
     list: &CliqueList,
     min_target: u32,
+    queries: &mut u64,
 ) -> Option<Vec<u32>> {
     let head = list.head()?;
     let len = head.len();
@@ -189,6 +530,7 @@ fn try_early_exit<O: EdgeOracle + ?Sized>(
     let candidates = head.vertex_ids();
     for (i, &u) in candidates.iter().enumerate() {
         for &v in &candidates[i + 1..] {
+            *queries += 1;
             if !oracle.connected(u, v) {
                 return None;
             }
@@ -214,8 +556,9 @@ mod tests {
     use crate::config::CandidateOrder;
     use crate::setup::build_two_clique_list;
     use gmc_graph::generators;
+    use std::sync::atomic::{AtomicU64, Ordering};
 
-    fn run(graph: &Csr, lower: u32, early_exit: bool) -> ExpansionOutcome {
+    fn run_with(graph: &Csr, lower: u32, early_exit: bool, fused: bool) -> ExpansionOutcome {
         let device = Device::unlimited();
         let setup = build_two_clique_list(
             device.exec(),
@@ -228,7 +571,22 @@ mod tests {
         );
         let level0 =
             CliqueLevel::from_vecs(device.memory(), setup.vertex_id, setup.sublist_id).unwrap();
-        expand(&device, graph, graph, level0, lower.max(2), early_exit).unwrap()
+        let mut arena = LevelArena::new();
+        expand(
+            &device,
+            graph,
+            graph,
+            level0,
+            lower.max(2),
+            early_exit,
+            fused,
+            &mut arena,
+        )
+        .unwrap()
+    }
+
+    fn run(graph: &Csr, lower: u32, early_exit: bool) -> ExpansionOutcome {
+        run_with(graph, lower, early_exit, true)
     }
 
     fn normalize(mut cliques: Vec<Vec<u32>>) -> Vec<Vec<u32>> {
@@ -237,6 +595,24 @@ mod tests {
         }
         cliques.sort();
         cliques
+    }
+
+    /// Wraps an oracle and counts actual `connected` calls, to pin the
+    /// analytic `oracle_queries` tally to reality.
+    struct CountingOracle<'a> {
+        inner: &'a Csr,
+        calls: AtomicU64,
+    }
+
+    impl EdgeOracle for CountingOracle<'_> {
+        fn connected(&self, u: u32, v: u32) -> bool {
+            self.calls.fetch_add(1, Ordering::Relaxed);
+            self.inner.connected(u, v)
+        }
+
+        fn footprint_bytes(&self) -> usize {
+            self.inner.footprint_bytes()
+        }
     }
 
     #[test]
@@ -322,6 +698,7 @@ mod tests {
         let out = run(&g, 0, false);
         assert_eq!(out.clique_size, 0);
         assert!(out.cliques.is_empty());
+        assert_eq!(out.oracle_queries, 0);
     }
 
     #[test]
@@ -340,7 +717,8 @@ mod tests {
         let level0 =
             CliqueLevel::from_vecs(device.memory(), setup.vertex_id, setup.sublist_id).unwrap();
         // Ask for cliques of size ≥ 5 in a K4.
-        let out = expand(&device, &g, &g, level0, 5, false).unwrap();
+        let mut arena = LevelArena::new();
+        let out = expand(&device, &g, &g, level0, 5, false, true, &mut arena).unwrap();
         assert!(out.cliques.is_empty());
         assert_eq!(out.clique_size, 0);
     }
@@ -349,20 +727,26 @@ mod tests {
     fn oom_propagates_from_level_growth() {
         // K20 with a tiny budget: level 0 fits, deeper levels cannot.
         let g = generators::complete(20);
-        let device = Device::with_memory_budget(8 * 190 + 64);
-        let setup = build_two_clique_list(
-            device.exec(),
-            &g,
-            0,
-            &g.degrees(),
-            crate::config::OrientationRule::Degree,
-            CandidateOrder::Index,
-            crate::config::SublistBound::Length,
-        );
-        let level0 =
-            CliqueLevel::from_vecs(device.memory(), setup.vertex_id, setup.sublist_id).unwrap();
-        let err = expand(&device, &g, &g, level0, 2, false);
-        assert!(err.is_err(), "expected OOM");
+        for fused in [true, false] {
+            let device = Device::with_memory_budget(8 * 190 + 64);
+            let setup = build_two_clique_list(
+                device.exec(),
+                &g,
+                0,
+                &g.degrees(),
+                crate::config::OrientationRule::Degree,
+                CandidateOrder::Index,
+                crate::config::SublistBound::Length,
+            );
+            let level0 =
+                CliqueLevel::from_vecs(device.memory(), setup.vertex_id, setup.sublist_id).unwrap();
+            let mut arena = LevelArena::new();
+            let err = expand(&device, &g, &g, level0, 2, false, fused, &mut arena);
+            assert!(err.is_err(), "expected OOM (fused={fused})");
+            // The failed expansion must leave nothing charged — the level
+            // charges and any spill charge are all released on the way out.
+            assert_eq!(device.memory().live(), 0, "leak (fused={fused})");
+        }
     }
 
     #[test]
@@ -374,5 +758,172 @@ mod tests {
         let out = run(&g, 0, false);
         assert_eq!(out.level_entries[0], 21);
         assert_eq!(*out.level_entries.last().unwrap(), 1);
+    }
+
+    #[test]
+    fn fused_matches_unfused_exactly() {
+        // The emit kernel replays bits in ascending order — the same order
+        // as the unfused re-walk — so even the raw read-out must agree.
+        for seed in 0..6 {
+            let g = generators::gnp(50, 0.18, seed);
+            for early_exit in [false, true] {
+                let fused = run_with(&g, 0, early_exit, true);
+                let unfused = run_with(&g, 0, early_exit, false);
+                let tag = format!("seed {seed} early_exit {early_exit}");
+                assert_eq!(fused.clique_size, unfused.clique_size, "{tag}");
+                assert_eq!(fused.cliques, unfused.cliques, "{tag}");
+                assert_eq!(fused.level_entries, unfused.level_entries, "{tag}");
+                assert_eq!(fused.early_exit, unfused.early_exit, "{tag}");
+            }
+        }
+    }
+
+    fn counted(graph: &Csr, fused: bool) -> (ExpansionOutcome, u64) {
+        let device = Device::unlimited();
+        let setup = build_two_clique_list(
+            device.exec(),
+            graph,
+            0,
+            &graph.degrees(),
+            crate::config::OrientationRule::Degree,
+            CandidateOrder::DegreeAscending,
+            crate::config::SublistBound::Length,
+        );
+        let level0 =
+            CliqueLevel::from_vecs(device.memory(), setup.vertex_id, setup.sublist_id).unwrap();
+        let oracle = CountingOracle {
+            inner: graph,
+            calls: AtomicU64::new(0),
+        };
+        let mut arena = LevelArena::new();
+        let out = expand(&device, graph, &oracle, level0, 2, false, fused, &mut arena).unwrap();
+        (out, oracle.calls.load(Ordering::Relaxed))
+    }
+
+    #[test]
+    fn oracle_query_counter_is_exact_and_fusion_skips_the_rewalk() {
+        let g = generators::gnp(100, 0.3, 7);
+        let (fused, fused_actual) = counted(&g, true);
+        let (unfused, unfused_actual) = counted(&g, false);
+        // The analytic tally must match the oracle's own call count.
+        assert_eq!(fused.oracle_queries, fused_actual);
+        assert_eq!(unfused.oracle_queries, unfused_actual);
+        // On a dense graph most entries survive pruning, so the unfused
+        // output kernel repeats nearly the whole count walk: fusion must
+        // save at least 40% of the queries.
+        assert!(
+            fused.oracle_queries * 10 <= unfused.oracle_queries * 6,
+            "fused {} vs unfused {}",
+            fused.oracle_queries,
+            unfused.oracle_queries
+        );
+    }
+
+    #[test]
+    fn spill_masks_cover_tails_beyond_inline_bits() {
+        // A hub with 70 successors in one sublist: tails reach 69 > 64, so
+        // the inline mask overflows into the spill buffer. The only deep
+        // structure is the K4 {0,1,2,3}.
+        let mut edges: Vec<(u32, u32)> = (1..=70).map(|v| (0u32, v)).collect();
+        edges.extend([(1, 2), (1, 3), (2, 3)]);
+        let g = Csr::from_edges(71, &edges);
+        let device = Device::unlimited();
+        let mut arena = LevelArena::new();
+        let level0 = |device: &Device| {
+            CliqueLevel::from_vecs(device.memory(), (1..=70).collect(), vec![0; 70]).unwrap()
+        };
+        let fused = expand(&device, &g, &g, level0(&device), 2, false, true, &mut arena).unwrap();
+        let unfused = expand(
+            &device,
+            &g,
+            &g,
+            level0(&device),
+            2,
+            false,
+            false,
+            &mut arena,
+        )
+        .unwrap();
+        assert_eq!(fused.clique_size, 4);
+        assert_eq!(fused.cliques, vec![vec![0, 1, 2, 3]]);
+        assert_eq!(fused.cliques, unfused.cliques);
+        assert_eq!(fused.level_entries, unfused.level_entries);
+        assert_eq!(device.memory().live(), 0, "spill charges must be released");
+    }
+
+    #[test]
+    fn fused_pipeline_saves_launches() {
+        let g = generators::gnp(60, 0.25, 11);
+        let launches = |fused: bool| {
+            let device = Device::new(4, usize::MAX);
+            // Force chunked dispatch even for these small test levels, so
+            // the scans actually launch (below the sequential grid limit
+            // both scan variants take a zero-launch host path).
+            device.exec().set_sequential_grid_limit(1);
+            let base = device.exec().stats();
+            run_on(&device, &g, fused);
+            device.exec().stats().since(base)
+        };
+        let fused = launches(true);
+        let unfused = launches(false);
+        // Count + emit run as fused launches; the single-pass scan replaces
+        // the two-phase scan, dropping one launch per level.
+        assert!(fused.fused_launches > 0);
+        assert_eq!(unfused.fused_launches, 0);
+        assert!(
+            fused.launches < unfused.launches,
+            "fused {} vs unfused {}",
+            fused.launches,
+            unfused.launches
+        );
+    }
+
+    fn run_on(device: &Device, graph: &Csr, fused: bool) -> ExpansionOutcome {
+        let setup = build_two_clique_list(
+            device.exec(),
+            graph,
+            0,
+            &graph.degrees(),
+            crate::config::OrientationRule::Degree,
+            CandidateOrder::DegreeAscending,
+            crate::config::SublistBound::Length,
+        );
+        let level0 =
+            CliqueLevel::from_vecs(device.memory(), setup.vertex_id, setup.sublist_id).unwrap();
+        let mut arena = LevelArena::new();
+        expand(device, graph, graph, level0, 2, false, fused, &mut arena).unwrap()
+    }
+
+    #[test]
+    fn arena_reuse_across_expansions_is_clean() {
+        // The same arena serves back-to-back expansions (as windows do):
+        // results must not depend on what the previous run left behind.
+        let mut arena = LevelArena::new();
+        let device = Device::unlimited();
+        let mut reference = Vec::new();
+        for round in 0..3 {
+            for seed in [13, 29] {
+                let g = generators::gnp(40, 0.25, seed);
+                let setup = build_two_clique_list(
+                    device.exec(),
+                    &g,
+                    0,
+                    &g.degrees(),
+                    crate::config::OrientationRule::Degree,
+                    CandidateOrder::DegreeAscending,
+                    crate::config::SublistBound::Length,
+                );
+                let level0 =
+                    CliqueLevel::from_vecs(device.memory(), setup.vertex_id, setup.sublist_id)
+                        .unwrap();
+                let out = expand(&device, &g, &g, level0, 2, false, true, &mut arena).unwrap();
+                if round == 0 {
+                    reference.push(out.cliques);
+                } else {
+                    assert_eq!(out.cliques, reference[(seed == 29) as usize], "seed {seed}");
+                }
+            }
+        }
+        assert_eq!(device.memory().live(), 0);
     }
 }

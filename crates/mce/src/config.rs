@@ -194,6 +194,12 @@ pub struct SolverConfig {
     /// Allow the search to stop as soon as the surviving candidates provably
     /// form the unique remaining maximum clique (paper Algorithm 2 line 36).
     pub early_exit: bool,
+    /// Use the fused expansion pipeline: the count kernel records adjacency
+    /// bitmasks the output kernel replays (instead of re-querying the edge
+    /// oracle), with a single-pass scan and arena-recycled level scratch.
+    /// `false` selects the paper-literal count → scan → re-walk pipeline —
+    /// kept as the ablation baseline.
+    pub fused: bool,
 }
 
 impl Default for SolverConfig {
@@ -208,6 +214,7 @@ impl Default for SolverConfig {
             polish_witness: false,
             window: None,
             early_exit: true,
+            fused: true,
         }
     }
 }
@@ -223,6 +230,7 @@ mod tests {
         assert_eq!(cfg.candidate_order, CandidateOrder::DegreeAscending);
         assert!(cfg.window.is_none());
         assert!(cfg.early_exit);
+        assert!(cfg.fused);
     }
 
     #[test]

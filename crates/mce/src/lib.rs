@@ -20,6 +20,7 @@
 
 #![warn(missing_docs)]
 
+mod arena;
 mod bfs;
 mod config;
 mod setup;
@@ -98,6 +99,12 @@ pub struct SolveStats {
     pub level_entries: Vec<usize>,
     /// Whether the provably-unique-remainder early exit fired.
     pub early_exit: bool,
+    /// Exact number of edge-oracle `connected` calls the expansion phase
+    /// made (count/output walks, early-exit checks, and recursive child
+    /// levels when windowed). The fused pipeline roughly halves this against
+    /// the unfused baseline by replaying recorded adjacency bits instead of
+    /// re-walking sublists.
+    pub oracle_queries: u64,
     /// Virtual-GPU launch counters consumed by this solve.
     pub launches: LaunchStats,
     /// Window counters when the windowed variant ran.
@@ -219,6 +226,13 @@ impl MaxCliqueSolver {
     /// Enables or disables the early-exit optimisation.
     pub fn early_exit(mut self, enabled: bool) -> Self {
         self.config.early_exit = enabled;
+        self
+    }
+
+    /// Selects the expansion pipeline: fused record-and-replay (default) or
+    /// the paper-literal double-walk baseline (see [`SolverConfig::fused`]).
+    pub fn fused(mut self, enabled: bool) -> Self {
+        self.config.fused = enabled;
         self
     }
 
@@ -366,6 +380,7 @@ impl MaxCliqueSolver {
             None => {
                 let level0 =
                     CliqueLevel::from_vecs(device.memory(), setup.vertex_id, setup.sublist_id)?;
+                let mut arena = arena::LevelArena::new();
                 let outcome = bfs::expand(
                     device,
                     graph,
@@ -373,9 +388,12 @@ impl MaxCliqueSolver {
                     level0,
                     min_target,
                     self.config.early_exit,
+                    self.config.fused,
+                    &mut arena,
                 )?;
                 stats.level_entries = outcome.level_entries;
                 stats.early_exit = outcome.early_exit;
+                stats.oracle_queries = outcome.oracle_queries;
                 debug_assert!(
                     outcome.clique_size as u32 >= heuristic.lower_bound(),
                     "exact search lost the heuristic witness"
@@ -392,7 +410,9 @@ impl MaxCliqueSolver {
                     &heuristic.clique,
                     min_target,
                     self.config.early_exit,
+                    self.config.fused,
                 )?;
+                stats.oracle_queries = outcome.stats.oracle_queries;
                 stats.window = Some(outcome.stats);
                 (
                     outcome.cliques,
@@ -652,6 +672,7 @@ mod tests {
         assert!(s.lower_bound >= 2);
         assert!(s.peak_device_bytes > 0);
         assert!(!s.level_entries.is_empty());
+        assert!(s.oracle_queries > 0);
         assert!(s.launches.launches > 0);
         assert!(s.total_time >= s.expansion_time);
         assert_eq!(s.setup.total_oriented_edges, g.num_edges());
@@ -740,6 +761,51 @@ mod tests {
                 "seed {seed}"
             );
         }
+    }
+
+    #[test]
+    fn fused_ablation_agrees_and_saves_queries() {
+        let g = generators::gnp(90, 0.2, 41);
+        let fused = solver().solve(&g).unwrap();
+        let unfused = solver().fused(false).solve(&g).unwrap();
+        assert_eq!(fused.clique_number, unfused.clique_number);
+        assert_eq!(fused.cliques, unfused.cliques);
+        assert_eq!(fused.stats.level_entries, unfused.stats.level_entries);
+        // The fused pipeline replays recorded bits instead of re-walking.
+        assert!(fused.stats.oracle_queries > 0);
+        assert!(
+            fused.stats.oracle_queries < unfused.stats.oracle_queries,
+            "fused {} vs unfused {}",
+            fused.stats.oracle_queries,
+            unfused.stats.oracle_queries
+        );
+        assert!(fused.stats.launches.fused_launches > 0);
+        assert_eq!(unfused.stats.launches.fused_launches, 0);
+
+        // The same ablation through the windowed search path.
+        let windowed = |enabled: bool| {
+            solver()
+                .fused(enabled)
+                .windowed(WindowConfig {
+                    size: 16,
+                    enumerate_all: true,
+                    ..WindowConfig::default()
+                })
+                .solve(&g)
+                .unwrap()
+        };
+        let (wf, wu) = (windowed(true), windowed(false));
+        assert_eq!(wf.cliques, fused.cliques);
+        assert_eq!(wu.cliques, fused.cliques);
+        let (wfq, wuq) = (
+            wf.stats.window.unwrap().oracle_queries,
+            wu.stats.window.unwrap().oracle_queries,
+        );
+        assert_eq!(wf.stats.oracle_queries, wfq);
+        assert!(
+            wfq > 0 && wfq < wuq,
+            "windowed fused {wfq} vs unfused {wuq}"
+        );
     }
 
     #[test]

@@ -24,6 +24,7 @@
 //! level deeper (its candidate pairs become the 2-clique list of an induced
 //! subproblem whose results carry the committed chain as a prefix).
 
+use crate::arena::LevelArena;
 use crate::bfs::expand;
 use crate::config::{WindowConfig, WindowOrdering};
 use crate::setup::SetupOutput;
@@ -51,6 +52,9 @@ pub struct WindowStats {
     /// Times an over-large single sublist was re-windowed one level deeper
     /// (recursive mode).
     pub sublist_recursions: usize,
+    /// Exact number of edge-oracle `connected` calls across all windows
+    /// (expansion walks plus recursive child-level construction).
+    pub oracle_queries: u64,
 }
 
 pub(crate) struct WindowOutcome {
@@ -129,6 +133,7 @@ struct SearchCtx<'a, O: EdgeOracle + ?Sized> {
     oracle: &'a O,
     config: &'a WindowConfig,
     early_exit: bool,
+    fused: bool,
 }
 
 /// Reorders whole sublists of the 2-clique list according to `ordering`.
@@ -209,6 +214,7 @@ pub(crate) fn windowed_search<O: EdgeOracle + ?Sized>(
     witness: &[u32],
     min_enum_target: u32,
     early_exit: bool,
+    fused: bool,
 ) -> Result<WindowOutcome, DeviceOom> {
     let (vertex_id, sublist_id) = reorder_sublists(
         device.exec(),
@@ -237,8 +243,12 @@ pub(crate) fn windowed_search<O: EdgeOracle + ?Sized>(
         oracle,
         config,
         early_exit,
+        fused,
     };
     if config.parallel_windows <= 1 {
+        // One arena serves every window of the sweep: level scratch grown by
+        // the first window is recycled by all the rest.
+        let mut arena = LevelArena::new();
         search_slice(
             &ctx,
             &vertex_id,
@@ -247,6 +257,7 @@ pub(crate) fn windowed_search<O: EdgeOracle + ?Sized>(
             0,
             &incumbent,
             &stats_lock,
+            &mut arena,
         )?;
     } else {
         parallel_window_sweep(&ctx, &vertex_id, &sublist_id, &incumbent, &stats_lock)?;
@@ -310,6 +321,7 @@ fn auto_window_end(sublist_id: &[u32], start: usize, budget_entries: usize) -> u
 }
 
 /// Cuts `vertex_id`/`sublist_id` into windows and processes each.
+#[allow(clippy::too_many_arguments)] // one slot per recursion invariant
 fn search_slice<O: EdgeOracle + ?Sized>(
     ctx: &SearchCtx<'_, O>,
     vertex_id: &[u32],
@@ -318,6 +330,7 @@ fn search_slice<O: EdgeOracle + ?Sized>(
     depth: usize,
     incumbent: &Mutex<Incumbent>,
     stats: &Mutex<WindowStats>,
+    arena: &mut LevelArena,
 ) -> Result<(), DeviceOom> {
     let mut start = 0usize;
     while start < vertex_id.len() {
@@ -334,6 +347,7 @@ fn search_slice<O: EdgeOracle + ?Sized>(
             depth,
             incumbent,
             stats,
+            arena,
         )?;
         start = end;
     }
@@ -342,6 +356,7 @@ fn search_slice<O: EdgeOracle + ?Sized>(
 
 /// Expands one window; on OOM, splits or recurses when recursive windowing
 /// is enabled and depth remains.
+#[allow(clippy::too_many_arguments)] // one slot per recursion invariant
 fn process_window<O: EdgeOracle + ?Sized>(
     ctx: &SearchCtx<'_, O>,
     vertex_id: &[u32],
@@ -350,6 +365,7 @@ fn process_window<O: EdgeOracle + ?Sized>(
     depth: usize,
     incumbent: &Mutex<Incumbent>,
     stats: &Mutex<WindowStats>,
+    arena: &mut LevelArena,
 ) -> Result<(), DeviceOom> {
     if vertex_id.is_empty() {
         return Ok(());
@@ -376,6 +392,8 @@ fn process_window<O: EdgeOracle + ?Sized>(
                     level0,
                     target_local,
                     ctx.early_exit,
+                    ctx.fused,
+                    arena,
                 )
             });
     {
@@ -384,6 +402,9 @@ fn process_window<O: EdgeOracle + ?Sized>(
         stats.peak_window_bytes = stats
             .peak_window_bytes
             .max(ctx.device.memory().peak().saturating_sub(live_base));
+        if let Ok(outcome) = &attempt {
+            stats.oracle_queries += outcome.oracle_queries;
+        }
     }
 
     let oom = match attempt {
@@ -427,6 +448,7 @@ fn process_window<O: EdgeOracle + ?Sized>(
             depth,
             incumbent,
             stats,
+            arena,
         )?;
         return process_window(
             ctx,
@@ -436,6 +458,7 @@ fn process_window<O: EdgeOracle + ?Sized>(
             depth,
             incumbent,
             stats,
+            arena,
         );
     }
     if depth + 1 >= ctx.config.max_depth {
@@ -471,6 +494,10 @@ fn process_window<O: EdgeOracle + ?Sized>(
     }
 
     let (child_vertex, child_sublist) = build_child_level(ctx, vertex_id);
+    // Both child-level kernels walk every ordered candidate pair: exactly
+    // len·(len−1) oracle queries.
+    stats.lock().expect("stats lock poisoned").oracle_queries +=
+        (vertex_id.len() * (vertex_id.len() - 1)) as u64;
     let mut child_prefix = prefix.to_vec();
     child_prefix.push(source);
     search_slice(
@@ -481,6 +508,7 @@ fn process_window<O: EdgeOracle + ?Sized>(
         depth + 1,
         incumbent,
         stats,
+        arena,
     )
 }
 
@@ -513,24 +541,30 @@ fn parallel_window_sweep<O: EdgeOracle + ?Sized>(
     let first_error: Mutex<Option<DeviceOom>> = Mutex::new(None);
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                let Some(&(s, e)) = ranges.get(i) else { break };
-                let outcome = process_window(
-                    ctx,
-                    &vertex_id[s..e],
-                    &sublist_id[s..e],
-                    &[],
-                    0,
-                    incumbent,
-                    stats,
-                );
-                if let Err(oom) = outcome {
-                    first_error
-                        .lock()
-                        .expect("error lock poisoned")
-                        .get_or_insert(oom);
-                    break;
+            scope.spawn(|| {
+                // Arenas are not shared across threads: each worker recycles
+                // its own scratch over the windows it drains.
+                let mut arena = LevelArena::new();
+                loop {
+                    let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let Some(&(s, e)) = ranges.get(i) else { break };
+                    let outcome = process_window(
+                        ctx,
+                        &vertex_id[s..e],
+                        &sublist_id[s..e],
+                        &[],
+                        0,
+                        incumbent,
+                        stats,
+                        &mut arena,
+                    );
+                    if let Err(oom) = outcome {
+                        first_error
+                            .lock()
+                            .expect("error lock poisoned")
+                            .get_or_insert(oom);
+                        break;
+                    }
                 }
             });
         }
@@ -609,9 +643,13 @@ mod tests {
         witness: &[u32],
         target: u32,
     ) -> Result<WindowOutcome, DeviceOom> {
-        windowed_search(device, graph, graph, setup, cfg, witness, target, false)
+        windowed_search(
+            device, graph, graph, setup, cfg, witness, target, false, true,
+        )
     }
 
+    /// Reference via the *unfused* pipeline, so windowed (fused) runs are
+    /// cross-validated against the paper-literal baseline.
     fn reference_expand(graph: &Csr, setup: &SetupOutput) -> crate::bfs::ExpansionOutcome {
         let device = Device::unlimited();
         let level0 = CliqueLevel::from_vecs(
@@ -620,7 +658,8 @@ mod tests {
             setup.sublist_id.clone(),
         )
         .unwrap();
-        expand(&device, graph, graph, level0, 2, false).unwrap()
+        let mut arena = LevelArena::new();
+        expand(&device, graph, graph, level0, 2, false, false, &mut arena).unwrap()
     }
 
     fn normalize(mut cs: Vec<Vec<u32>>) -> Vec<Vec<u32>> {
@@ -763,7 +802,17 @@ mod tests {
             setup.sublist_id.clone(),
         )
         .unwrap();
-        let _ = expand(&device, &g, &g, full_level, 2, false).unwrap();
+        let _ = expand(
+            &device,
+            &g,
+            &g,
+            full_level,
+            2,
+            false,
+            true,
+            &mut LevelArena::new(),
+        )
+        .unwrap();
         let full_peak = device.memory().peak();
 
         let cfg = WindowConfig {

@@ -325,3 +325,39 @@ fn oom_never_returns_a_wrong_answer() {
         },
     );
 }
+
+#[test]
+fn fused_pipeline_is_indistinguishable_from_unfused() {
+    // The fused record-and-replay expansion must reproduce the unfused
+    // baseline bit for bit — same cliques, same level shapes, same early
+    // exits — across random graphs, worker counts and edge oracles, while
+    // never making more oracle queries.
+    use gpu_max_clique::mce::EdgeIndexKind;
+    prop::check_with(
+        config(),
+        "fused_pipeline_is_indistinguishable_from_unfused",
+        |rng| arb_graph(rng, 20),
+        shrink_graph,
+        |case| {
+            let graph = csr(case);
+            for workers in [1usize, 2, 8] {
+                for oracle in [EdgeIndexKind::BinarySearch, EdgeIndexKind::Bitset] {
+                    let solve = |fused: bool| {
+                        MaxCliqueSolver::new(Device::new(workers, usize::MAX))
+                            .edge_index(oracle)
+                            .fused(fused)
+                            .solve(&graph)
+                            .unwrap()
+                    };
+                    let (f, u) = (solve(true), solve(false));
+                    prop_assert_eq!(f.clique_number, u.clique_number);
+                    prop_assert_eq!(&f.cliques, &u.cliques);
+                    prop_assert_eq!(&f.stats.level_entries, &u.stats.level_entries);
+                    prop_assert_eq!(f.stats.early_exit, u.stats.early_exit);
+                    prop_assert!(f.stats.oracle_queries <= u.stats.oracle_queries);
+                }
+            }
+            Ok(())
+        },
+    );
+}
