@@ -2,10 +2,18 @@
 //! paper's kernels are composed of. Runs on the in-tree harness
 //! (`gmc_bench::harness`): warmup, calibrated iteration counts,
 //! median-of-k ns/op.
+//!
+//! `GMC_PERF_GATE=1` runs the tracing-overhead gate instead: a paired
+//! traced-vs-untraced scan timing plus a measurement of the disabled
+//! fast-path cost, failing the process if disabled tracing costs more
+//! than a few percent of a scan (see [`tracing_gate`]).
 
 use gmc_bench::harness::Harness;
 use gmc_dpp::Executor;
 use gmc_graph::generators;
+use gmc_trace::TraceSession;
+use std::process::ExitCode;
+use std::time::Instant;
 
 fn pseudo_random(n: usize, seed: u32) -> Vec<u32> {
     let mut state = seed | 1;
@@ -124,7 +132,127 @@ fn bench_histogram(h: &mut Harness) {
     });
 }
 
-fn main() {
+fn bench_tracing(h: &mut Harness) {
+    let n = 10_000usize;
+    let input: Vec<usize> = (0..n).map(|i| i % 13).collect();
+    let mut group = h.group("tracing");
+    group.throughput_elements(n as u64);
+    group.bench("scan_untraced/10000", |b| {
+        let exec = Executor::with_default_parallelism();
+        b.iter(|| gmc_dpp::exclusive_scan(&exec, &input));
+    });
+    group.bench("scan_traced/10000", |b| {
+        // Recording into a live session; the ring overflows during a long
+        // bench, which only bumps the dropped counter — record cost stays.
+        let session = TraceSession::new();
+        let exec = Executor::with_default_parallelism();
+        exec.set_tracer(session.tracer());
+        b.iter(|| gmc_dpp::exclusive_scan(&exec, &input));
+    });
+    group.finish();
+}
+
+/// Worker count for the gate: at least two, so the scan takes the pooled
+/// launch path (and therefore the per-launch tracing check) even on a
+/// single-core machine, where the inline path would record no launches.
+fn gate_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .max(2)
+}
+
+/// Paired per-iteration nanoseconds `(untraced, traced)` for the 10k scan.
+/// Batches are interleaved and the minimum over `samples` batches per side
+/// is reported, the most repeatable statistic for a deterministic workload.
+fn paired_scan_ns(samples: usize, input: &[usize]) -> (f64, f64) {
+    let untraced = Executor::new(gate_workers());
+    let session = TraceSession::new();
+    let traced = Executor::new(gate_workers());
+    traced.set_tracer(session.tracer());
+
+    let start = Instant::now();
+    gmc_dpp::exclusive_scan(&untraced, input);
+    gmc_dpp::exclusive_scan(&traced, input);
+    let per_iter = (start.elapsed().as_secs_f64() / 2.0).max(1e-9);
+    let iters = ((0.020 / per_iter).ceil() as usize).clamp(1, 1_000_000);
+    for _ in 0..2 * iters {
+        gmc_dpp::exclusive_scan(&untraced, input); // warm pool and caches
+    }
+    let mut best = [f64::INFINITY; 2];
+    for _ in 0..samples.max(1) {
+        for (slot, exec) in [(0, &untraced), (1, &traced)] {
+            let start = Instant::now();
+            for _ in 0..iters {
+                gmc_dpp::exclusive_scan(exec, input);
+            }
+            best[slot] = best[slot].min(start.elapsed().as_secs_f64() * 1e9 / iters as f64);
+        }
+    }
+    (best[0], best[1])
+}
+
+/// CI gate: disabled tracing must stay in the noise. Two checks:
+///
+/// 1. The disabled fast path (one relaxed atomic load + branch per launch,
+///    measured directly) must account for under 3% of an untraced 10k scan.
+/// 2. The untraced scan must not be slower than the recording scan beyond
+///    noise — a broken enabled-check would show up here.
+fn tracing_gate() -> ExitCode {
+    let samples: usize = gmc_trace::env::parse_or("GMC_BENCH_SAMPLES", 5);
+    let n = 10_000usize;
+    let input: Vec<usize> = (0..n).map(|i| i % 13).collect();
+    let mut failed = false;
+
+    println!("-- Tracing overhead gate: 10k exclusive scan --");
+    let (untraced_ns, traced_ns) = paired_scan_ns(samples, &input);
+    println!(
+        "scan untraced {untraced_ns:>9.1} ns  traced {traced_ns:>9.1} ns  \
+         (recording overhead {:+.1}%)",
+        100.0 * (traced_ns - untraced_ns) / untraced_ns
+    );
+    let order_ok = untraced_ns <= traced_ns * 1.05;
+    if !order_ok {
+        eprintln!("FAIL: disabled tracing measured slower than recording");
+    }
+    failed |= !order_ok;
+
+    // Launches per scan are deterministic; the disabled per-launch cost is
+    // the executor's cached-flag check, measured in isolation.
+    let exec = Executor::new(gate_workers());
+    let before = exec.stats();
+    gmc_dpp::exclusive_scan(&exec, &input);
+    let launches = exec.stats().since(&before).launches;
+    let check_iters = 10_000_000u64;
+    let start = Instant::now();
+    for _ in 0..check_iters {
+        std::hint::black_box(exec.tracer().is_enabled());
+    }
+    let check_ns = start.elapsed().as_secs_f64() * 1e9 / check_iters as f64;
+    let overhead_pct = 100.0 * (launches as f64 * check_ns) / untraced_ns;
+    println!(
+        "disabled fast path: {check_ns:.2} ns/launch × {launches} launches \
+         = {overhead_pct:.3}% of the scan (gate < 3%)"
+    );
+    let budget_ok = overhead_pct < 3.0;
+    if !budget_ok {
+        eprintln!("FAIL: disabled-tracing overhead exceeds the budget");
+    }
+    failed |= !budget_ok;
+
+    if failed {
+        eprintln!("tracing gate FAILED");
+        ExitCode::FAILURE
+    } else {
+        println!("tracing gate passed");
+        ExitCode::SUCCESS
+    }
+}
+
+fn main() -> ExitCode {
+    if std::env::var("GMC_PERF_GATE").as_deref() == Ok("1") {
+        return tracing_gate();
+    }
     let mut harness = Harness::from_args();
     bench_scan(&mut harness);
     bench_select(&mut harness);
@@ -134,5 +262,7 @@ fn main() {
     bench_kcore(&mut harness);
     bench_rle(&mut harness);
     bench_histogram(&mut harness);
+    bench_tracing(&mut harness);
     harness.finish();
+    ExitCode::SUCCESS
 }

@@ -1,12 +1,32 @@
 //! Renders a Markdown summary from the experiment records in
 //! `target/experiments/` (or a directory given as the first argument).
+//!
+//! `gmc-report trace <file>` instead renders the per-kernel latency table
+//! (count, total, p50/p99) from a Chrome-trace JSON file written via
+//! `GMC_TRACE=<file>`.
+
+use std::path::Path;
 
 fn main() {
-    let dir = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "target/experiments".to_string());
-    print!(
-        "{}",
-        gmc_bench::report::render_report(std::path::Path::new(&dir))
-    );
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("trace") => {
+            let Some(file) = args.get(1) else {
+                eprintln!("usage: gmc-report trace <trace.json>");
+                std::process::exit(2);
+            };
+            match gmc_bench::report::render_trace_file(Path::new(file)) {
+                Ok(report) => print!("{report}"),
+                Err(e) => {
+                    eprintln!("gmc-report: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        Some(dir) => print!("{}", gmc_bench::report::render_report(Path::new(dir))),
+        None => print!(
+            "{}",
+            gmc_bench::report::render_report(Path::new("target/experiments"))
+        ),
+    }
 }

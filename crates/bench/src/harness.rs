@@ -32,20 +32,12 @@ pub struct Settings {
 
 impl Default for Settings {
     fn default() -> Self {
-        let ms = |var: &str, default: u64| {
-            Duration::from_millis(
-                std::env::var(var)
-                    .ok()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or(default),
-            )
-        };
+        // The shared helper panics on unparsable values (a typo would
+        // otherwise silently revert to defaults and skew measurements).
+        let ms =
+            |var: &str, default: u64| Duration::from_millis(gmc_trace::env::parse_or(var, default));
         Self {
-            samples: std::env::var("GMC_BENCH_SAMPLES")
-                .ok()
-                .and_then(|v| v.parse().ok())
-                .filter(|&s: &usize| s >= 1)
-                .unwrap_or(10),
+            samples: gmc_trace::env::parse("GMC_BENCH_SAMPLES").map_or(10, |s: usize| s.max(1)),
             warmup: ms("GMC_BENCH_WARMUP_MS", 100),
             sample_time: ms("GMC_BENCH_SAMPLE_MS", 50),
         }

@@ -70,30 +70,16 @@ impl BenchEnv {
             Tier::Small => 3,
             Tier::Full => 24,
         };
-        let budget_mb: usize = std::env::var("GMC_BUDGET_MB")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(default_budget_mb);
-        let launch_overhead_us: u64 = std::env::var("GMC_LAUNCH_OVERHEAD_US")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(3);
+        // All numeric knobs go through the shared helper so a typo fails
+        // loudly instead of silently falling back to the default.
+        let budget_mb: usize = gmc_trace::env::parse_or("GMC_BUDGET_MB", default_budget_mb);
+        let launch_overhead_us: u64 = gmc_trace::env::parse_or("GMC_LAUNCH_OVERHEAD_US", 3);
         let default_threads = std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(4);
-        let workers = std::env::var("GMC_WORKERS")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(default_threads);
-        let pmc_threads = std::env::var("GMC_PMC_THREADS")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(default_threads);
-        let repeats = std::env::var("GMC_REPEATS")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .filter(|&r: &usize| r >= 1)
-            .unwrap_or(1);
+        let workers = gmc_trace::env::parse_or("GMC_WORKERS", default_threads);
+        let pmc_threads = gmc_trace::env::parse_or("GMC_PMC_THREADS", default_threads);
+        let repeats = gmc_trace::env::parse("GMC_REPEATS").map_or(1, |r: usize| r.max(1));
         Self {
             tier,
             budget_bytes: budget_mb * 1024 * 1024,

@@ -40,6 +40,40 @@ pub fn render_report(dir: &Path) -> String {
     out
 }
 
+/// Renders the per-kernel latency table from a Chrome-trace JSON file
+/// written via `GMC_TRACE` (backs the `gmc-report trace <file>` subcommand).
+/// The file is re-parsed with this crate's JSON parser and the histograms
+/// are rebuilt from the complete (`ph == "X"`) events' durations.
+pub fn render_trace_file(path: &Path) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let value = json::parse(&text)?;
+    let events = value["traceEvents"]
+        .as_array()
+        .ok_or_else(|| "trace has no `traceEvents` array".to_string())?;
+    let mut by_name: std::collections::BTreeMap<String, gmc_trace::LogHistogram> =
+        std::collections::BTreeMap::new();
+    let mut spans = 0usize;
+    for event in events {
+        if event["ph"].as_str() != Some("X") {
+            continue;
+        }
+        spans += 1;
+        let name = event["name"].as_str().unwrap_or("?").to_string();
+        // Chrome traces carry microseconds; the histograms hold nanoseconds.
+        let dur_ns = (event["dur"].as_f64().unwrap_or(0.0) * 1000.0)
+            .max(0.0)
+            .round() as u64;
+        by_name.entry(name).or_default().record(dur_ns);
+    }
+    let dropped = value["gmcDroppedEvents"].as_u64().unwrap_or(0) as usize;
+    let stats: Vec<(String, gmc_trace::LogHistogram)> = by_name.into_iter().collect();
+    let mut out = String::new();
+    let _ = writeln!(out, "# Trace report\n");
+    let _ = writeln!(out, "Source: `{}` ({spans} spans)\n", path.display());
+    out.push_str(&gmc_trace::render_latency_table(&stats, dropped));
+    Ok(out)
+}
+
 type SectionRenderer = fn(&mut String, &Json);
 
 const SECTIONS: &[(&str, SectionRenderer)] = &[
@@ -230,6 +264,34 @@ mod tests {
         std::fs::write(dir.join("table2_speedups.json"), "not json").unwrap();
         let report = render_report(&dir);
         assert!(report.contains("unreadable record"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn renders_trace_latency_table() {
+        let dir = temp_dir("trace");
+        let path = dir.join("trace.json");
+        std::fs::write(
+            &path,
+            r#"{"traceEvents":[
+                {"name":"thread_name","ph":"M","pid":1,"tid":1,"args":{"name":"main"}},
+                {"name":"scan_lookback","ph":"X","pid":1,"tid":1,"ts":0.0,"dur":12.5,"args":{}},
+                {"name":"scan_lookback","ph":"X","pid":1,"tid":1,"ts":20.0,"dur":14.0,"args":{}}
+            ],"displayTimeUnit":"ms","gmcDroppedEvents":0}"#,
+        )
+        .unwrap();
+        let report = render_trace_file(&path).unwrap();
+        assert!(report.contains("scan_lookback"), "{report}");
+        assert!(report.contains("2 spans"), "{report}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_report_rejects_non_trace_json() {
+        let dir = temp_dir("trace_bad");
+        let path = dir.join("not_a_trace.json");
+        std::fs::write(&path, r#"{"rows":[]}"#).unwrap();
+        assert!(render_trace_file(&path).is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -1,0 +1,99 @@
+//! Chrome-trace export format check: a traced smoke solve must produce
+//! JSON that round-trips through this crate's parser with every field the
+//! trace-event format requires, and with well-nested spans per thread.
+
+use gmc_bench::json;
+use gmc_dpp::Device;
+use gmc_graph::generators;
+use gmc_mce::{MaxCliqueSolver, SolverConfig, WindowConfig};
+use gmc_trace::TraceSession;
+
+fn traced_smoke_solve() -> String {
+    let graph = generators::gnp(200, 0.06, 11);
+    let session = TraceSession::new();
+    let config = SolverConfig {
+        window: Some(WindowConfig::with_size(64)),
+        trace: session.tracer(),
+        ..Default::default()
+    };
+    MaxCliqueSolver::with_config(Device::unlimited(), config)
+        .solve(&graph)
+        .expect("smoke solve fits in unlimited memory");
+    session.finish().to_chrome_json()
+}
+
+#[test]
+fn chrome_trace_has_required_fields_and_nests() {
+    let text = traced_smoke_solve();
+    let value = json::parse(&text).expect("trace JSON parses");
+    let events = value["traceEvents"].as_array().expect("traceEvents array");
+    assert!(!events.is_empty());
+    assert!(value["gmcDroppedEvents"].as_u64() == Some(0));
+
+    // (tid, ts, dur) per complete event, for the nesting check below.
+    let mut complete: Vec<(u64, f64, f64)> = Vec::new();
+    let mut names: Vec<String> = Vec::new();
+    for event in events {
+        let ph = event["ph"].as_str().expect("every event has ph");
+        let name = event["name"].as_str().expect("every event has name");
+        match ph {
+            "X" => {
+                assert!(event["pid"].as_u64().is_some(), "X event has pid");
+                let tid = event["tid"].as_u64().expect("X event has tid");
+                let ts = event["ts"].as_f64().expect("X event has ts");
+                let dur = event["dur"].as_f64().expect("X event has dur");
+                assert!(ts >= 0.0 && dur >= 0.0);
+                complete.push((tid, ts, dur));
+                names.push(name.to_string());
+            }
+            "M" | "C" | "i" => {}
+            other => panic!("unexpected event phase `{other}`"),
+        }
+    }
+    assert!(!complete.is_empty(), "solve produced complete (X) events");
+
+    // Every launch, level and phase shows up by name.
+    for expected in ["solve", "setup", "windowed_search", "window", "bfs_level"] {
+        assert!(
+            names.iter().any(|n| n == expected),
+            "missing `{expected}` span in {names:?}"
+        );
+    }
+
+    // Per-thread nesting: events are emitted in start order, and each span
+    // either nests inside the enclosing open span or starts after it ends.
+    let mut tids: Vec<u64> = complete.iter().map(|&(tid, _, _)| tid).collect();
+    tids.sort_unstable();
+    tids.dedup();
+    for tid in tids {
+        let mut stack: Vec<f64> = Vec::new(); // open-span end times
+        let mut last_ts = 0.0f64;
+        for &(_, ts, dur) in complete.iter().filter(|&&(t, _, _)| t == tid) {
+            assert!(ts >= last_ts, "per-thread ts monotonic");
+            last_ts = ts;
+            while stack.last().is_some_and(|&end| ts >= end) {
+                stack.pop();
+            }
+            let end = ts + dur;
+            if let Some(&open_end) = stack.last() {
+                assert!(
+                    end <= open_end + 1e-9,
+                    "span [{ts}, {end}] escapes enclosing span ending at {open_end}"
+                );
+            }
+            stack.push(end);
+        }
+    }
+}
+
+#[test]
+fn trace_report_renders_the_smoke_trace() {
+    let dir = std::env::temp_dir().join("gmc_trace_format_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("smoke.json");
+    std::fs::write(&path, traced_smoke_solve()).unwrap();
+    let report = gmc_bench::report::render_trace_file(&path).expect("report renders");
+    assert!(report.contains("| solve |"), "{report}");
+    assert!(report.contains("p99"), "{report}");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,8 +1,14 @@
 use crate::stats::{LaunchStats, StatsCells};
+use gmc_trace::{SpanGuard, Tracer};
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
 use std::thread::JoinHandle;
+
+/// Kernel name charged for launches issued through the un-named entry
+/// points ([`Executor::for_each_indexed`] and friends). Call the `_named`
+/// variants to attribute launches in [`LaunchStats::per_kernel`] and traces.
+pub const DEFAULT_KERNEL_NAME: &str = "unnamed";
 
 /// Default for [`Executor::sequential_grid_limit`]: launches below this
 /// element count run inline on the calling thread. Real GPU launches have a
@@ -16,12 +22,11 @@ use std::thread::JoinHandle;
 pub const DEFAULT_SEQUENTIAL_GRID_LIMIT: usize = 2048;
 
 /// Initial per-executor limit: the `GMC_SEQ_GRID` environment variable when
-/// set to a valid `usize`, otherwise [`DEFAULT_SEQUENTIAL_GRID_LIMIT`].
+/// set, otherwise [`DEFAULT_SEQUENTIAL_GRID_LIMIT`]. An unparsable value
+/// panics with a clear message (see [`gmc_trace::env`]) instead of being
+/// silently ignored.
 fn initial_sequential_grid_limit() -> usize {
-    std::env::var("GMC_SEQ_GRID")
-        .ok()
-        .and_then(|v| v.trim().parse().ok())
-        .unwrap_or(DEFAULT_SEQUENTIAL_GRID_LIMIT)
+    gmc_trace::env::parse_or("GMC_SEQ_GRID", DEFAULT_SEQUENTIAL_GRID_LIMIT)
 }
 
 /// A task dispatched to the pool: invoked once per worker with the worker's
@@ -74,6 +79,11 @@ struct ExecutorInner {
     /// Grids at or below this size run inline (see
     /// [`Executor::set_sequential_grid_limit`]).
     sequential_grid_limit: AtomicUsize,
+    /// Recording handle for launch spans (see [`Executor::set_tracer`]).
+    tracer: RwLock<Tracer>,
+    /// Cache of "is a live tracer installed": the disabled-tracing fast
+    /// path is this one relaxed load and a branch per launch.
+    trace_on: AtomicBool,
 }
 
 /// Bulk-synchronous parallel executor: the reproduction's stand-in for a GPU.
@@ -122,6 +132,8 @@ impl Executor {
                 stats: StatsCells::default(),
                 launch_overhead_ns: std::sync::atomic::AtomicU64::new(0),
                 sequential_grid_limit: AtomicUsize::new(initial_sequential_grid_limit()),
+                tracer: RwLock::new(Tracer::disabled()),
+                trace_on: AtomicBool::new(false),
             }),
         }
     }
@@ -147,6 +159,47 @@ impl Executor {
     /// Resets launch counters to zero.
     pub fn reset_stats(&self) {
         self.inner.stats.reset();
+    }
+
+    /// Installs a tracer: every subsequent launch records one span (kernel
+    /// name, grid size, chunk count, inline-vs-pool path) into it. Pass
+    /// [`Tracer::disabled`] to stop recording. With no (or a disabled)
+    /// tracer installed, the per-launch cost is a single relaxed atomic
+    /// load.
+    pub fn set_tracer(&self, tracer: Tracer) {
+        let on = tracer.is_enabled();
+        *self.inner.tracer.write().unwrap() = tracer;
+        self.inner.trace_on.store(on, Ordering::Relaxed);
+    }
+
+    /// The installed tracer (disabled when none was set). Primitives and
+    /// solver phases use this to nest their own spans around launches.
+    pub fn tracer(&self) -> Tracer {
+        if !self.inner.trace_on.load(Ordering::Relaxed) {
+            return Tracer::disabled();
+        }
+        self.inner.tracer.read().unwrap().clone()
+    }
+
+    /// Opens the per-launch span, or `None` on the disabled fast path.
+    #[inline]
+    fn launch_span(&self, name: &'static str, n: usize) -> Option<SpanGuard> {
+        if !self.inner.trace_on.load(Ordering::Relaxed) {
+            return None;
+        }
+        let tracer = self.inner.tracer.read().unwrap();
+        if !tracer.is_enabled() {
+            return None;
+        }
+        let chunks = self.num_chunks(n);
+        Some(tracer.span_with(
+            name,
+            &[
+                ("n", n as i64),
+                ("chunks", chunks as i64),
+                ("inline", i64::from(chunks == 1)),
+            ],
+        ))
     }
 
     /// Models a fixed per-launch cost (CUDA kernel launch + synchronisation
@@ -201,12 +254,24 @@ impl Executor {
 
     /// Launches a grid of `n` virtual threads; virtual thread `i` runs
     /// `kernel(i)`. Blocks until all virtual threads complete (the kernel
-    /// boundary barrier).
+    /// boundary barrier). The launch is attributed to
+    /// [`DEFAULT_KERNEL_NAME`]; prefer [`Executor::for_each_indexed_named`]
+    /// so stats and traces can tell kernels apart.
     pub fn for_each_indexed<F>(&self, n: usize, kernel: F)
     where
         F: Fn(usize) + Sync,
     {
-        self.inner.stats.record_launch(n);
+        self.for_each_indexed_named(DEFAULT_KERNEL_NAME, n, kernel);
+    }
+
+    /// [`Executor::for_each_indexed`] with a kernel name for the per-kernel
+    /// launch-stats breakdown and the trace span.
+    pub fn for_each_indexed_named<F>(&self, name: &'static str, n: usize, kernel: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        self.inner.stats.record_launch(name, n);
+        let _span = self.launch_span(name, n);
         self.dispatch_indexed(n, kernel);
     }
 
@@ -218,7 +283,17 @@ impl Executor {
     where
         F: Fn(usize) + Sync,
     {
-        self.inner.stats.record_fused_launch(n);
+        self.for_each_indexed_fused_named(DEFAULT_KERNEL_NAME, n, kernel);
+    }
+
+    /// [`Executor::for_each_indexed_fused`] with a kernel name for the
+    /// per-kernel launch-stats breakdown and the trace span.
+    pub fn for_each_indexed_fused_named<F>(&self, name: &'static str, n: usize, kernel: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        self.inner.stats.record_fused_launch(name, n);
+        let _span = self.launch_span(name, n);
         self.dispatch_indexed(n, kernel);
     }
 
@@ -254,7 +329,17 @@ impl Executor {
     where
         F: Fn(usize, std::ops::Range<usize>) + Sync,
     {
-        self.inner.stats.record_launch(n);
+        self.for_each_chunk_named(DEFAULT_KERNEL_NAME, n, body);
+    }
+
+    /// [`Executor::for_each_chunk`] with a kernel name for the per-kernel
+    /// launch-stats breakdown and the trace span.
+    pub fn for_each_chunk_named<F>(&self, name: &'static str, n: usize, body: F)
+    where
+        F: Fn(usize, std::ops::Range<usize>) + Sync,
+    {
+        self.inner.stats.record_launch(name, n);
+        let _span = self.launch_span(name, n);
         self.pay_launch_overhead();
         if n == 0 {
             return;
@@ -290,8 +375,18 @@ impl Executor {
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
+        self.fill_indexed_named(DEFAULT_KERNEL_NAME, out, kernel);
+    }
+
+    /// [`Executor::fill_indexed`] with a kernel name for the per-kernel
+    /// launch-stats breakdown and the trace span.
+    pub fn fill_indexed_named<T, F>(&self, name: &'static str, out: &mut [T], kernel: F)
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
         let shared = crate::SharedSlice::new(out);
-        self.for_each_indexed(shared.len(), |i| {
+        self.for_each_indexed_named(name, shared.len(), |i| {
             // SAFETY: each virtual thread writes exactly its own index.
             unsafe { shared.write(i, kernel(i)) };
         });
@@ -303,8 +398,18 @@ impl Executor {
         T: Send + Copy + Default,
         F: Fn(usize) -> T + Sync,
     {
+        self.map_indexed_named(DEFAULT_KERNEL_NAME, n, kernel)
+    }
+
+    /// [`Executor::map_indexed`] with a kernel name for the per-kernel
+    /// launch-stats breakdown and the trace span.
+    pub fn map_indexed_named<T, F>(&self, name: &'static str, n: usize, kernel: F) -> Vec<T>
+    where
+        T: Send + Copy + Default,
+        F: Fn(usize) -> T + Sync,
+    {
         let mut out = vec![T::default(); n];
-        self.fill_indexed(&mut out, kernel);
+        self.fill_indexed_named(name, &mut out, kernel);
         out
     }
 
@@ -425,8 +530,8 @@ mod tests {
         let out = exec.map_indexed(10, |i| i as u32);
         assert_eq!(out, (0..10u32).collect::<Vec<_>>());
         let after = exec.stats();
-        assert_eq!(after.since(before).launches, 1);
-        assert_eq!(after.since(before).virtual_threads, 10);
+        assert_eq!(after.since(&before).launches, 1);
+        assert_eq!(after.since(&before).virtual_threads, 10);
     }
 
     #[test]
@@ -573,10 +678,56 @@ mod tests {
         exec.for_each_indexed(100, |_| {});
         exec.for_each_indexed_fused(100, |_| {});
         exec.for_each_indexed_fused(100, |_| {});
-        let delta = exec.stats().since(before);
+        let delta = exec.stats().since(&before);
         assert_eq!(delta.launches, 3);
         assert_eq!(delta.fused_launches, 2);
         assert_eq!(delta.virtual_threads, 300);
+    }
+
+    #[test]
+    fn named_launches_break_down_per_kernel() {
+        let exec = Executor::new(2);
+        let before = exec.stats();
+        exec.for_each_indexed_named("alpha", 100, |_| {});
+        exec.for_each_indexed_fused_named("beta", 50, |_| {});
+        exec.for_each_indexed(25, |_| {});
+        let delta = exec.stats().since(&before);
+        assert_eq!(delta.kernel("alpha").launches, 1);
+        assert_eq!(delta.kernel("alpha").virtual_threads, 100);
+        assert_eq!(delta.kernel("beta").fused_launches, 1);
+        assert_eq!(delta.kernel(DEFAULT_KERNEL_NAME).virtual_threads, 25);
+    }
+
+    #[test]
+    fn launches_emit_spans_when_a_tracer_is_installed() {
+        let session = gmc_trace::TraceSession::new();
+        let exec = Executor::new(2);
+        exec.set_tracer(session.tracer());
+        exec.for_each_indexed_named("traced_kernel", 100, |_| {});
+        exec.for_each_indexed_named("traced_kernel", 1 << 14, |_| {});
+        exec.set_tracer(Tracer::disabled());
+        exec.for_each_indexed_named("untraced_kernel", 10, |_| {});
+        let timeline = session.finish();
+        let spans: Vec<_> = timeline
+            .spans
+            .iter()
+            .filter(|s| s.name == "traced_kernel")
+            .collect();
+        assert_eq!(spans.len(), 2);
+        assert!(spans[0].args.contains(&("n", 100)));
+        assert!(
+            spans[0].args.contains(&("inline", 1)),
+            "small grid is inline"
+        );
+        assert!(spans[1].args.contains(&("chunks", 2)));
+        assert!(
+            spans[1].args.contains(&("inline", 0)),
+            "big grid uses the pool"
+        );
+        assert!(
+            !timeline.spans.iter().any(|s| s.name == "untraced_kernel"),
+            "no spans after the tracer is removed"
+        );
     }
 
     #[test]

@@ -44,7 +44,7 @@ mod shared;
 mod sort;
 mod stats;
 
-pub use executor::{Executor, DEFAULT_SEQUENTIAL_GRID_LIMIT};
+pub use executor::{Executor, DEFAULT_KERNEL_NAME, DEFAULT_SEQUENTIAL_GRID_LIMIT};
 pub use histogram::histogram_u32;
 pub use memory::{DeviceBuffer, DeviceMemory, DeviceOom, MemoryGuard};
 pub use rle::{run_length_encode, run_starts};
@@ -59,7 +59,11 @@ pub use segmented::{
 pub use select::{select_count, select_flagged, select_if, select_if_into, select_indices};
 pub use shared::{SharedSlice, UninitSlice};
 pub use sort::{sort_pairs_u32, sort_u32, sort_u32_desc};
-pub use stats::LaunchStats;
+pub use stats::{KernelStats, LaunchStats};
+
+// Re-exported so executor users can install tracers without naming the
+// trace crate (`exec.set_tracer(...)`, `memory.set_tracer(...)`).
+pub use gmc_trace::{TraceSession, Tracer};
 
 /// Bundles an executor with a device-memory budget: the "device" everything
 /// in the reproduction runs on. Cloning shares both.

@@ -1,5 +1,6 @@
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use gmc_trace::Tracer;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, RwLock};
 
 /// Error returned when a device allocation would exceed the configured
 /// capacity — the reproduction's analogue of a CUDA `cudaErrorMemoryAllocation`.
@@ -32,6 +33,29 @@ struct MemoryCells {
     capacity: usize,
     live: AtomicUsize,
     peak: AtomicUsize,
+    /// Recording handle for the allocation counter track (see
+    /// [`DeviceMemory::set_tracer`]); `trace_on` caches whether it is live
+    /// so untraced charges pay one relaxed load.
+    tracer: RwLock<Tracer>,
+    trace_on: AtomicBool,
+}
+
+impl MemoryCells {
+    /// Samples the live/peak counter tracks after a charge or release.
+    fn trace_sample(&self) {
+        if !self.trace_on.load(Ordering::Relaxed) {
+            return;
+        }
+        let tracer = self.tracer.read().unwrap();
+        tracer.counter(
+            "device_live_bytes",
+            self.live.load(Ordering::Relaxed) as i64,
+        );
+        tracer.counter(
+            "device_peak_bytes",
+            self.peak.load(Ordering::Relaxed) as i64,
+        );
+    }
 }
 
 /// Capacity-bounded accounting allocator modelling GPU on-board RAM.
@@ -56,6 +80,8 @@ impl DeviceMemory {
                 capacity: capacity_bytes,
                 live: AtomicUsize::new(0),
                 peak: AtomicUsize::new(0),
+                tracer: RwLock::new(Tracer::disabled()),
+                trace_on: AtomicBool::new(false),
             }),
         }
     }
@@ -86,6 +112,15 @@ impl DeviceMemory {
         self.cells.peak.store(self.live(), Ordering::Relaxed);
     }
 
+    /// Installs a tracer: every charge and release then samples the
+    /// `device_live_bytes` / `device_peak_bytes` counter tracks. Pass
+    /// [`Tracer::disabled`] to stop recording.
+    pub fn set_tracer(&self, tracer: Tracer) {
+        let on = tracer.is_enabled();
+        *self.cells.tracer.write().unwrap() = tracer;
+        self.cells.trace_on.store(on, Ordering::Relaxed);
+    }
+
     /// Attempts to charge `bytes`, returning a guard that releases the charge
     /// when dropped.
     pub fn try_charge(&self, bytes: usize) -> Result<MemoryGuard, DeviceOom> {
@@ -100,6 +135,7 @@ impl DeviceMemory {
             });
         }
         self.cells.peak.fetch_max(new_live, Ordering::Relaxed);
+        self.cells.trace_sample();
         Ok(MemoryGuard {
             cells: Arc::clone(&self.cells),
             bytes,
@@ -133,6 +169,7 @@ impl MemoryGuard {
 impl Drop for MemoryGuard {
     fn drop(&mut self) {
         self.cells.live.fetch_sub(self.bytes, Ordering::Relaxed);
+        self.cells.trace_sample();
     }
 }
 
@@ -282,5 +319,30 @@ mod tests {
         let mem = DeviceMemory::unlimited();
         let _g = mem.try_charge(1 << 40).unwrap();
         assert!(mem.try_charge(1 << 40).is_ok());
+    }
+
+    #[test]
+    fn tracer_samples_live_and_peak_counter_tracks() {
+        let session = gmc_trace::TraceSession::new();
+        let mem = DeviceMemory::new(10_000);
+        mem.set_tracer(session.tracer());
+        let a = mem.try_charge(4000).unwrap();
+        let _b = mem.try_charge(2000).unwrap();
+        drop(a);
+        let timeline = session.finish();
+        let live: Vec<i64> = timeline
+            .counters
+            .iter()
+            .filter(|c| c.name == "device_live_bytes")
+            .map(|c| c.value)
+            .collect();
+        assert_eq!(live, vec![4000, 6000, 2000]);
+        let peak: Vec<i64> = timeline
+            .counters
+            .iter()
+            .filter(|c| c.name == "device_peak_bytes")
+            .map(|c| c.value)
+            .collect();
+        assert_eq!(peak, vec![4000, 6000, 6000]);
     }
 }

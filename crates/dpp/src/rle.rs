@@ -17,8 +17,9 @@ pub fn run_starts(exec: &Executor, values: &[u32]) -> Vec<usize> {
 /// order of appearance.
 pub fn run_length_encode(exec: &Executor, values: &[u32]) -> (Vec<u32>, Vec<usize>) {
     let starts = run_starts(exec, values);
-    let uniques: Vec<u32> = exec.map_indexed(starts.len(), |r| values[starts[r]]);
-    let lengths: Vec<usize> = exec.map_indexed(starts.len(), |r| {
+    let uniques: Vec<u32> =
+        exec.map_indexed_named("rle_uniques", starts.len(), |r| values[starts[r]]);
+    let lengths: Vec<usize> = exec.map_indexed_named("rle_lengths", starts.len(), |r| {
         let end = starts.get(r + 1).copied().unwrap_or(values.len());
         end - starts[r]
     });

@@ -79,7 +79,7 @@ where
     let mut partials = vec![identity; chunks];
     {
         let partials_shared = SharedSlice::new(&mut partials);
-        exec.for_each_chunk(n, |chunk_id, range| {
+        exec.for_each_chunk_named("scan_partials", n, |chunk_id, range| {
             let mut acc = identity;
             for &v in &input[range] {
                 acc = op(acc, v);
@@ -98,7 +98,7 @@ where
     }
 
     // Phase 2: write final prefixes straight into the spare capacity.
-    exec.for_each_chunk(n, |chunk_id, range| {
+    exec.for_each_chunk_named("scan_write_prefixes", n, |chunk_id, range| {
         let mut acc = chunk_offsets[chunk_id];
         for i in range {
             // SAFETY: chunks are disjoint index ranges; each index is
@@ -166,7 +166,16 @@ pub fn exclusive_scan_into(exec: &Executor, input: &[usize], out: &mut Vec<usize
     // a prefix of the chunk ids, so look-back never waits on a skipped one.
     let active = n.div_ceil(chunk);
     let status: Vec<AtomicU64> = (0..active).map(|_| AtomicU64::new(0)).collect();
-    exec.for_each_chunk(n, |chunk_id, range| {
+    // When tracing, tally every status-array inspection (including spins on
+    // not-yet-published predecessors) so the launch's enclosing span carries
+    // the decoupled look-back cost; untraced runs skip the tally entirely.
+    let tracer = exec.tracer();
+    let mut scan_span = tracer
+        .is_enabled()
+        .then(|| tracer.span_with("exclusive_scan_single_pass", &[("n", n as i64)]));
+    let count_steps = scan_span.is_some();
+    let lookback_steps = AtomicU64::new(0);
+    exec.for_each_chunk_named("scan_lookback", n, |chunk_id, range| {
         // Local exclusive scan into the output; `acc` ends as the aggregate.
         let mut acc = 0usize;
         for i in range.clone() {
@@ -186,6 +195,9 @@ pub fn exclusive_scan_into(exec: &Executor, input: &[usize], out: &mut Vec<usize
         let mut exclusive = 0usize;
         let mut back = chunk_id - 1;
         loop {
+            if count_steps {
+                lookback_steps.fetch_add(1, Ordering::Relaxed);
+            }
             let s = status[back].load(Ordering::Acquire);
             let flag = s & !VALUE_MASK;
             if flag == FLAG_PREFIX {
@@ -212,6 +224,12 @@ pub fn exclusive_scan_into(exec: &Executor, input: &[usize], out: &mut Vec<usize
     });
     // SAFETY: the chunks cover 0..n, so every index is initialised.
     unsafe { out.set_len(n) };
+    if let Some(span) = scan_span.as_mut() {
+        span.arg(
+            "lookback_steps",
+            lookback_steps.load(Ordering::Relaxed) as i64,
+        );
+    }
     // The last active chunk's inclusive prefix is the grand total.
     (status[active - 1].load(Ordering::Acquire) & VALUE_MASK) as usize
 }
@@ -242,7 +260,7 @@ where
     let mut partials = vec![identity; chunks];
     {
         let partials_shared = SharedSlice::new(&mut partials);
-        exec.for_each_chunk(n, |chunk_id, range| {
+        exec.for_each_chunk_named("reduce_partials", n, |chunk_id, range| {
             let mut acc = identity;
             for &v in &input[range] {
                 acc = op(acc, v);
@@ -331,10 +349,43 @@ mod tests {
         let before = exec.stats();
         let mut out = Vec::new();
         exclusive_scan_into(&exec, &input, &mut out);
-        assert_eq!(exec.stats().since(before).launches, 1);
+        let delta = exec.stats().since(&before);
+        assert_eq!(delta.launches, 1);
+        assert_eq!(delta.kernel("scan_lookback").launches, 1);
         let before = exec.stats();
         let _ = exclusive_scan(&exec, &input);
-        assert_eq!(exec.stats().since(before).launches, 2);
+        assert_eq!(exec.stats().since(&before).launches, 2);
+    }
+
+    #[test]
+    fn traced_single_pass_scan_reports_lookback_steps() {
+        let session = gmc_trace::TraceSession::new();
+        let exec = Executor::new(4);
+        exec.set_tracer(session.tracer());
+        let input: Vec<usize> = (0..50_000).map(|i| i % 5).collect();
+        let mut out = Vec::new();
+        let total = exclusive_scan_into(&exec, &input, &mut out);
+        assert_eq!(total, input.iter().sum::<usize>());
+        let timeline = session.finish();
+        let scan = timeline
+            .spans
+            .iter()
+            .find(|s| s.name == "exclusive_scan_single_pass")
+            .expect("enclosing scan span");
+        let steps = scan
+            .args
+            .iter()
+            .find(|(k, _)| *k == "lookback_steps")
+            .expect("look-back step tally")
+            .1;
+        // With 4 chunks, chunks 1..=3 inspect at least one predecessor each.
+        assert!(steps >= 3, "expected ≥ 3 look-back steps, got {steps}");
+        let launch = timeline
+            .spans
+            .iter()
+            .find(|s| s.name == "scan_lookback")
+            .expect("launch span");
+        assert_eq!(launch.parent, Some(0), "launch nests under the scan span");
     }
 
     #[test]

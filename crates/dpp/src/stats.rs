@@ -1,8 +1,14 @@
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Counters describing how much virtual-GPU work an [`Executor`] has
 /// performed. The experiment harness reads these to report kernel-launch
 /// counts and total virtual-thread volume alongside wall-clock numbers.
+///
+/// Aggregates live in lock-free atomics; the per-kernel breakdown sits
+/// behind a mutex, which is acceptable because a launch is micro-seconds of
+/// work and the map is touched once per launch.
 ///
 /// [`Executor`]: crate::Executor
 #[derive(Debug, Default)]
@@ -10,25 +16,46 @@ pub(crate) struct StatsCells {
     pub launches: AtomicU64,
     pub virtual_threads: AtomicU64,
     pub fused_launches: AtomicU64,
+    per_kernel: Mutex<BTreeMap<&'static str, KernelStats>>,
 }
 
 impl StatsCells {
-    pub(crate) fn record_launch(&self, virtual_threads: usize) {
+    pub(crate) fn record_launch(&self, kernel: &'static str, virtual_threads: usize) {
         self.launches.fetch_add(1, Ordering::Relaxed);
         self.virtual_threads
             .fetch_add(virtual_threads as u64, Ordering::Relaxed);
+        let mut map = self.per_kernel.lock().unwrap();
+        let cell = map.entry(kernel).or_default();
+        cell.launches += 1;
+        cell.virtual_threads += virtual_threads as u64;
     }
 
-    pub(crate) fn record_fused_launch(&self, virtual_threads: usize) {
-        self.record_launch(virtual_threads);
+    pub(crate) fn record_fused_launch(&self, kernel: &'static str, virtual_threads: usize) {
+        self.record_launch(kernel, virtual_threads);
         self.fused_launches.fetch_add(1, Ordering::Relaxed);
+        self.per_kernel
+            .lock()
+            .unwrap()
+            .entry(kernel)
+            .or_default()
+            .fused_launches += 1;
     }
 
     pub(crate) fn snapshot(&self) -> LaunchStats {
+        // Lock the map first so the per-kernel rows never sum to more than
+        // the aggregate counters read after it.
+        let per_kernel: Vec<(&'static str, KernelStats)> = self
+            .per_kernel
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(name, cell)| (*name, *cell))
+            .collect();
         LaunchStats {
             launches: self.launches.load(Ordering::Relaxed),
             virtual_threads: self.virtual_threads.load(Ordering::Relaxed),
             fused_launches: self.fused_launches.load(Ordering::Relaxed),
+            per_kernel,
         }
     }
 
@@ -36,11 +63,37 @@ impl StatsCells {
         self.launches.store(0, Ordering::Relaxed);
         self.virtual_threads.store(0, Ordering::Relaxed);
         self.fused_launches.store(0, Ordering::Relaxed);
+        self.per_kernel.lock().unwrap().clear();
+    }
+}
+
+/// Launch counters for one named kernel (see [`LaunchStats::per_kernel`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KernelStats {
+    /// Launches of this kernel.
+    pub launches: u64,
+    /// Total virtual threads across those launches.
+    pub virtual_threads: u64,
+    /// How many of those launches were fused (also counted in `launches`).
+    pub fused_launches: u64,
+}
+
+impl KernelStats {
+    fn since(&self, earlier: &KernelStats) -> KernelStats {
+        KernelStats {
+            launches: self.launches.saturating_sub(earlier.launches),
+            virtual_threads: self.virtual_threads.saturating_sub(earlier.virtual_threads),
+            fused_launches: self.fused_launches.saturating_sub(earlier.fused_launches),
+        }
+    }
+
+    fn is_zero(&self) -> bool {
+        *self == KernelStats::default()
     }
 }
 
 /// Snapshot of an executor's launch counters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct LaunchStats {
     /// Number of bulk-synchronous launches (one per "kernel").
     pub launches: u64,
@@ -52,15 +105,91 @@ pub struct LaunchStats {
     ///
     /// [`Executor::for_each_indexed_fused`]: crate::Executor::for_each_indexed_fused
     pub fused_launches: u64,
+    /// Per-kernel breakdown, sorted by kernel name. Launches issued through
+    /// the un-named entry points land under the
+    /// [`DEFAULT_KERNEL_NAME`](crate::DEFAULT_KERNEL_NAME) row.
+    pub per_kernel: Vec<(&'static str, KernelStats)>,
 }
 
 impl LaunchStats {
     /// Counter deltas between two snapshots (`self` taken after `earlier`).
-    pub fn since(&self, earlier: LaunchStats) -> LaunchStats {
+    /// Kernels whose counters did not move are omitted from the breakdown.
+    pub fn since(&self, earlier: &LaunchStats) -> LaunchStats {
+        let earlier_of = |name: &str| {
+            earlier
+                .per_kernel
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, s)| *s)
+                .unwrap_or_default()
+        };
+        let per_kernel = self
+            .per_kernel
+            .iter()
+            .map(|(name, stats)| (*name, stats.since(&earlier_of(name))))
+            .filter(|(_, delta)| !delta.is_zero())
+            .collect();
         LaunchStats {
             launches: self.launches.saturating_sub(earlier.launches),
             virtual_threads: self.virtual_threads.saturating_sub(earlier.virtual_threads),
             fused_launches: self.fused_launches.saturating_sub(earlier.fused_launches),
+            per_kernel,
         }
+    }
+
+    /// The counters for one kernel name (all-zero if it never launched).
+    pub fn kernel(&self, name: &str) -> KernelStats {
+        self.per_kernel
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, s)| *s)
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_kernel_rows_sum_to_the_aggregates() {
+        let cells = StatsCells::default();
+        cells.record_launch("scan", 100);
+        cells.record_launch("scan", 50);
+        cells.record_fused_launch("expand", 200);
+        let snap = cells.snapshot();
+        assert_eq!(snap.launches, 3);
+        assert_eq!(snap.virtual_threads, 350);
+        assert_eq!(snap.fused_launches, 1);
+        assert_eq!(snap.per_kernel.len(), 2);
+        assert_eq!(snap.kernel("scan").launches, 2);
+        assert_eq!(snap.kernel("scan").virtual_threads, 150);
+        assert_eq!(snap.kernel("expand").fused_launches, 1);
+        assert_eq!(snap.kernel("absent"), KernelStats::default());
+        let total: u64 = snap.per_kernel.iter().map(|(_, s)| s.launches).sum();
+        assert_eq!(total, snap.launches);
+    }
+
+    #[test]
+    fn since_diffs_per_kernel_and_drops_idle_rows() {
+        let cells = StatsCells::default();
+        cells.record_launch("scan", 100);
+        cells.record_launch("select", 10);
+        let before = cells.snapshot();
+        cells.record_launch("scan", 25);
+        let delta = cells.snapshot().since(&before);
+        assert_eq!(delta.launches, 1);
+        assert_eq!(delta.virtual_threads, 25);
+        assert_eq!(
+            delta.per_kernel,
+            vec![(
+                "scan",
+                KernelStats {
+                    launches: 1,
+                    virtual_threads: 25,
+                    fused_launches: 0,
+                }
+            )]
+        );
     }
 }

@@ -147,17 +147,25 @@ pub fn run_heuristic(
     let mut core_time = Duration::ZERO;
     let mut core_numbers = None;
 
+    let tracer = device.exec().tracer();
+    let mut run_span = tracer
+        .is_enabled()
+        .then(|| tracer.span_with("heuristic_run", &[("seeds", h.map_or(-1, |h| h as i64))]));
     let clique = match kind {
         HeuristicKind::None => Vec::new(),
         _ => {
             let ordering_keys: Vec<u32> = if kind.uses_core_numbers() {
                 let core_start = std::time::Instant::now();
+                let _kcore_span = tracer.is_enabled().then(|| tracer.span("kcore"));
                 let cores = kcore::core_numbers_parallel(device.exec(), graph);
+                drop(_kcore_span);
                 core_time = core_start.elapsed();
                 // Core numbers tie heavily (whole subgraphs share one core),
                 // so break ties by degree: same greedy *bound* semantics,
                 // much better pick quality on near-regular-core graphs.
-                let keys = device.exec().map_indexed(graph.num_vertices(), |v| {
+                let exec = device.exec();
+                let n = graph.num_vertices();
+                let keys = exec.map_indexed_named("heuristic_core_keys", n, |v| {
                     (cores[v].min(0xF_FFFF) << 12) | (graph.degree(v as u32) as u32).min(0xFFF)
                 });
                 core_numbers = Some(cores);
@@ -174,6 +182,10 @@ pub fn run_heuristic(
         }
     };
     debug_assert!(graph.is_clique(&clique), "heuristic returned a non-clique");
+    if let Some(span) = run_span.as_mut() {
+        span.arg("lower_bound", clique.len() as i64);
+    }
+    drop(run_span);
     Ok(HeuristicResult {
         kind,
         clique,

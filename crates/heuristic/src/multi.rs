@@ -35,13 +35,14 @@ pub fn multi_run(
 
     // Seeds: the h vertices with the highest thresholds (stable sort keeps
     // ascending-id order within ties).
-    let keys: Vec<u32> = exec.map_indexed(n, |v| !thresholds[v]);
-    let ids: Vec<u32> = exec.map_indexed(n, |v| v as u32);
+    let keys: Vec<u32> = exec.map_indexed_named("heuristic_sort_keys", n, |v| !thresholds[v]);
+    let ids: Vec<u32> = exec.map_indexed_named("heuristic_iota", n, |v| v as u32);
     let (_, sorted) = gmc_dpp::sort_pairs_u32(exec, &keys, &ids);
     let seeds = &sorted[..h];
 
     // GETNEIGHBORCOUNTS + scan: segment layout.
-    let counts: Vec<usize> = exec.map_indexed(h, |s| graph.degree(seeds[s]));
+    let counts: Vec<usize> =
+        exec.map_indexed_named("heuristic_seed_degrees", h, |s| graph.degree(seeds[s]));
     let (mut offsets, total) = gmc_dpp::exclusive_scan(exec, &counts);
     offsets.push(total);
 
@@ -58,7 +59,7 @@ pub fn multi_run(
     {
         let neighbors_shared = SharedSlice::new(&mut neighbors);
         let thresholds_shared = SharedSlice::new(&mut nbr_thresholds);
-        exec.for_each_indexed(h, |s| {
+        exec.for_each_indexed_named("heuristic_neighbor_thresholds", h, |s| {
             for (offset, &u) in graph.neighbors(seeds[s]).iter().enumerate() {
                 // SAFETY: segments are disjoint spans of the output arrays.
                 unsafe {
@@ -86,7 +87,7 @@ pub fn multi_run(
         let arg = gmc_dpp::segmented_argmax_by_key(exec, neighbors.len(), &offsets, |i| {
             nbr_thresholds[i]
         });
-        let chosen: Vec<u32> = exec.map_indexed(num_segments, |s| {
+        let chosen: Vec<u32> = exec.map_indexed_named("heuristic_pick_argmax", num_segments, |s| {
             neighbors[arg[s].expect("segments are non-empty")]
         });
         for s in 0..num_segments {
@@ -99,7 +100,7 @@ pub fn multi_run(
         let mut flags = vec![false; neighbors.len()];
         {
             let flags_shared = SharedSlice::new(&mut flags);
-            exec.for_each_indexed(num_segments, |s| {
+            exec.for_each_indexed_named("heuristic_check_connections", num_segments, |s| {
                 let v = chosen[s];
                 for (i, &u) in neighbors[offsets[s]..offsets[s + 1]].iter().enumerate() {
                     // SAFETY: segments are disjoint spans.
@@ -110,12 +111,13 @@ pub fn multi_run(
 
         // Per-segment survivor counts, then stable compaction of both value
         // arrays (stability keeps segments contiguous).
-        let counts: Vec<usize> = exec.map_indexed(num_segments, |s| {
-            flags[offsets[s]..offsets[s + 1]]
-                .iter()
-                .filter(|&&f| f)
-                .count()
-        });
+        let counts: Vec<usize> =
+            exec.map_indexed_named("heuristic_survivor_counts", num_segments, |s| {
+                flags[offsets[s]..offsets[s + 1]]
+                    .iter()
+                    .filter(|&&f| f)
+                    .count()
+            });
         neighbors = gmc_dpp::select_flagged(exec, &neighbors, &flags);
         nbr_thresholds = gmc_dpp::select_flagged(exec, &nbr_thresholds, &flags);
 

@@ -21,8 +21,8 @@ pub fn single_run(device: &Device, graph: &Csr, thresholds: &[u32]) -> Vec<u32> 
 
     // Sort all vertices by descending threshold. The radix sort is stable,
     // so equal thresholds keep ascending-id order.
-    let keys: Vec<u32> = exec.map_indexed(n, |v| !thresholds[v]);
-    let ids: Vec<u32> = exec.map_indexed(n, |v| v as u32);
+    let keys: Vec<u32> = exec.map_indexed_named("heuristic_sort_keys", n, |v| !thresholds[v]);
+    let ids: Vec<u32> = exec.map_indexed_named("heuristic_iota", n, |v| v as u32);
     let (_, mut candidates) = gmc_dpp::sort_pairs_u32(exec, &keys, &ids);
 
     let mut clique = Vec::new();

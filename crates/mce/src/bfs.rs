@@ -211,6 +211,7 @@ fn grow_fused<O: EdgeOracle + ?Sized>(
     queries: &mut u64,
 ) -> Result<Option<Vec<u32>>, DeviceOom> {
     let exec = device.exec();
+    let tracer = exec.tracer();
     arena.set_tails_from_sublists(list.head().expect("list is non-empty").sublist_ids());
     loop {
         let head = list.head().expect("list is non-empty");
@@ -219,6 +220,10 @@ fn grow_fused<O: EdgeOracle + ?Sized>(
         assert!(len < u32::MAX as usize, "level exceeds u32 indexing");
         let vertex_id = head.vertex_ids();
         debug_assert_eq!(arena.tails.len(), len, "tails out of sync with head");
+        let mut level_span = tracer
+            .is_enabled()
+            .then(|| tracer.span_with("bfs_level", &[("k", k as i64), ("entries", len as i64)]));
+        let queries_before = *queries;
 
         // Candidates an entry must still find adjacent to reach the target;
         // the count walk stops the moment that becomes impossible.
@@ -233,7 +238,7 @@ fn grow_fused<O: EdgeOracle + ?Sized>(
         let spill_total = if max_tail as usize > INLINE_BITS {
             let tails = &arena.tails;
             let words_dst = UninitSlice::for_vec(&mut arena.spill_words, len);
-            exec.for_each_indexed(len, |i| {
+            exec.for_each_indexed_named("bfs_spill_words", len, |i| {
                 let words = (tails[i] as usize).saturating_sub(INLINE_BITS).div_ceil(64);
                 // SAFETY: one write per index.
                 unsafe { words_dst.write(i, words) };
@@ -267,7 +272,7 @@ fn grow_fused<O: EdgeOracle + ?Sized>(
             let counts_dst = UninitSlice::for_vec(&mut arena.counts, len);
             let masks_dst = UninitSlice::for_vec(&mut arena.masks, len);
             let spill_dst = UninitSlice::for_vec(&mut arena.spill, spill_total);
-            exec.for_each_indexed_fused(len, |i| {
+            exec.for_each_indexed_fused_named("bfs_count_cliques_fused", len, |i| {
                 let t = tails[i] as usize;
                 let spill_base = if t > INLINE_BITS { spill_offsets[i] } else { 0 };
                 let spill_len = t.saturating_sub(INLINE_BITS).div_ceil(64);
@@ -332,6 +337,14 @@ fn grow_fused<O: EdgeOracle + ?Sized>(
             .sum::<u64>();
 
         let total = gmc_dpp::exclusive_scan_into(exec, &arena.counts, &mut arena.offsets);
+        if let Some(span) = level_span.as_mut() {
+            span.arg("emitted", total as i64);
+            span.arg(
+                "pruned",
+                arena.counts.iter().filter(|&&c| c == 0).count() as i64,
+            );
+            span.arg("oracle_queries", (*queries - queries_before) as i64);
+        }
         if total == 0 {
             return Ok(None);
         }
@@ -351,7 +364,7 @@ fn grow_fused<O: EdgeOracle + ?Sized>(
             let vertex_dst = UninitSlice::for_vec(&mut new_vertex, total);
             let sublist_dst = UninitSlice::for_vec(&mut new_sublist, total);
             let tails_dst = UninitSlice::for_vec(&mut arena.next_tails, total);
-            exec.for_each_indexed_fused(len, |i| {
+            exec.for_each_indexed_fused_named("bfs_emit_cliques_fused", len, |i| {
                 if counts[i] == 0 {
                     return;
                 }
@@ -426,6 +439,7 @@ fn grow_unfused<O: EdgeOracle + ?Sized>(
     queries: &mut u64,
 ) -> Result<Option<Vec<u32>>, DeviceOom> {
     let exec = device.exec();
+    let tracer = exec.tracer();
     loop {
         let head = list.head().expect("list is non-empty");
         let k = list.clique_size_at(list.num_levels() - 1); // entries are k-cliques
@@ -433,6 +447,10 @@ fn grow_unfused<O: EdgeOracle + ?Sized>(
         assert!(len < u32::MAX as usize, "level exceeds u32 indexing");
         let vertex_id = head.vertex_ids();
         let sublist_id = head.sublist_ids();
+        let mut level_span = tracer
+            .is_enabled()
+            .then(|| tracer.span_with("bfs_level", &[("k", k as i64), ("entries", len as i64)]));
+        let queries_before = *queries;
 
         // Analytic query accounting: the count walk visits exactly the
         // sublist tail of every entry.
@@ -441,7 +459,7 @@ fn grow_unfused<O: EdgeOracle + ?Sized>(
 
         // COUNTCLIQUES: adjacent successors within the sublist, pruned
         // against the target.
-        let counts: Vec<usize> = exec.map_indexed(len, |i| {
+        let counts: Vec<usize> = exec.map_indexed_named("bfs_count_cliques", len, |i| {
             let mut connected = 0usize;
             let mut j = i + 1;
             while j < len && sublist_id[j] == sublist_id[i] {
@@ -458,9 +476,6 @@ fn grow_unfused<O: EdgeOracle + ?Sized>(
         });
 
         let (offsets, total) = gmc_dpp::exclusive_scan(exec, &counts);
-        if total == 0 {
-            return Ok(None);
-        }
 
         // The output kernel re-walks the full tail of every unpruned entry.
         *queries += arena
@@ -471,13 +486,22 @@ fn grow_unfused<O: EdgeOracle + ?Sized>(
             .map(|(&t, _)| u64::from(t))
             .sum::<u64>();
 
+        if let Some(span) = level_span.as_mut() {
+            span.arg("emitted", total as i64);
+            span.arg("pruned", counts.iter().filter(|&&c| c == 0).count() as i64);
+            span.arg("oracle_queries", (*queries - queries_before) as i64);
+        }
+        if total == 0 {
+            return Ok(None);
+        }
+
         // OUTPUTNEWCLIQUES: emit each entry's adjacent successors.
         let mut new_vertex = vec![0u32; total];
         let mut new_sublist = vec![0u32; total];
         {
             let vertex_shared = SharedSlice::new(&mut new_vertex);
             let sublist_shared = SharedSlice::new(&mut new_sublist);
-            exec.for_each_indexed(len, |i| {
+            exec.for_each_indexed_named("bfs_output_new_cliques", len, |i| {
                 if counts[i] == 0 {
                     return;
                 }
@@ -862,7 +886,7 @@ mod tests {
             device.exec().set_sequential_grid_limit(1);
             let base = device.exec().stats();
             run_on(&device, &g, fused);
-            device.exec().stats().since(base)
+            device.exec().stats().since(&base)
         };
         let fused = launches(true);
         let unfused = launches(false);

@@ -1,3 +1,4 @@
+use gmc_dpp::Tracer;
 use gmc_heuristic::HeuristicKind;
 
 /// Which directed arc of each undirected edge survives orientation
@@ -200,6 +201,11 @@ pub struct SolverConfig {
     /// `false` selects the paper-literal count → scan → re-walk pipeline —
     /// kept as the ablation baseline.
     pub fused: bool,
+    /// Recording handle for profiling: the solver installs it on the
+    /// device's executor and memory accountant for the duration of each
+    /// solve, and wraps every phase, BFS level and window in spans.
+    /// Disabled by default (cost: one branch per instrumented site).
+    pub trace: Tracer,
 }
 
 impl Default for SolverConfig {
@@ -215,6 +221,7 @@ impl Default for SolverConfig {
             window: None,
             early_exit: true,
             fused: true,
+            trace: Tracer::disabled(),
         }
     }
 }
@@ -231,6 +238,7 @@ mod tests {
         assert!(cfg.window.is_none());
         assert!(cfg.early_exit);
         assert!(cfg.fused);
+        assert!(!cfg.trace.is_enabled());
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub use verify::{verify_result, VerifyError};
 pub use window::WindowStats;
 
 use gmc_cliquelist::CliqueLevel;
-use gmc_dpp::{Device, DeviceOom, LaunchStats};
+use gmc_dpp::{Device, DeviceOom, LaunchStats, Tracer};
 use gmc_graph::{BitMatrix, Csr, EdgeOracle, HashAdjacency};
 use gmc_heuristic::{run_heuristic, HeuristicKind, HeuristicResult};
 use std::time::{Duration, Instant};
@@ -242,6 +242,13 @@ impl MaxCliqueSolver {
         self
     }
 
+    /// Installs a recording tracer for the next [`MaxCliqueSolver::solve`]
+    /// (see [`SolverConfig::trace`]).
+    pub fn trace(mut self, tracer: Tracer) -> Self {
+        self.config.trace = tracer;
+        self
+    }
+
     /// The active configuration.
     pub fn config(&self) -> &SolverConfig {
         &self.config
@@ -257,6 +264,34 @@ impl MaxCliqueSolver {
     /// the start; the reported peak covers this solve only.
     pub fn solve(&self, graph: &Csr) -> Result<SolveResult, SolveError> {
         let device = &self.device;
+        // Install the configured tracer on the device for the duration of
+        // this solve, so every launch and allocation lands on the timeline;
+        // leave an externally installed tracer alone when ours is disabled.
+        let tracing = self.config.trace.is_enabled();
+        if tracing {
+            device.exec().set_tracer(self.config.trace.clone());
+            device.memory().set_tracer(self.config.trace.clone());
+        }
+        let result = self.solve_traced(graph);
+        if tracing {
+            device.exec().set_tracer(Tracer::disabled());
+            device.memory().set_tracer(Tracer::disabled());
+        }
+        result
+    }
+
+    fn solve_traced(&self, graph: &Csr) -> Result<SolveResult, SolveError> {
+        let device = &self.device;
+        let tracer = self.config.trace.clone();
+        let mut solve_span = tracer.is_enabled().then(|| {
+            tracer.span_with(
+                "solve",
+                &[
+                    ("vertices", graph.num_vertices() as i64),
+                    ("edges", graph.num_edges() as i64),
+                ],
+            )
+        });
         let start = Instant::now();
         let launch_base = device.exec().stats();
         device.memory().reset_peak();
@@ -289,6 +324,7 @@ impl MaxCliqueSolver {
 
         // Phase 1: heuristic lower bound (optionally polished by local
         // search).
+        let mut heuristic_span = tracer.is_enabled().then(|| tracer.span("heuristic"));
         let mut heuristic = run_heuristic(
             device,
             graph,
@@ -300,6 +336,10 @@ impl MaxCliqueSolver {
             gmc_heuristic::polish_clique(graph, &mut heuristic.clique);
             heuristic.total_time += polish_start.elapsed();
         }
+        if let Some(span) = heuristic_span.as_mut() {
+            span.arg("lower_bound", i64::from(heuristic.lower_bound()));
+        }
+        drop(heuristic_span);
         stats.lower_bound = heuristic.lower_bound();
         stats.heuristic_time = heuristic.total_time;
         stats.core_time = heuristic.core_time;
@@ -310,6 +350,7 @@ impl MaxCliqueSolver {
 
         // Phase 2: setup (orientation + pruning + 2-clique list).
         let setup_start = Instant::now();
+        let mut setup_span = tracer.is_enabled().then(|| tracer.span("setup"));
         let thresholds = self.pruning_thresholds(graph, &heuristic);
         let setup = setup::build_two_clique_list(
             device.exec(),
@@ -320,6 +361,12 @@ impl MaxCliqueSolver {
             self.config.candidate_order,
             self.config.sublist_bound,
         );
+        if let Some(span) = setup_span.as_mut() {
+            span.arg("initial_entries", setup.stats.initial_entries as i64);
+            span.arg("pruned_vertices", setup.stats.pruned_vertices as i64);
+            span.arg("pruned_sublists", setup.stats.pruned_sublists as i64);
+        }
+        drop(setup_span);
         stats.setup = setup.stats;
         stats.setup_time = setup_start.elapsed();
 
@@ -328,6 +375,9 @@ impl MaxCliqueSolver {
         // monomorphised over the concrete oracle type.
         let expansion_start = Instant::now();
         let min_target = heuristic.lower_bound().max(2);
+        let mut expansion_span = tracer
+            .is_enabled()
+            .then(|| tracer.span_with("expansion", &[("min_target", i64::from(min_target))]));
         let oracle = self.build_oracle(graph)?;
         let (mut cliques, clique_number, complete) = match &oracle {
             BuiltOracle::Csr(g) => {
@@ -341,6 +391,11 @@ impl MaxCliqueSolver {
             }
         };
         drop(oracle);
+        if let Some(span) = expansion_span.as_mut() {
+            span.arg("oracle_queries", stats.oracle_queries as i64);
+            span.arg("clique_number", i64::from(clique_number));
+        }
+        drop(expansion_span);
         stats.expansion_time = expansion_start.elapsed();
 
         // Canonical ordering of the result.
@@ -354,8 +409,13 @@ impl MaxCliqueSolver {
             .memory()
             .peak()
             .max(stats.window.as_ref().map_or(0, |w| w.peak_window_bytes));
-        stats.launches = device.exec().stats().since(launch_base);
+        stats.launches = device.exec().stats().since(&launch_base);
         stats.total_time = start.elapsed();
+        if let Some(span) = solve_span.as_mut() {
+            span.arg("clique_number", i64::from(clique_number));
+            span.arg("cliques", cliques.len() as i64);
+        }
+        drop(solve_span);
         Ok(SolveResult {
             clique_number,
             cliques,

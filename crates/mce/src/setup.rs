@@ -70,11 +70,13 @@ pub(crate) fn build_two_clique_list(
 
     // Vertex pre-pruning: a vertex with upper bound `threshold + 1 < ω̄`
     // cannot appear in any clique we are looking for.
-    let keep: Vec<bool> = exec.map_indexed(n, |v| prune_thresholds[v] + 1 >= lower_bound);
+    let keep: Vec<bool> = exec.map_indexed_named("setup_prune_vertices", n, |v| {
+        prune_thresholds[v] + 1 >= lower_bound
+    });
     let pruned_vertices = n - keep.iter().filter(|&&k| k).count();
 
     // Step 1: per-vertex oriented out-neighbor counts among kept vertices.
-    let raw_counts: Vec<usize> = exec.map_indexed(n, |v| {
+    let raw_counts: Vec<usize> = exec.map_indexed_named("setup_count_sublists", n, |v| {
         if !keep[v] {
             return 0;
         }
@@ -91,7 +93,7 @@ pub(crate) fn build_two_clique_list(
     // out-neighbors of `v` — and, under the tighter colouring bound, at
     // least ω̄ − 1 colours among them (§II-B3).
     let required = (lower_bound.saturating_sub(1) as usize).max(1);
-    let counts: Vec<usize> = exec.map_indexed(n, |v| {
+    let counts: Vec<usize> = exec.map_indexed_named("setup_prune_sublists", n, |v| {
         if raw_counts[v] < required {
             return 0;
         }
@@ -122,7 +124,7 @@ pub(crate) fn build_two_clique_list(
     {
         let vertex_shared = SharedSlice::new(&mut vertex_id);
         let sublist_shared = SharedSlice::new(&mut sublist_id);
-        exec.for_each_indexed(n, |v| {
+        exec.for_each_indexed_named("setup_emit_sublists", n, |v| {
             if counts[v] == 0 {
                 return;
             }

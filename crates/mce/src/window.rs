@@ -216,6 +216,16 @@ pub(crate) fn windowed_search<O: EdgeOracle + ?Sized>(
     early_exit: bool,
     fused: bool,
 ) -> Result<WindowOutcome, DeviceOom> {
+    let tracer = device.exec().tracer();
+    let mut search_span = tracer.is_enabled().then(|| {
+        tracer.span_with(
+            "windowed_search",
+            &[
+                ("entries", setup.vertex_id.len() as i64),
+                ("parallel_windows", config.parallel_windows as i64),
+            ],
+        )
+    });
     let (vertex_id, sublist_id) = reorder_sublists(
         device.exec(),
         graph,
@@ -266,6 +276,11 @@ pub(crate) fn windowed_search<O: EdgeOracle + ?Sized>(
     let mut stats = stats_lock.into_inner().expect("stats lock poisoned");
     let incumbent = incumbent.into_inner().expect("incumbent lock poisoned");
     stats.bound_improvements = incumbent.improvements;
+    if let Some(span) = search_span.as_mut() {
+        span.arg("num_windows", stats.num_windows as i64);
+        span.arg("bound_improvements", stats.bound_improvements as i64);
+    }
+    drop(search_span);
     if config.enumerate_all {
         Ok(WindowOutcome {
             clique_size: incumbent.collected_size,
@@ -382,6 +397,17 @@ fn process_window<O: EdgeOracle + ?Sized>(
         .target()
         .saturating_sub(prefix.len() as u32)
         .max(2);
+    let tracer = ctx.device.exec().tracer();
+    let mut window_span = tracer.is_enabled().then(|| {
+        tracer.span_with(
+            "window",
+            &[
+                ("entries", vertex_id.len() as i64),
+                ("depth", depth as i64),
+                ("target", i64::from(target_local)),
+            ],
+        )
+    });
     let attempt =
         CliqueLevel::from_vecs(ctx.device.memory(), vertex_id.to_vec(), sublist_id.to_vec())
             .and_then(|level0| {
@@ -409,6 +435,9 @@ fn process_window<O: EdgeOracle + ?Sized>(
 
     let oom = match attempt {
         Ok(outcome) => {
+            if let Some(span) = window_span.as_mut() {
+                span.arg("found", outcome.clique_size as i64);
+            }
             if outcome.clique_size > 0 {
                 let size = outcome.clique_size + prefix.len();
                 let cliques: Vec<Vec<u32>> = outcome
@@ -427,7 +456,14 @@ fn process_window<O: EdgeOracle + ?Sized>(
             }
             return Ok(());
         }
-        Err(oom) => oom,
+        Err(oom) => {
+            // Retries after a split (or the deeper re-windowing below) nest
+            // inside this window's span.
+            if let Some(span) = window_span.as_mut() {
+                span.arg("oom", 1);
+            }
+            oom
+        }
     };
 
     // The paper's windowing propagates OOM; the recursive extension keeps
@@ -586,7 +622,7 @@ fn build_child_level<O: EdgeOracle + ?Sized>(
     let exec = ctx.device.exec();
     let len = candidates.len();
     let oracle = ctx.oracle;
-    let counts: Vec<usize> = exec.map_indexed(len, |i| {
+    let counts: Vec<usize> = exec.map_indexed_named("window_count_sublists", len, |i| {
         candidates[i + 1..]
             .iter()
             .filter(|&&c| oracle.connected(candidates[i], c))
@@ -598,7 +634,7 @@ fn build_child_level<O: EdgeOracle + ?Sized>(
     {
         let vertex_shared = SharedSlice::new(&mut child_vertex);
         let sublist_shared = SharedSlice::new(&mut child_sublist);
-        exec.for_each_indexed(len, |i| {
+        exec.for_each_indexed_named("window_expand_sublists", len, |i| {
             let mut cursor = offsets[i];
             for &c in &candidates[i + 1..] {
                 if oracle.connected(candidates[i], c) {

@@ -2,6 +2,7 @@
 //! paper's CPU comparison baseline).
 
 use gmc_graph::{kcore, Csr};
+use gmc_trace::Tracer;
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -51,6 +52,7 @@ pub struct PmcResult {
 #[derive(Debug, Clone)]
 pub struct ParallelBranchBound {
     threads: usize,
+    tracer: Tracer,
 }
 
 impl ParallelBranchBound {
@@ -58,7 +60,15 @@ impl ParallelBranchBound {
     pub fn new(threads: usize) -> Self {
         Self {
             threads: threads.max(1),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Installs a recording tracer: each solve is wrapped in a `pmc_solve`
+    /// span carrying the node and pruning counters.
+    pub fn trace(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
     }
 
     /// A solver sized to the machine's available parallelism.
@@ -76,6 +86,26 @@ impl ParallelBranchBound {
 
     /// Finds one maximum clique of `graph`.
     pub fn solve(&self, graph: &Csr) -> PmcResult {
+        let mut solve_span = self.tracer.is_enabled().then(|| {
+            self.tracer.span_with(
+                "pmc_solve",
+                &[
+                    ("vertices", graph.num_vertices() as i64),
+                    ("edges", graph.num_edges() as i64),
+                    ("threads", self.threads as i64),
+                ],
+            )
+        });
+        let result = self.solve_inner(graph);
+        if let Some(span) = solve_span.as_mut() {
+            span.arg("clique_number", i64::from(result.clique_number));
+            span.arg("nodes_explored", result.stats.nodes_explored as i64);
+            span.arg("roots_pruned", result.stats.roots_pruned as i64);
+        }
+        result
+    }
+
+    fn solve_inner(&self, graph: &Csr) -> PmcResult {
         let start = Instant::now();
         let n = graph.num_vertices();
         if n == 0 {

@@ -1,0 +1,81 @@
+//! Fail-loud environment-variable parsing, shared by every `GMC_*` knob in
+//! the workspace.
+//!
+//! A typo'd knob that silently falls back to a default is worse than a
+//! crash: the run *looks* configured but is not, and benchmark numbers go
+//! wrong quietly. So: an unset variable means "use the default", but a set
+//! variable that does not parse panics with the variable name, the
+//! offending value and the expected type.
+
+use std::fmt::Display;
+use std::str::FromStr;
+
+/// Parses `$name` as a `T`. Returns `None` when the variable is unset and
+/// panics with a clear message when it is set but invalid.
+pub fn parse<T: FromStr>(name: &str) -> Option<T> {
+    let raw = std::env::var(name).ok()?;
+    Some(parse_str(name, &raw))
+}
+
+/// Like [`parse`], but the value falls back to `default` when unset.
+pub fn parse_or<T: FromStr>(name: &str, default: T) -> T {
+    parse(name).unwrap_or(default)
+}
+
+/// Parses a raw string as the value of `$name` (the testable core of
+/// [`parse`]). Panics with a clear message on invalid input.
+pub fn parse_str<T: FromStr>(name: impl Display, raw: &str) -> T {
+    match raw.trim().parse::<T>() {
+        Ok(value) => value,
+        Err(_) => panic!(
+            "invalid value for environment variable {name}: `{raw}` \
+             (expected a value of type {})",
+            std::any::type_name::<T>()
+        ),
+    }
+}
+
+/// Reads `$name` as a file path. Returns `None` when unset; panics when
+/// set to an empty (or all-whitespace) string, which is always a mistake.
+pub fn path(name: &str) -> Option<std::path::PathBuf> {
+    let raw = std::env::var(name).ok()?;
+    let trimmed = raw.trim();
+    assert!(
+        !trimmed.is_empty(),
+        "environment variable {name} is set but empty (expected a file path)"
+    );
+    Some(std::path::PathBuf::from(trimmed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_values_parse() {
+        assert_eq!(parse_str::<usize>("GMC_TEST", "42"), 42);
+        assert_eq!(
+            parse_str::<usize>("GMC_TEST", "  42  "),
+            42,
+            "whitespace trimmed"
+        );
+        assert_eq!(parse_str::<f64>("GMC_TEST", "2.5"), 2.5);
+    }
+
+    #[test]
+    fn invalid_values_fail_loudly_with_the_variable_name() {
+        let err = std::panic::catch_unwind(|| parse_str::<usize>("GMC_SEQ_GRID", "banana"))
+            .expect_err("must panic");
+        let msg = err.downcast_ref::<String>().expect("panic message");
+        assert!(msg.contains("GMC_SEQ_GRID"), "names the variable: {msg}");
+        assert!(msg.contains("banana"), "shows the offending value: {msg}");
+        assert!(msg.contains("usize"), "states the expected type: {msg}");
+    }
+
+    #[test]
+    fn unset_variables_mean_default() {
+        assert_eq!(parse::<usize>("GMC_TRACE_SURELY_UNSET_VAR"), None);
+        assert_eq!(parse_or("GMC_TRACE_SURELY_UNSET_VAR", 7usize), 7);
+        assert_eq!(path("GMC_TRACE_SURELY_UNSET_VAR"), None);
+    }
+}

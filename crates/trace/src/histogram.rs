@@ -1,0 +1,169 @@
+//! Log-bucketed latency histogram: 16 sub-buckets per power of two, so
+//! quantile estimates carry at most ~6% relative error while the whole
+//! histogram is a fixed ~8 KiB of counters regardless of sample count.
+
+const SUB_BITS: u32 = 4;
+const SUB: usize = 1 << SUB_BITS; // 16 sub-buckets per octave
+const NUM_BUCKETS: usize = SUB + (64 - SUB_BITS as usize) * SUB;
+
+/// A fixed-size histogram over `u64` samples (nanoseconds, in practice)
+/// with logarithmic buckets.
+#[derive(Clone)]
+pub struct LogHistogram {
+    counts: Box<[u64; NUM_BUCKETS]>,
+    total: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: Box::new([0; NUM_BUCKETS]),
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn bucket_of(value: u64) -> usize {
+        if value < SUB as u64 {
+            value as usize
+        } else {
+            let h = 63 - value.leading_zeros(); // h >= SUB_BITS
+            let sub = ((value >> (h - SUB_BITS)) & (SUB as u64 - 1)) as usize;
+            SUB + (h - SUB_BITS) as usize * SUB + sub
+        }
+    }
+
+    /// The representative (midpoint) value of bucket `index`.
+    fn value_of(index: usize) -> u64 {
+        if index < SUB {
+            index as u64
+        } else {
+            let h = (index - SUB) as u32 / SUB as u32 + SUB_BITS;
+            let sub = ((index - SUB) % SUB) as u64;
+            let width = 1u64 << (h - SUB_BITS);
+            (1u64 << h) + sub * width + width / 2
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::bucket_of(value)] += 1;
+        self.total += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Sum of all recorded samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The estimated `q`-quantile (`q` in `[0, 1]`), within one log bucket
+    /// (~6% relative error). Exact `min`/`max` are substituted at the
+    /// extremes so the reported range never exceeds the observed one.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::value_of(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_monotone_and_cover_u64() {
+        let mut prev = 0;
+        for shift in 0..64 {
+            let v = 1u64 << shift;
+            for probe in [v, v + v / 3, v + v / 2] {
+                let b = LogHistogram::bucket_of(probe);
+                assert!(b >= prev, "bucket index must not decrease");
+                assert!(b < NUM_BUCKETS);
+                prev = prev.max(b);
+            }
+        }
+        assert_eq!(LogHistogram::bucket_of(0), 0);
+        let _ = LogHistogram::bucket_of(u64::MAX);
+    }
+
+    #[test]
+    fn representative_value_lands_in_its_own_bucket() {
+        for index in 0..NUM_BUCKETS {
+            let v = LogHistogram::value_of(index);
+            assert_eq!(
+                LogHistogram::bucket_of(v),
+                index,
+                "midpoint of bucket {index} (= {v}) must map back"
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_are_close_for_uniform_samples() {
+        let mut h = LogHistogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 10_000);
+        let p50 = h.quantile(0.5) as f64;
+        let p99 = h.quantile(0.99) as f64;
+        assert!((p50 - 5_000.0).abs() / 5_000.0 < 0.07, "p50 = {p50}");
+        assert!((p99 - 9_900.0).abs() / 9_900.0 < 0.07, "p99 = {p99}");
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 10_000);
+        assert!(h.quantile(0.0) >= 1);
+        assert!(h.quantile(1.0) <= 10_000);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+    }
+}

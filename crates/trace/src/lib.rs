@@ -1,0 +1,452 @@
+//! # gmc-trace: runtime-gated tracing for the virtual GPU and solver
+//!
+//! An always-compiled, zero-dependency profiling layer. The solver stack is
+//! instrumented unconditionally; whether events are recorded is a runtime
+//! decision made by a single relaxed atomic load, so the disabled cost is
+//! roughly one branch per instrumented site.
+//!
+//! * [`TraceSession`] owns a trace: it hands out cheap-to-clone [`Tracer`]
+//!   handles, and [`TraceSession::finish`] collects every per-thread event
+//!   ring into a [`Timeline`].
+//! * [`Tracer`] records spans ([`Tracer::span`], paired begin/end with a
+//!   RAII [`SpanGuard`]), instant events and named counter samples into a
+//!   per-thread bounded event ring ([overflow drops events and counts them,
+//!   it never blocks).
+//! * [`Timeline`] pairs the events and exports three views: Chrome
+//!   `chrome://tracing` / Perfetto JSON ([`Timeline::to_chrome_json`]), a
+//!   Markdown per-kernel latency table with p50/p99 from log-bucketed
+//!   histograms ([`Timeline::latency_table_markdown`]), and flamegraph-style
+//!   folded stacks ([`Timeline::folded_stacks`]).
+//! * [`mod@env`] is the repo's shared fail-loud environment-variable parser
+//!   (`GMC_TRACE`, `GMC_SEQ_GRID`, bench knobs, ...).
+//!
+//! ```
+//! let session = gmc_trace::TraceSession::new();
+//! let tracer = session.tracer();
+//! {
+//!     let mut span = tracer.span_with("kernel", &[("n", 128)]);
+//!     span.arg("emitted", 7);
+//! }
+//! tracer.counter("live_bytes", 4096);
+//! let timeline = session.finish();
+//! assert_eq!(timeline.spans.len(), 1);
+//! assert_eq!(timeline.spans[0].name, "kernel");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod env;
+mod histogram;
+mod ring;
+mod timeline;
+
+pub use histogram::LogHistogram;
+pub use timeline::{render_latency_table, CounterSample, InstantEvent, Span, Timeline};
+
+use ring::{RawEvent, Ring, KIND_BEGIN, KIND_COUNTER, KIND_END, KIND_INSTANT, MAX_ARGS};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Default per-thread event-ring capacity (events), overridable with the
+/// `GMC_TRACE_BUFFER` environment variable.
+pub const DEFAULT_RING_CAPACITY: usize = 1 << 16;
+
+/// State shared between a [`TraceSession`] and all its [`Tracer`] handles.
+pub(crate) struct Shared {
+    /// Distinguishes concurrent sessions in thread-local ring lookup.
+    pub(crate) id: u64,
+    /// The one-flag runtime gate; `Relaxed` loads on the hot path.
+    pub(crate) enabled: AtomicBool,
+    /// All timestamps are nanoseconds since this instant.
+    pub(crate) epoch: std::time::Instant,
+    /// Capacity of each per-thread ring, fixed at session creation.
+    pub(crate) ring_capacity: usize,
+    /// Dense virtual thread ids, assigned at first event per thread.
+    pub(crate) next_tid: AtomicU64,
+    /// Registry of every per-thread ring; locked only when a thread records
+    /// its first event of the session, and once at collection.
+    pub(crate) rings: Mutex<Vec<Arc<Ring>>>,
+}
+
+impl Shared {
+    #[inline]
+    fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+}
+
+fn fill_args(args: &[(&'static str, i64)]) -> ([(&'static str, i64); MAX_ARGS], u8) {
+    let mut out = [("", 0i64); MAX_ARGS];
+    let n = args.len().min(MAX_ARGS);
+    out[..n].copy_from_slice(&args[..n]);
+    (out, n as u8)
+}
+
+/// A cheap-to-clone recording handle. A disabled tracer (the
+/// [`Tracer::disabled`] default) records nothing and costs one branch per
+/// call; an enabled one appends to a lock-free per-thread event ring.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    shared: Option<Arc<Shared>>,
+}
+
+impl Tracer {
+    /// A tracer that records nothing. This is also the `Default`.
+    pub fn disabled() -> Self {
+        Self { shared: None }
+    }
+
+    /// Whether events are currently being recorded. One relaxed atomic
+    /// load; instrument hot paths behind this check.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        matches!(&self.shared, Some(s) if s.enabled.load(Ordering::Relaxed))
+    }
+
+    #[inline]
+    fn active(&self) -> Option<&Arc<Shared>> {
+        match &self.shared {
+            Some(s) if s.enabled.load(Ordering::Relaxed) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Opens a span; it closes (records its end event) when the returned
+    /// guard drops.
+    #[inline]
+    pub fn span(&self, name: &'static str) -> SpanGuard {
+        self.span_with(name, &[])
+    }
+
+    /// Opens a span carrying integer arguments on its begin event. Only the
+    /// first [`MAX_ARGS`](Timeline) (6) arguments are kept.
+    pub fn span_with(&self, name: &'static str, args: &[(&'static str, i64)]) -> SpanGuard {
+        let Some(shared) = self.active() else {
+            return SpanGuard {
+                shared: None,
+                name,
+                args: [("", 0); MAX_ARGS],
+                nargs: 0,
+            };
+        };
+        let (args, nargs) = fill_args(args);
+        let ev = RawEvent {
+            kind: KIND_BEGIN,
+            nargs,
+            name,
+            ts_ns: shared.now_ns(),
+            value: 0,
+            args,
+        };
+        ring::with_local_ring(shared, |r| r.push(ev));
+        SpanGuard {
+            shared: Some(Arc::clone(shared)),
+            name,
+            args: [("", 0); MAX_ARGS],
+            nargs: 0,
+        }
+    }
+
+    /// Records a point-in-time event.
+    pub fn instant(&self, name: &'static str, args: &[(&'static str, i64)]) {
+        let Some(shared) = self.active() else { return };
+        let (args, nargs) = fill_args(args);
+        let ev = RawEvent {
+            kind: KIND_INSTANT,
+            nargs,
+            name,
+            ts_ns: shared.now_ns(),
+            value: 0,
+            args,
+        };
+        ring::with_local_ring(shared, |r| r.push(ev));
+    }
+
+    /// Records a sample on a named counter track (e.g. live device bytes).
+    pub fn counter(&self, name: &'static str, value: i64) {
+        let Some(shared) = self.active() else { return };
+        let ev = RawEvent {
+            kind: KIND_COUNTER,
+            nargs: 0,
+            name,
+            ts_ns: shared.now_ns(),
+            value,
+            args: [("", 0); MAX_ARGS],
+        };
+        ring::with_local_ring(shared, |r| r.push(ev));
+    }
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.shared {
+            Some(s) => write!(
+                f,
+                "Tracer(session {}, {})",
+                s.id,
+                if s.enabled.load(Ordering::Relaxed) {
+                    "enabled"
+                } else {
+                    "finished"
+                }
+            ),
+            None => write!(f, "Tracer(disabled)"),
+        }
+    }
+}
+
+/// Two tracers are equal when they feed the same session (or are both
+/// disabled). This is what configuration equality needs.
+impl PartialEq for Tracer {
+    fn eq(&self, other: &Self) -> bool {
+        match (&self.shared, &other.shared) {
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            (None, None) => true,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Tracer {}
+
+/// RAII guard for an open span: records the end event on drop. Arguments
+/// added with [`SpanGuard::arg`] after the span opened (e.g. results known
+/// only at the end) are attached to the matched span at collection time.
+#[must_use = "a span closes when its guard drops"]
+pub struct SpanGuard {
+    shared: Option<Arc<Shared>>,
+    name: &'static str,
+    args: [(&'static str, i64); MAX_ARGS],
+    nargs: u8,
+}
+
+impl SpanGuard {
+    /// Attaches an end-time integer argument (result sizes, counters
+    /// accumulated while the span ran). Silently keeps only the first 6.
+    pub fn arg(&mut self, name: &'static str, value: i64) {
+        if self.shared.is_none() {
+            return;
+        }
+        if (self.nargs as usize) < MAX_ARGS {
+            self.args[self.nargs as usize] = (name, value);
+            self.nargs += 1;
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(shared) = &self.shared else { return };
+        let ev = RawEvent {
+            kind: KIND_END,
+            nargs: self.nargs,
+            name: self.name,
+            ts_ns: shared.now_ns(),
+            value: 0,
+            args: self.args,
+        };
+        ring::with_local_ring(shared, |r| r.push(ev));
+    }
+}
+
+static NEXT_SESSION_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Owns one trace: create, pass [`TraceSession::tracer`] handles to the
+/// code under observation, then [`TraceSession::finish`] to collect the
+/// merged [`Timeline`].
+pub struct TraceSession {
+    shared: Arc<Shared>,
+}
+
+impl TraceSession {
+    /// A session with the default ring capacity ([`DEFAULT_RING_CAPACITY`]
+    /// events per thread, or `GMC_TRACE_BUFFER` if set).
+    pub fn new() -> Self {
+        let capacity = env::parse("GMC_TRACE_BUFFER").unwrap_or(DEFAULT_RING_CAPACITY);
+        Self::with_capacity(capacity)
+    }
+
+    /// A session whose per-thread rings hold `capacity` events each.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            shared: Arc::new(Shared {
+                id: NEXT_SESSION_ID.fetch_add(1, Ordering::Relaxed),
+                enabled: AtomicBool::new(true),
+                epoch: std::time::Instant::now(),
+                ring_capacity: capacity.max(16),
+                next_tid: AtomicU64::new(1),
+                rings: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// A recording handle feeding this session.
+    pub fn tracer(&self) -> Tracer {
+        Tracer {
+            shared: Some(Arc::clone(&self.shared)),
+        }
+    }
+
+    /// Stops recording and merges every per-thread ring into a
+    /// [`Timeline`]. Threads that still hold a tracer may race a final
+    /// event in, but events are only read below each ring's published
+    /// length, so collection is safe at any time; call this after joining
+    /// worker threads for a complete trace.
+    pub fn finish(self) -> Timeline {
+        self.shared.enabled.store(false, Ordering::SeqCst);
+        let rings = self.shared.rings.lock().unwrap();
+        Timeline::build(&rings)
+    }
+}
+
+impl Default for TraceSession {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A [`TraceSession`] bound to an output path by the `GMC_TRACE=<path>`
+/// environment variable: the conventional way binaries and examples opt
+/// into tracing.
+pub struct EnvTrace {
+    session: TraceSession,
+    path: std::path::PathBuf,
+}
+
+impl EnvTrace {
+    /// Starts a session if `GMC_TRACE` is set. Panics (fail-loud, see
+    /// [`mod@env`]) if it is set but empty.
+    pub fn from_env() -> Option<Self> {
+        let path = env::path("GMC_TRACE")?;
+        Some(Self {
+            session: TraceSession::new(),
+            path,
+        })
+    }
+
+    /// A recording handle feeding this session.
+    pub fn tracer(&self) -> Tracer {
+        self.session.tracer()
+    }
+
+    /// Collects the timeline and writes Chrome-trace JSON to the
+    /// `GMC_TRACE` path. Returns the path and the timeline for further
+    /// rendering.
+    pub fn finish(self) -> std::io::Result<(std::path::PathBuf, Timeline)> {
+        let timeline = self.session.finish();
+        std::fs::write(&self.path, timeline.to_chrome_json())?;
+        Ok((self.path, timeline))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let session = TraceSession::new();
+        let tracer = Tracer::disabled();
+        {
+            let mut span = tracer.span_with("x", &[("a", 1)]);
+            span.arg("b", 2);
+        }
+        tracer.instant("i", &[]);
+        tracer.counter("c", 3);
+        let timeline = session.finish();
+        assert!(timeline.spans.is_empty());
+        assert!(timeline.counters.is_empty());
+        assert!(timeline.instants.is_empty());
+        assert_eq!(timeline.dropped, 0);
+    }
+
+    #[test]
+    fn finished_session_stops_recording() {
+        let session = TraceSession::new();
+        let tracer = session.tracer();
+        drop(tracer.span("before"));
+        let timeline = session.finish();
+        assert_eq!(timeline.spans.len(), 1);
+        assert!(!tracer.is_enabled());
+        // Recording after finish is a no-op, not an error.
+        drop(tracer.span("after"));
+        tracer.counter("c", 1);
+    }
+
+    #[test]
+    fn spans_nest_and_carry_args() {
+        let session = TraceSession::new();
+        let tracer = session.tracer();
+        {
+            let _outer = tracer.span_with("outer", &[("n", 10)]);
+            {
+                let mut inner = tracer.span("inner");
+                inner.arg("emitted", 4);
+            }
+        }
+        let timeline = session.finish();
+        assert_eq!(timeline.spans.len(), 2);
+        let outer = timeline.spans.iter().find(|s| s.name == "outer").unwrap();
+        let inner_idx = timeline
+            .spans
+            .iter()
+            .position(|s| s.name == "inner")
+            .unwrap();
+        let inner = &timeline.spans[inner_idx];
+        assert_eq!(outer.depth, 0);
+        assert_eq!(inner.depth, 1);
+        assert_eq!(
+            timeline.spans[inner.parent.unwrap()].name,
+            "outer",
+            "inner span must point at its enclosing span"
+        );
+        assert!(outer.args.contains(&("n", 10)));
+        assert!(inner.args.contains(&("emitted", 4)));
+        assert!(inner.start_ns >= outer.start_ns);
+        assert!(inner.start_ns + inner.dur_ns <= outer.start_ns + outer.dur_ns);
+        let _ = inner_idx;
+    }
+
+    #[test]
+    fn ring_overflow_counts_drops_instead_of_blocking() {
+        let session = TraceSession::with_capacity(16);
+        let tracer = session.tracer();
+        for _ in 0..64 {
+            tracer.counter("c", 1);
+        }
+        let timeline = session.finish();
+        assert_eq!(timeline.counters.len(), 16);
+        assert_eq!(timeline.dropped, 48);
+    }
+
+    #[test]
+    fn events_from_many_threads_land_on_distinct_tids() {
+        let session = TraceSession::new();
+        std::thread::scope(|scope| {
+            for i in 0..4 {
+                let tracer = session.tracer();
+                scope.spawn(move || {
+                    let mut span = tracer.span("worker");
+                    span.arg("i", i);
+                });
+            }
+        });
+        let timeline = session.finish();
+        assert_eq!(timeline.spans.len(), 4);
+        let mut tids: Vec<u64> = timeline.spans.iter().map(|s| s.tid).collect();
+        tids.sort_unstable();
+        tids.dedup();
+        assert_eq!(tids.len(), 4, "each thread gets its own ring/tid");
+        assert_eq!(timeline.threads.len(), 4);
+    }
+
+    #[test]
+    fn tracer_equality_follows_the_session() {
+        let a = TraceSession::new();
+        let b = TraceSession::new();
+        assert_eq!(a.tracer(), a.tracer());
+        assert_ne!(a.tracer(), b.tracer());
+        assert_eq!(Tracer::disabled(), Tracer::default());
+        assert_ne!(a.tracer(), Tracer::disabled());
+    }
+}

@@ -1,0 +1,125 @@
+//! Per-thread bounded event rings.
+//!
+//! Each recording thread owns one ring per live session: only the owner
+//! writes, and the collector only reads slots below the `Release`-published
+//! length, so no locks are taken on the event path. A full ring drops
+//! further events (counting them) rather than blocking or reallocating —
+//! tracing must never perturb what it measures.
+
+use crate::Shared;
+use std::cell::{RefCell, UnsafeCell};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Weak};
+
+/// Maximum integer arguments carried by one event.
+pub(crate) const MAX_ARGS: usize = 6;
+
+pub(crate) const KIND_BEGIN: u8 = 0;
+pub(crate) const KIND_END: u8 = 1;
+pub(crate) const KIND_INSTANT: u8 = 2;
+pub(crate) const KIND_COUNTER: u8 = 3;
+
+/// One fixed-size recorded event. Names are `&'static str` so recording
+/// never allocates.
+#[derive(Clone, Copy)]
+pub(crate) struct RawEvent {
+    pub(crate) kind: u8,
+    pub(crate) nargs: u8,
+    pub(crate) name: &'static str,
+    pub(crate) ts_ns: u64,
+    pub(crate) value: i64,
+    pub(crate) args: [(&'static str, i64); MAX_ARGS],
+}
+
+const EMPTY_EVENT: RawEvent = RawEvent {
+    kind: KIND_INSTANT,
+    nargs: 0,
+    name: "",
+    ts_ns: 0,
+    value: 0,
+    args: [("", 0); MAX_ARGS],
+};
+
+/// A single-writer bounded event log ("ring" in the drop-on-full sense:
+/// capacity is fixed up front and overflow is counted, never blocking).
+pub(crate) struct Ring {
+    pub(crate) tid: u64,
+    pub(crate) thread_name: String,
+    slots: Box<[UnsafeCell<RawEvent>]>,
+    len: AtomicUsize,
+    dropped: AtomicUsize,
+}
+
+// SAFETY: only the owning thread writes slots (enforced by thread-local
+// ownership in `with_local_ring`), and readers only touch slots below the
+// published `len` (release store after the slot write, acquire load before
+// the read), so a slot is never read while being written.
+unsafe impl Sync for Ring {}
+unsafe impl Send for Ring {}
+
+impl Ring {
+    fn new(tid: u64, thread_name: String, capacity: usize) -> Self {
+        Self {
+            tid,
+            thread_name,
+            slots: (0..capacity)
+                .map(|_| UnsafeCell::new(EMPTY_EVENT))
+                .collect(),
+            len: AtomicUsize::new(0),
+            dropped: AtomicUsize::new(0),
+        }
+    }
+
+    /// Appends one event. Must only be called from the owning thread.
+    pub(crate) fn push(&self, ev: RawEvent) {
+        let i = self.len.load(Ordering::Relaxed);
+        if i >= self.slots.len() {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        // SAFETY: single writer (owning thread); slot `i` is unpublished.
+        unsafe { *self.slots[i].get() = ev };
+        self.len.store(i + 1, Ordering::Release);
+    }
+
+    /// Copies out the published events and the drop count.
+    pub(crate) fn snapshot(&self) -> (Vec<RawEvent>, usize) {
+        let n = self.len.load(Ordering::Acquire);
+        // SAFETY: slots below the acquired `len` are fully written and
+        // never rewritten (the log is append-only).
+        let events = (0..n).map(|i| unsafe { *self.slots[i].get() }).collect();
+        (events, self.dropped.load(Ordering::Relaxed))
+    }
+}
+
+/// One registered ring: (session id, liveness probe, the ring itself).
+type LocalRing = (u64, Weak<Shared>, Arc<Ring>);
+
+thread_local! {
+    /// This thread's rings, keyed by session id. A handful of entries at
+    /// most; dead sessions are pruned when a new one registers.
+    static LOCAL_RINGS: RefCell<Vec<LocalRing>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Runs `f` with this thread's ring for `shared`, registering a new ring
+/// (the only lock acquisition on the recording path, once per thread per
+/// session) on first use.
+pub(crate) fn with_local_ring(shared: &Arc<Shared>, f: impl FnOnce(&Ring)) {
+    LOCAL_RINGS.with(|cell| {
+        let mut rings = cell.borrow_mut();
+        if let Some((_, _, ring)) = rings.iter().find(|(id, _, _)| *id == shared.id) {
+            f(ring);
+            return;
+        }
+        rings.retain(|(_, session, _)| session.strong_count() > 0);
+        let tid = shared.next_tid.fetch_add(1, Ordering::Relaxed);
+        let thread_name = std::thread::current()
+            .name()
+            .map(str::to_string)
+            .unwrap_or_else(|| format!("thread-{tid}"));
+        let ring = Arc::new(Ring::new(tid, thread_name, shared.ring_capacity));
+        shared.rings.lock().unwrap().push(Arc::clone(&ring));
+        rings.push((shared.id, Arc::downgrade(shared), Arc::clone(&ring)));
+        f(&ring);
+    });
+}

@@ -1,0 +1,390 @@
+//! Collected traces: span pairing and the three export formats.
+
+use crate::histogram::LogHistogram;
+use crate::ring::{RawEvent, Ring, KIND_BEGIN, KIND_COUNTER, KIND_END, KIND_INSTANT};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A completed (begin/end-paired) span.
+#[derive(Debug, Clone)]
+pub struct Span {
+    /// Static span name (kernel or phase).
+    pub name: &'static str,
+    /// Virtual thread id of the recording thread.
+    pub tid: u64,
+    /// Start, nanoseconds since the session epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Nesting depth within its thread (0 = top level).
+    pub depth: u32,
+    /// Index (into [`Timeline::spans`]) of the enclosing span, if any.
+    pub parent: Option<usize>,
+    /// Begin-time arguments followed by end-time arguments.
+    pub args: Vec<(&'static str, i64)>,
+}
+
+/// One sample on a named counter track.
+#[derive(Debug, Clone, Copy)]
+pub struct CounterSample {
+    /// Counter track name.
+    pub name: &'static str,
+    /// Virtual thread id of the recording thread.
+    pub tid: u64,
+    /// Sample time, nanoseconds since the session epoch.
+    pub ts_ns: u64,
+    /// Sampled value.
+    pub value: i64,
+}
+
+/// A point-in-time event.
+#[derive(Debug, Clone)]
+pub struct InstantEvent {
+    /// Event name.
+    pub name: &'static str,
+    /// Virtual thread id of the recording thread.
+    pub tid: u64,
+    /// Event time, nanoseconds since the session epoch.
+    pub ts_ns: u64,
+    /// Integer arguments.
+    pub args: Vec<(&'static str, i64)>,
+}
+
+/// The merged, paired result of a [`TraceSession`](crate::TraceSession).
+#[derive(Debug, Clone, Default)]
+pub struct Timeline {
+    /// All spans; grouped by thread, start-ordered within each thread.
+    pub spans: Vec<Span>,
+    /// All counter samples, in per-thread record order.
+    pub counters: Vec<CounterSample>,
+    /// All instant events, in per-thread record order.
+    pub instants: Vec<InstantEvent>,
+    /// `(tid, thread name)` for every thread that recorded events.
+    pub threads: Vec<(u64, String)>,
+    /// Events lost to ring overflow across all threads.
+    pub dropped: usize,
+    /// Begin/end events that could not be paired (spans still open at
+    /// collection, or stray ends).
+    pub unmatched: usize,
+}
+
+impl Timeline {
+    pub(crate) fn build(rings: &[std::sync::Arc<Ring>]) -> Timeline {
+        let mut timeline = Timeline::default();
+        for ring in rings {
+            let (events, dropped) = ring.snapshot();
+            timeline.dropped += dropped;
+            timeline.threads.push((ring.tid, ring.thread_name.clone()));
+            timeline.absorb(ring.tid, &events);
+        }
+        timeline.threads.sort_by_key(|(tid, _)| *tid);
+        timeline
+    }
+
+    /// Pairs one thread's events (they are in record order, so begins and
+    /// ends nest like brackets) into spans via an open-span stack.
+    fn absorb(&mut self, tid: u64, events: &[RawEvent]) {
+        let mut open: Vec<usize> = Vec::new();
+        let mut last_ts = 0u64;
+        for ev in events {
+            last_ts = last_ts.max(ev.ts_ns);
+            let args = |ev: &RawEvent| ev.args[..ev.nargs as usize].to_vec();
+            match ev.kind {
+                KIND_BEGIN => {
+                    let idx = self.spans.len();
+                    self.spans.push(Span {
+                        name: ev.name,
+                        tid,
+                        start_ns: ev.ts_ns,
+                        dur_ns: 0,
+                        depth: open.len() as u32,
+                        parent: open.last().copied(),
+                        args: args(ev),
+                    });
+                    open.push(idx);
+                }
+                KIND_END => match open.pop() {
+                    Some(idx) => {
+                        let span = &mut self.spans[idx];
+                        span.dur_ns = ev.ts_ns.saturating_sub(span.start_ns);
+                        span.args.extend_from_slice(&ev.args[..ev.nargs as usize]);
+                    }
+                    None => self.unmatched += 1,
+                },
+                KIND_COUNTER => self.counters.push(CounterSample {
+                    name: ev.name,
+                    tid,
+                    ts_ns: ev.ts_ns,
+                    value: ev.value,
+                }),
+                KIND_INSTANT => self.instants.push(InstantEvent {
+                    name: ev.name,
+                    tid,
+                    ts_ns: ev.ts_ns,
+                    args: args(ev),
+                }),
+                _ => unreachable!("unknown event kind"),
+            }
+        }
+        // Spans still open when the session finished: close them at the
+        // last timestamp seen on this thread so they stay visible.
+        for idx in open {
+            let span = &mut self.spans[idx];
+            span.dur_ns = last_ts.saturating_sub(span.start_ns);
+            self.unmatched += 1;
+        }
+    }
+
+    /// Serialises to Chrome trace-event JSON (the object form,
+    /// `{"traceEvents": [...]}`) loadable by `chrome://tracing` and
+    /// Perfetto. Spans become complete `"X"` events with microsecond
+    /// `ts`/`dur`, counters become `"C"` tracks, instants `"i"`, and
+    /// thread names `"M"` metadata.
+    pub fn to_chrome_json(&self) -> String {
+        let mut events: Vec<String> = Vec::new();
+        for (tid, name) in &self.threads {
+            let mut e = String::from(r#"{"name":"thread_name","ph":"M","pid":1,"tid":"#);
+            let _ = write!(e, "{tid},\"args\":{{\"name\":");
+            push_json_str(&mut e, name);
+            e.push_str("}}");
+            events.push(e);
+        }
+        for span in &self.spans {
+            let mut e = String::from("{\"name\":");
+            push_json_str(&mut e, span.name);
+            let _ = write!(
+                e,
+                ",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{:.3},\"dur\":{:.3}",
+                span.tid,
+                span.start_ns as f64 / 1e3,
+                span.dur_ns as f64 / 1e3
+            );
+            push_args(&mut e, &span.args);
+            e.push('}');
+            events.push(e);
+        }
+        for c in &self.counters {
+            let mut e = String::from("{\"name\":");
+            push_json_str(&mut e, c.name);
+            let _ = write!(
+                e,
+                ",\"ph\":\"C\",\"pid\":1,\"tid\":{},\"ts\":{:.3},\"args\":{{",
+                c.tid,
+                c.ts_ns as f64 / 1e3
+            );
+            push_json_str(&mut e, c.name);
+            let _ = write!(e, ":{}}}}}", c.value);
+            events.push(e);
+        }
+        for i in &self.instants {
+            let mut e = String::from("{\"name\":");
+            push_json_str(&mut e, i.name);
+            let _ = write!(
+                e,
+                ",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":{},\"ts\":{:.3}",
+                i.tid,
+                i.ts_ns as f64 / 1e3
+            );
+            push_args(&mut e, &i.args);
+            e.push('}');
+            events.push(e);
+        }
+        let mut out = String::from("{\"traceEvents\":[\n");
+        out.push_str(&events.join(",\n"));
+        let _ = write!(
+            out,
+            "\n],\"displayTimeUnit\":\"ms\",\"gmcDroppedEvents\":{}}}\n",
+            self.dropped
+        );
+        out
+    }
+
+    /// Per-span-name latency statistics: count, total and p50/p99 from
+    /// [`LogHistogram`]s, name-sorted.
+    pub fn latency_stats(&self) -> Vec<(String, LogHistogram)> {
+        let mut by_name: BTreeMap<&str, LogHistogram> = BTreeMap::new();
+        for span in &self.spans {
+            by_name.entry(span.name).or_default().record(span.dur_ns);
+        }
+        by_name
+            .into_iter()
+            .map(|(name, hist)| (name.to_string(), hist))
+            .collect()
+    }
+
+    /// Renders the per-kernel latency table as Markdown.
+    pub fn latency_table_markdown(&self) -> String {
+        render_latency_table(&self.latency_stats(), self.dropped)
+    }
+
+    /// Flamegraph-style folded stacks: one `path;to;span value` line per
+    /// distinct call path, where `value` is *self* nanoseconds (span
+    /// duration minus child durations). Feed to any flamegraph renderer.
+    pub fn folded_stacks(&self) -> String {
+        let mut child_ns = vec![0u64; self.spans.len()];
+        for span in &self.spans {
+            if let Some(parent) = span.parent {
+                child_ns[parent] += span.dur_ns;
+            }
+        }
+        let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+        for (idx, span) in self.spans.iter().enumerate() {
+            let self_ns = span.dur_ns.saturating_sub(child_ns[idx]);
+            let mut path = vec![span.name];
+            let mut cursor = span.parent;
+            while let Some(p) = cursor {
+                path.push(self.spans[p].name);
+                cursor = self.spans[p].parent;
+            }
+            path.reverse();
+            *folded.entry(path.join(";")).or_default() += self_ns;
+        }
+        let mut out = String::new();
+        for (path, ns) in folded {
+            let _ = writeln!(out, "{path} {ns}");
+        }
+        out
+    }
+}
+
+/// Renders a latency table from per-name histograms of nanosecond
+/// durations. Shared by [`Timeline::latency_table_markdown`] and the
+/// `gmc-report trace` path that rebuilds histograms from a saved file.
+pub fn render_latency_table(stats: &[(String, LogHistogram)], dropped: usize) -> String {
+    let mut out = String::from(
+        "| span | count | total ms | mean µs | p50 µs | p99 µs | max µs |\n\
+         |---|---:|---:|---:|---:|---:|---:|\n",
+    );
+    let us = |ns: u64| ns as f64 / 1e3;
+    for (name, hist) in stats {
+        let n = hist.count().max(1);
+        let _ = writeln!(
+            out,
+            "| {} | {} | {:.3} | {:.2} | {:.2} | {:.2} | {:.2} |",
+            name,
+            hist.count(),
+            hist.sum() as f64 / 1e6,
+            us(hist.sum() / n),
+            us(hist.quantile(0.5)),
+            us(hist.quantile(0.99)),
+            us(hist.max()),
+        );
+    }
+    if dropped > 0 {
+        let _ = writeln!(
+            out,
+            "\n> {dropped} event(s) dropped to ring overflow; raise `GMC_TRACE_BUFFER`."
+        );
+    }
+    out
+}
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_args(out: &mut String, args: &[(&'static str, i64)]) {
+    if args.is_empty() {
+        return;
+    }
+    out.push_str(",\"args\":{");
+    for (i, (k, v)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_json_str(out, k);
+        let _ = write!(out, ":{v}");
+    }
+    out.push('}');
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::TraceSession;
+
+    fn sample_timeline() -> super::Timeline {
+        let session = TraceSession::new();
+        let tracer = session.tracer();
+        {
+            let _solve = tracer.span_with("solve", &[("n", 6)]);
+            for i in 0..3 {
+                let mut level = tracer.span_with("level", &[("k", i)]);
+                level.arg("emitted", 10 * i);
+            }
+            tracer.counter("live_bytes", 4096);
+            tracer.instant("oom", &[("bytes", 1 << 20)]);
+        }
+        session.finish()
+    }
+
+    #[test]
+    fn chrome_json_has_required_fields() {
+        let json = sample_timeline().to_chrome_json();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        for needle in [
+            "\"ph\":\"X\"",
+            "\"ph\":\"C\"",
+            "\"ph\":\"i\"",
+            "\"ph\":\"M\"",
+            "\"ts\":",
+            "\"dur\":",
+            "\"pid\":1",
+            "\"tid\":",
+            "\"name\":\"level\"",
+            "\"emitted\":20",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in:\n{json}");
+        }
+    }
+
+    #[test]
+    fn latency_table_lists_each_span_name_once() {
+        let table = sample_timeline().latency_table_markdown();
+        assert_eq!(table.matches("| level |").count(), 1);
+        assert_eq!(table.matches("| solve |").count(), 1);
+        assert!(table.contains("p50"));
+        assert!(table.contains("p99"));
+    }
+
+    #[test]
+    fn folded_stacks_use_full_paths_and_self_time() {
+        let timeline = sample_timeline();
+        let folded = timeline.folded_stacks();
+        assert!(folded.contains("solve;level "));
+        assert!(folded.lines().any(|l| l.starts_with("solve ")));
+        // Total folded self-time equals total span self-time (here: the
+        // root's duration, since children are fully contained).
+        let total: u64 = folded
+            .lines()
+            .filter_map(|l| l.rsplit(' ').next()?.parse::<u64>().ok())
+            .sum();
+        let root = timeline.spans.iter().find(|s| s.name == "solve").unwrap();
+        assert_eq!(total, root.dur_ns);
+    }
+
+    #[test]
+    fn unmatched_spans_are_counted_not_lost() {
+        let session = TraceSession::new();
+        let tracer = session.tracer();
+        let open = tracer.span("left_open");
+        drop(tracer.span("closed"));
+        let timeline = session.finish();
+        assert_eq!(timeline.spans.len(), 2);
+        assert_eq!(timeline.unmatched, 1);
+        drop(open);
+    }
+}

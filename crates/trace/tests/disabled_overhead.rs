@@ -1,0 +1,65 @@
+//! Disabled tracing must be free: no events, no allocations. Runs as its
+//! own integration-test binary so the counting global allocator sees only
+//! this test.
+
+use gmc_trace::{TraceSession, Tracer};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+#[test]
+fn disabled_tracing_records_no_events_and_allocates_nothing() {
+    // A live session alongside, so "disabled" is tested against the same
+    // process state an instrumented-but-untraced run has.
+    let session = TraceSession::new();
+    let disabled = Tracer::disabled();
+    let finished_handle = {
+        let s = TraceSession::new();
+        let t = s.tracer();
+        drop(s.finish());
+        t // a tracer whose session has finished: must also be free
+    };
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for i in 0..10_000i64 {
+        let mut span = disabled.span_with("kernel", &[("n", i)]);
+        span.arg("emitted", i);
+        drop(span);
+        disabled.instant("event", &[("i", i)]);
+        disabled.counter("bytes", i);
+        drop(finished_handle.span("kernel"));
+        finished_handle.counter("bytes", i);
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "disabled tracing must not allocate on the recording path"
+    );
+
+    let timeline = session.finish();
+    assert!(
+        timeline.spans.is_empty(),
+        "no spans leak from disabled tracers"
+    );
+    assert!(timeline.counters.is_empty());
+    assert!(timeline.instants.is_empty());
+    assert_eq!(timeline.dropped, 0);
+}

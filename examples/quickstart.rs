@@ -4,10 +4,15 @@
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
+//!
+//! Set `GMC_TRACE=trace.json` to record a Chrome-trace timeline of the
+//! solve (open it in Perfetto, or run `gmc-report trace trace.json` for a
+//! per-kernel latency table).
 
 use gpu_max_clique::prelude::*;
 
 fn main() {
+    let env_trace = gpu_max_clique::trace::EnvTrace::from_env();
     // A small graph: a triangle {0,1,2} attached to a 4-clique {2,3,4,5}.
     let graph = Csr::from_edges(
         6,
@@ -33,9 +38,20 @@ fn main() {
     // A virtual GPU with default parallelism and unlimited memory; real runs
     // would set a byte budget (see the windowed_large_graph example).
     let device = Device::unlimited();
-    let result = MaxCliqueSolver::new(device)
-        .solve(&graph)
-        .expect("small graph fits trivially");
+    let mut solver = MaxCliqueSolver::new(device);
+    if let Some(t) = &env_trace {
+        solver = solver.trace(t.tracer());
+    }
+    let result = solver.solve(&graph).expect("small graph fits trivially");
+    if let Some(t) = env_trace {
+        let (path, timeline) = t.finish().expect("trace file is writable");
+        println!(
+            "trace: wrote {} spans to {}; render with `gmc-report trace {}`",
+            timeline.spans.len(),
+            path.display(),
+            path.display()
+        );
+    }
 
     println!("clique number ω = {}", result.clique_number);
     println!("maximum cliques ({}):", result.multiplicity());

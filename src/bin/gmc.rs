@@ -230,8 +230,27 @@ fn cmd_solve(args: &[String]) -> ExitCode {
     };
     let device = Device::new(workers, budget);
 
+    // GMC_TRACE=<path> records every launch/phase span and writes a
+    // Chrome-trace JSON file; render it with `gmc-report trace <path>`.
+    let env_trace = gpu_max_clique::trace::EnvTrace::from_env();
+    if let Some(t) = &env_trace {
+        config.trace = t.tracer();
+    }
+
     let solver = MaxCliqueSolver::with_config(device, config);
-    let result = match solver.solve(&graph) {
+    let solve_result = solver.solve(&graph);
+    if let Some(t) = env_trace {
+        match t.finish() {
+            Ok((path, timeline)) => eprintln!(
+                "trace: wrote {} spans to {}; render with `gmc-report trace {}`",
+                timeline.spans.len(),
+                path.display(),
+                path.display()
+            ),
+            Err(e) => eprintln!("trace: could not write GMC_TRACE file: {e}"),
+        }
+    }
+    let result = match solve_result {
         Ok(r) => r,
         Err(SolveError::DeviceOom(oom)) => {
             eprintln!(

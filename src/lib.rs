@@ -10,6 +10,8 @@
 //! for details:
 //!
 //! * [`dpp`] — virtual-GPU executor, CUB-style primitives, device memory.
+//! * [`trace`] — runtime-gated tracing/profiling: per-worker event rings,
+//!   Chrome-trace/Perfetto JSON, latency tables, folded stacks.
 //! * [`graph`] — CSR graphs, loaders, generators, k-core decomposition.
 //! * [`cliquelist`] — the paper's clique-list data structure (§IV-B).
 //! * [`heuristic`] — greedy lower-bound heuristics (§IV-A, Algorithm 1).
@@ -44,6 +46,7 @@ pub use gmc_graph as graph;
 pub use gmc_heuristic as heuristic;
 pub use gmc_mce as mce;
 pub use gmc_pmc as pmc;
+pub use gmc_trace as trace;
 
 /// Commonly used items in one import.
 pub mod prelude {
@@ -55,4 +58,5 @@ pub mod prelude {
         SolverConfig, WindowConfig, WindowOrdering,
     };
     pub use gmc_pmc::{MaximalCliques, ParallelBranchBound, ReferenceEnumerator};
+    pub use gmc_trace::{TraceSession, Tracer};
 }

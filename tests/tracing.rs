@@ -1,0 +1,90 @@
+//! Tracing integration: a traced solve with parallel windows produces a
+//! complete, well-nested timeline with events from every worker thread.
+
+use gpu_max_clique::graph::generators;
+use gpu_max_clique::prelude::*;
+use std::collections::BTreeSet;
+
+/// End of a span on its thread's clock.
+fn end_ns(s: &gpu_max_clique::trace::Span) -> u64 {
+    s.start_ns + s.dur_ns
+}
+
+#[test]
+fn traced_parallel_windowed_solve_is_well_nested_per_worker() {
+    let graph = generators::gnp(400, 0.05, 7);
+    let session = TraceSession::new();
+
+    let mut window = WindowConfig::with_size(32);
+    window.parallel_windows = 4;
+    let config = SolverConfig {
+        window: Some(window),
+        trace: session.tracer(),
+        ..Default::default()
+    };
+
+    let result = MaxCliqueSolver::with_config(Device::unlimited(), config)
+        .solve(&graph)
+        .expect("solve fits in unlimited memory");
+    assert!(result.clique_number >= 2);
+
+    let timeline = session.finish();
+    assert_eq!(timeline.dropped, 0, "no events lost to ring overflow");
+    assert_eq!(timeline.unmatched, 0, "every begin paired with an end");
+    assert!(!timeline.spans.is_empty());
+
+    // The solver phases and the per-window spans are all present.
+    let names: BTreeSet<&str> = timeline.spans.iter().map(|s| s.name).collect();
+    for expected in ["solve", "setup", "windowed_search", "window"] {
+        assert!(
+            names.contains(expected),
+            "missing span `{expected}`: {names:?}"
+        );
+    }
+
+    // Parallel windows run on their own OS threads, each with its own ring.
+    let tids: BTreeSet<u64> = timeline.spans.iter().map(|s| s.tid).collect();
+    assert!(
+        tids.len() > 1,
+        "expected spans from more than one thread, got {tids:?}"
+    );
+
+    // Per thread, spans appear in start order (ring record order).
+    for &tid in &tids {
+        let mut last_start = 0u64;
+        for s in timeline.spans.iter().filter(|s| s.tid == tid) {
+            assert!(s.start_ns >= last_start, "per-thread starts are monotonic");
+            last_start = s.start_ns;
+        }
+    }
+
+    // Nesting: children lie inside their parent on the same thread, exactly
+    // one level deeper; top-level spans have depth 0.
+    for s in &timeline.spans {
+        match s.parent {
+            Some(p) => {
+                let parent = &timeline.spans[p];
+                assert_eq!(parent.tid, s.tid, "parent on the same thread");
+                assert_eq!(s.depth, parent.depth + 1);
+                assert!(parent.start_ns <= s.start_ns, "child starts inside parent");
+                assert!(end_ns(s) <= end_ns(parent), "child ends inside parent");
+            }
+            None => assert_eq!(s.depth, 0, "parentless spans are top-level"),
+        }
+    }
+}
+
+#[test]
+fn untraced_solve_records_nothing_into_a_live_session() {
+    // A solver whose config tracer is disabled must not touch a session
+    // that exists in the same process.
+    let session = TraceSession::new();
+    let graph = generators::gnp(100, 0.05, 3);
+    MaxCliqueSolver::new(Device::unlimited())
+        .solve(&graph)
+        .expect("solve fits");
+    let timeline = session.finish();
+    assert!(timeline.spans.is_empty());
+    assert!(timeline.counters.is_empty());
+    assert!(timeline.instants.is_empty());
+}
