@@ -15,6 +15,9 @@
 //! 8. Fused vs unfused expansion pipeline (record-and-replay bitmasks,
 //!    bound-directed count walk, single-pass scan, arena scratch — vs the
 //!    paper-literal count → scan → re-walk baseline).
+//! 9. Sublist-local bitmaps off / auto / on: the word-parallel tail
+//!    intersection's probe savings vs its CSR build cost on the fused
+//!    pipeline.
 //!
 //! A representative cross-category slice of the corpus keeps the runtime
 //! manageable.
@@ -23,8 +26,8 @@ use gmc_bench::impl_to_json;
 use gmc_bench::{load_corpus, print_table, run_solver, save_json, BenchEnv, RunOutcome};
 use gmc_heuristic::HeuristicKind;
 use gmc_mce::{
-    CandidateOrder, EdgeIndexKind, OrientationRule, SolverConfig, SublistBound, WindowConfig,
-    WindowOrdering,
+    CandidateOrder, EdgeIndexKind, LocalBitsMode, OrientationRule, SolverConfig, SublistBound,
+    WindowConfig, WindowOrdering,
 };
 
 struct AblationRecord {
@@ -34,6 +37,7 @@ struct AblationRecord {
     early_exit: Vec<TimingRow>,
     edge_index: Vec<EdgeIndexRow>,
     fused_pipeline: Vec<FusedRow>,
+    local_bits: Vec<LocalBitsRow>,
 }
 
 impl_to_json!(AblationRecord {
@@ -42,7 +46,26 @@ impl_to_json!(AblationRecord {
     window_ordering,
     early_exit,
     edge_index,
-    fused_pipeline
+    fused_pipeline,
+    local_bits
+});
+
+struct LocalBitsRow {
+    dataset: String,
+    mode: String,
+    ms: Option<f64>,
+    queries: Option<u64>,
+    probes_avoided: Option<u64>,
+    rows_built: Option<u64>,
+}
+
+impl_to_json!(LocalBitsRow {
+    dataset,
+    mode,
+    ms,
+    queries,
+    probes_avoided,
+    rows_built
 });
 
 struct FusedRow {
@@ -305,8 +328,10 @@ fn main() {
         ] {
             use gmc_graph::EdgeOracle;
             let footprint = match kind {
-                EdgeIndexKind::Bitset => gmc_graph::BitMatrix::build(&d.graph).footprint_bytes(),
-                EdgeIndexKind::Hash => gmc_graph::HashAdjacency::build(&d.graph).footprint_bytes(),
+                EdgeIndexKind::Bitset => {
+                    gmc_graph::BitMatrix::footprint_for(d.graph.num_vertices())
+                }
+                EdgeIndexKind::Hash => gmc_graph::HashAdjacency::footprint_for(d.graph.num_edges()),
                 _ => d.graph.footprint_bytes(),
             };
             let device = env.device();
@@ -461,6 +486,64 @@ fn main() {
             .collect::<Vec<_>>(),
     );
 
+    // 9. Sublist-local bitmaps: probe savings vs build cost on the fused
+    // pipeline (word-parallel tail intersection, DESIGN.md §III-3).
+    let mut local_bits_rows = Vec::new();
+    for d in &slice {
+        for (name, mode) in [
+            ("off", LocalBitsMode::Off),
+            ("auto", LocalBitsMode::Auto),
+            ("on", LocalBitsMode::On),
+        ] {
+            let device = env.device();
+            let outcome = run_solver(
+                &device,
+                &d.graph,
+                SolverConfig {
+                    heuristic: HeuristicKind::MultiDegree,
+                    fused: true,
+                    local_bits: mode,
+                    ..SolverConfig::default()
+                },
+            )
+            .expect("runs");
+            let (ms, queries, probes_avoided, rows_built) = match outcome {
+                RunOutcome::Solved(r) => (
+                    Some(r.total_ms),
+                    Some(r.oracle_queries),
+                    Some(r.bitmap_probes_avoided),
+                    Some(r.bitmap_rows),
+                ),
+                RunOutcome::Oom => (None, None, None, None),
+            };
+            local_bits_rows.push(LocalBitsRow {
+                dataset: d.name().to_string(),
+                mode: name.to_string(),
+                ms,
+                queries,
+                probes_avoided,
+                rows_built,
+            });
+        }
+    }
+    println!("\n-- Sublist-local bitmaps: off / auto / on (word-parallel tails) --");
+    print_table(
+        &["Dataset", "Mode", "ms", "Queries", "Avoided", "Rows"],
+        &local_bits_rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.dataset.clone(),
+                    r.mode.clone(),
+                    fmt_ms(r.ms),
+                    r.queries.map_or("OOM".into(), |q| q.to_string()),
+                    r.probes_avoided.map_or("OOM".into(), |q| q.to_string()),
+                    r.rows_built.map_or("OOM".into(), |q| q.to_string()),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
     save_json(
         &env,
         "ablations",
@@ -471,6 +554,7 @@ fn main() {
             early_exit: early_rows,
             edge_index: edge_index_rows,
             fused_pipeline: fused_rows,
+            local_bits: local_bits_rows,
         },
     );
 }

@@ -83,6 +83,7 @@ const SECTIONS: &[(&str, SectionRenderer)] = &[
     ("fig4_speedup_vs_pmc", render_fig4),
     ("fig6_window_memory", render_fig6),
     ("warp_divergence", render_divergence),
+    ("local_bits", render_local_bits),
 ];
 
 fn load(dir: &Path, name: &str) -> Option<Result<Json, String>> {
@@ -213,6 +214,37 @@ fn render_divergence(out: &mut String, value: &Json) {
     );
 }
 
+fn render_local_bits(out: &mut String, value: &Json) {
+    let _ = writeln!(out, "## §III-3 — sublist-local bitmaps (per category)\n");
+    let _ = writeln!(
+        out,
+        "| Category | Scalar probes | Bitmap probes | Saved | Auto rows |"
+    );
+    let _ = writeln!(out, "|---|---|---|---|---|");
+    // Aggregate the per-dataset sweep rows by corpus category.
+    let mut by_cat: std::collections::BTreeMap<String, (u64, u64, u64)> =
+        std::collections::BTreeMap::new();
+    for row in value.as_array().into_iter().flatten() {
+        let cat = row["category"].as_str().unwrap_or("?").to_string();
+        let entry = by_cat.entry(cat).or_default();
+        entry.0 += row["scalar_queries"].as_u64().unwrap_or(0);
+        entry.1 += row["on_queries"].as_u64().unwrap_or(0);
+        entry.2 += row["auto_rows"].as_u64().unwrap_or(0);
+    }
+    for (cat, (scalar, on, auto_rows)) in &by_cat {
+        let saved = if *scalar == 0 {
+            0.0
+        } else {
+            100.0 * (1.0 - *on as f64 / *scalar as f64)
+        };
+        let _ = writeln!(
+            out,
+            "| {cat} | {scalar} | {on} | {saved:.1}% | {auto_rows} |"
+        );
+    }
+    let _ = writeln!(out);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -292,6 +324,34 @@ mod tests {
         let path = dir.join("not_a_trace.json");
         std::fs::write(&path, r#"{"rows":[]}"#).unwrap();
         assert!(render_trace_file(&path).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn renders_local_bits_category_aggregates() {
+        let dir = temp_dir("lb");
+        std::fs::write(
+            dir.join("local_bits.json"),
+            r#"[{"dataset":"socfb-campus-01","category":"socfb","scalar_queries":1000,
+                 "auto_queries":1000,"auto_avoided":0,"auto_rows":0,"on_queries":100,
+                 "on_avoided":900,"on_reduction_pct":90.0},
+                {"dataset":"socfb-campus-02","category":"socfb","scalar_queries":3000,
+                 "auto_queries":2500,"auto_avoided":500,"auto_rows":64,"on_queries":300,
+                 "on_avoided":2700,"on_reduction_pct":90.0},
+                {"dataset":"road-grid-01","category":"road","scalar_queries":500,
+                 "auto_queries":500,"auto_avoided":0,"auto_rows":0,"on_queries":500,
+                 "on_avoided":0,"on_reduction_pct":0.0}]"#,
+        )
+        .unwrap();
+        let report = render_report(&dir);
+        assert!(
+            report.contains("| socfb | 4000 | 400 | 90.0% | 64 |"),
+            "{report}"
+        );
+        assert!(
+            report.contains("| road | 500 | 500 | 0.0% | 0 |"),
+            "{report}"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

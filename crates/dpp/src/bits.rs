@@ -1,0 +1,148 @@
+//! Word-level bitmask helpers for 64-wide set intersection.
+//!
+//! The fused expansion kernels treat a sublist-local adjacency row as a
+//! little-endian bit vector packed into `u64` words (bit `b` of word `w`
+//! is element `64·w + b`). These helpers are the handful of primitives the
+//! kernels need to slice such vectors at arbitrary bit offsets: a GPU
+//! implementation would spell them `__popc`/funnel-shift; here they compile
+//! to `POPCNT`/`SHRD` on the host.
+
+/// Mask selecting bit positions `>= bit` within one word (`bit` in
+/// `0..=64`; `64` selects nothing).
+#[inline]
+pub fn suffix_mask(bit: u32) -> u64 {
+    if bit >= 64 {
+        0
+    } else {
+        u64::MAX << bit
+    }
+}
+
+/// Mask selecting bit positions `< bit` within one word (`bit` in
+/// `0..=64`; `64` selects everything).
+#[inline]
+pub fn prefix_mask(bit: u32) -> u64 {
+    !suffix_mask(bit)
+}
+
+/// Population count of the bits at positions `>= from_bit` across `words`
+/// (the masked-suffix popcount the bound-directed pruning test uses).
+#[inline]
+pub fn count_ones_from(words: &[u64], from_bit: usize) -> usize {
+    let first = from_bit / 64;
+    if first >= words.len() {
+        return 0;
+    }
+    let mut count = (words[first] & suffix_mask((from_bit % 64) as u32)).count_ones() as usize;
+    for &w in &words[first + 1..] {
+        count += w.count_ones() as usize;
+    }
+    count
+}
+
+/// Reads the 64 bits starting at `bit_offset` as one word — the funnel
+/// shift that realigns a bitmap row to an arbitrary start position. Bits
+/// past the end of `words` read as zero.
+#[inline]
+pub fn read_word_at(words: &[u64], bit_offset: usize) -> u64 {
+    let word = bit_offset / 64;
+    let shift = (bit_offset % 64) as u32;
+    let lo = words.get(word).copied().unwrap_or(0);
+    if shift == 0 {
+        return lo;
+    }
+    let hi = words.get(word + 1).copied().unwrap_or(0);
+    (lo >> shift) | (hi << (64 - shift))
+}
+
+/// Position (0-indexed) of the `n`-th zero bit (1-indexed `n`) among the
+/// first `len_bits` bits of `words`, or `None` when fewer than `n` zeros
+/// exist. Bits past `words.len() * 64` count as zeros up to `len_bits`.
+#[inline]
+pub fn nth_zero(words: &[u64], len_bits: usize, n: usize) -> Option<usize> {
+    if n == 0 {
+        return None;
+    }
+    let mut remaining = n;
+    let mut bit = 0usize;
+    while bit < len_bits {
+        let span = (len_bits - bit).min(64);
+        let word = !read_word_at(words, bit) & prefix_mask(span as u32);
+        let zeros = word.count_ones() as usize;
+        if zeros >= remaining {
+            // Select the `remaining`-th set bit of the inverted word by
+            // peeling the lowest set bit.
+            let mut w = word;
+            for _ in 1..remaining {
+                w &= w - 1;
+            }
+            return Some(bit + w.trailing_zeros() as usize);
+        }
+        remaining -= zeros;
+        bit += span;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suffix_and_prefix_masks_partition_the_word() {
+        assert_eq!(suffix_mask(0), u64::MAX);
+        assert_eq!(suffix_mask(64), 0);
+        assert_eq!(prefix_mask(0), 0);
+        assert_eq!(prefix_mask(64), u64::MAX);
+        for bit in 0..=64 {
+            assert_eq!(suffix_mask(bit) ^ prefix_mask(bit), u64::MAX, "bit {bit}");
+            assert_eq!(suffix_mask(bit) & prefix_mask(bit), 0, "bit {bit}");
+        }
+    }
+
+    /// Reference implementation over an explicit bit vector.
+    fn bits_of(words: &[u64], len: usize) -> Vec<bool> {
+        (0..len)
+            .map(|b| words.get(b / 64).is_some_and(|w| (w >> (b % 64)) & 1 == 1))
+            .collect()
+    }
+
+    #[test]
+    fn count_ones_from_matches_reference() {
+        let words = [0xDEAD_BEEF_0123_4567u64, 0xFFFF_0000_FFFF_0000, 0x1];
+        let bits = bits_of(&words, 192);
+        for from in [0, 1, 63, 64, 65, 100, 127, 128, 191, 192, 500] {
+            let expected = bits.iter().skip(from).filter(|&&b| b).count();
+            assert_eq!(count_ones_from(&words, from), expected, "from {from}");
+        }
+    }
+
+    #[test]
+    fn read_word_at_realigns_across_word_boundaries() {
+        let words = [0x0123_4567_89AB_CDEFu64, 0xFEDC_BA98_7654_3210];
+        assert_eq!(read_word_at(&words, 0), words[0]);
+        assert_eq!(read_word_at(&words, 64), words[1]);
+        assert_eq!(read_word_at(&words, 4), (words[0] >> 4) | (words[1] << 60));
+        // Past the end: zero-padded.
+        assert_eq!(read_word_at(&words, 128), 0);
+        assert_eq!(read_word_at(&words, 100), words[1] >> 36);
+    }
+
+    #[test]
+    fn nth_zero_matches_reference() {
+        let words = [0b1011_0101u64, u64::MAX, 0];
+        let len = 130;
+        let bits = bits_of(&words, len);
+        let zeros: Vec<usize> = (0..len).filter(|&b| !bits[b]).collect();
+        for n in 1..=zeros.len() {
+            assert_eq!(nth_zero(&words, len, n), Some(zeros[n - 1]), "n {n}");
+        }
+        assert_eq!(nth_zero(&words, len, zeros.len() + 1), None);
+        assert_eq!(nth_zero(&words, len, 0), None);
+        // A fully-set prefix has its zeros only past `len_bits`.
+        assert_eq!(nth_zero(&[u64::MAX], 64, 1), None);
+        assert_eq!(nth_zero(&[u64::MAX], 32, 1), None);
+        // Implicit zero words beyond the slice still count.
+        assert_eq!(nth_zero(&[u64::MAX], 70, 3), Some(66));
+    }
+}

@@ -13,9 +13,11 @@ use std::marker::PhantomData;
 /// # Safety contract
 ///
 /// Callers of [`SharedSlice::write`] must guarantee that no two virtual
-/// threads write the same index during one launch, and that nothing reads an
-/// index while it may be written. All launches are bulk-synchronous, so
-/// writes from one launch are visible to subsequent launches.
+/// threads write the same index during one launch, and that no *other*
+/// thread reads an index while it may be written (the owning thread may
+/// freely read-modify-write its own indices, as CUDA threads do). All
+/// launches are bulk-synchronous, so writes from one launch are visible to
+/// subsequent launches.
 pub struct SharedSlice<'a, T> {
     ptr: *mut T,
     len: usize,
@@ -53,8 +55,8 @@ impl<'a, T> SharedSlice<'a, T> {
     /// Writes `value` at `index`.
     ///
     /// # Safety
-    /// `index < len()`, and no other virtual thread writes or reads `index`
-    /// during this launch.
+    /// `index < len()`, and no *other* virtual thread writes or reads
+    /// `index` during this launch.
     #[inline]
     pub unsafe fn write(&self, index: usize, value: T) {
         debug_assert!(index < self.len);
@@ -64,8 +66,8 @@ impl<'a, T> SharedSlice<'a, T> {
     /// Reads the element at `index`.
     ///
     /// # Safety
-    /// `index < len()`, and no virtual thread writes `index` during this
-    /// launch.
+    /// `index < len()`, and no *other* virtual thread writes `index` during
+    /// this launch (reading back this thread's own writes is fine).
     #[inline]
     pub unsafe fn read(&self, index: usize) -> T
     where

@@ -15,8 +15,15 @@
 //! All three implement [`EdgeOracle`], so the solver can be parameterised
 //! over the lookup strategy and the trade-off measured (see the `ablations`
 //! bench target).
+//!
+//! A fourth structure sits between the global bitset and the per-pair
+//! oracles: the *sublist-local* adjacency bitmap ([`LocalBitmap`] /
+//! [`local_row_intersect`]) the fused expansion kernels build per BFS
+//! sublist, turning the tail intersection into word-wise shifts and
+//! popcounts without ever materialising the `n²` matrix.
 
 use crate::Csr;
+use gmc_dpp::{Executor, UninitSlice};
 
 /// Edge-membership oracle: the single operation the expansion kernels need.
 pub trait EdgeOracle: Sync {
@@ -51,22 +58,52 @@ pub struct BitMatrix {
 }
 
 impl BitMatrix {
-    /// Builds the matrix from a CSR graph.
-    pub fn build(graph: &Csr) -> Self {
+    /// Builds the matrix from a CSR graph as one executor launch: a virtual
+    /// thread per row streams that vertex's sorted adjacency list into
+    /// packed words (each word written exactly once), so the quadratic
+    /// setup cost lands on the device and in traces like every other
+    /// kernel.
+    pub fn build(exec: &Executor, graph: &Csr) -> Self {
         let n = graph.num_vertices();
         let words_per_row = n.div_ceil(64);
-        let mut bits = vec![0u64; n * words_per_row];
-        for v in 0..n as u32 {
-            let row = v as usize * words_per_row;
-            for &u in graph.neighbors(v) {
-                bits[row + (u as usize >> 6)] |= 1 << (u as usize & 63);
-            }
+        let mut bits = Vec::new();
+        {
+            let dst = UninitSlice::for_vec(&mut bits, n * words_per_row);
+            exec.for_each_indexed_named("bitmatrix_build_rows", n, |v| {
+                let row = v * words_per_row;
+                let mut word = 0u64;
+                let mut cur = 0usize;
+                for &u in graph.neighbors(v as u32) {
+                    let w = u as usize >> 6;
+                    while cur < w {
+                        // SAFETY: row `v` owns words `row..row + words_per_row`;
+                        // the cursor visits each exactly once.
+                        unsafe { dst.write(row + cur, word) };
+                        word = 0;
+                        cur += 1;
+                    }
+                    word |= 1 << (u as usize & 63);
+                }
+                for w in cur..words_per_row {
+                    // SAFETY: completes the row — the partial word, then
+                    // zeros — one write per slot.
+                    unsafe { dst.write(row + w, if w == cur { word } else { 0 }) };
+                }
+            });
         }
+        // SAFETY: the launch wrote every word of every row.
+        unsafe { bits.set_len(n * words_per_row) };
         Self {
             n,
             words_per_row,
             bits,
         }
+    }
+
+    /// Device footprint of a matrix over `n` vertices, computable *before*
+    /// building (so OOM can fail fast without materialising `n²/8` bytes).
+    pub fn footprint_for(n: usize) -> usize {
+        n * n.div_ceil(64) * std::mem::size_of::<u64>()
     }
 
     /// Number of vertices.
@@ -100,6 +137,152 @@ impl EdgeOracle for BitMatrix {
     }
 }
 
+/// Packs a sublist member for the local-bitmap builder: the vertex id in
+/// the high 32 bits — so sorting packed keys sorts by vertex — and the
+/// member's position within the sublist in the low 32 bits.
+#[inline]
+pub fn pack_member(vertex: u32, pos: u32) -> u64 {
+    (u64::from(vertex) << 32) | u64::from(pos)
+}
+
+/// The vertex id of a packed member key.
+#[inline]
+pub fn member_vertex(packed: u64) -> u32 {
+    (packed >> 32) as u32
+}
+
+/// The sublist position of a packed member key.
+#[inline]
+pub fn member_pos(packed: u64) -> u32 {
+    packed as u32
+}
+
+/// Threshold at which the row intersection switches from linear merge to
+/// galloping: when one side outnumbers the other by this factor, binary
+/// probes into the long side beat stepping through it.
+const GALLOP_RATIO: usize = 16;
+
+/// Fills one row of a sublist-local adjacency bitmap: calls `set(pos)` for
+/// every sublist member adjacent to the row's vertex. `neighbors` is the
+/// vertex's sorted CSR adjacency list; `members` is the sublist packed by
+/// [`pack_member`] and sorted (i.e. sorted by vertex id). The merge gallops
+/// whichever side is much longer, so a hub vertex costs
+/// `O(m log(d / m))` instead of `O(d)` — and makes **no** [`EdgeOracle`]
+/// probes at all.
+pub fn local_row_intersect(neighbors: &[u32], members: &[u64], mut set: impl FnMut(u32)) {
+    let mut i = 0usize; // cursor into neighbors
+    let mut j = 0usize; // cursor into members
+    while i < neighbors.len() && j < members.len() {
+        let rest_n = neighbors.len() - i;
+        let rest_m = members.len() - j;
+        if rest_n > GALLOP_RATIO * rest_m {
+            let v = member_vertex(members[j]);
+            i += gallop(&neighbors[i..], v, |&u| u);
+            if i < neighbors.len() && neighbors[i] == v {
+                set(member_pos(members[j]));
+                i += 1;
+            }
+            j += 1;
+        } else if rest_m > GALLOP_RATIO * rest_n {
+            let u = neighbors[i];
+            j += gallop(&members[j..], u, |&p| member_vertex(p));
+            if j < members.len() && member_vertex(members[j]) == u {
+                set(member_pos(members[j]));
+                j += 1;
+            }
+            i += 1;
+        } else {
+            let u = neighbors[i];
+            let v = member_vertex(members[j]);
+            match u.cmp(&v) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    set(member_pos(members[j]));
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Exponential search: the first index of `slice` whose key is `>= target`.
+fn gallop<T>(slice: &[T], target: u32, key: impl Fn(&T) -> u32) -> usize {
+    let mut bound = 1usize;
+    while bound < slice.len() && key(&slice[bound - 1]) < target {
+        bound *= 2;
+    }
+    let lo = bound / 2;
+    let hi = bound.min(slice.len());
+    lo + slice[lo..hi].partition_point(|x| key(x) < target)
+}
+
+/// A sublist-local adjacency bitmap: one `m`-bit row per sublist member,
+/// rows packed into `m.div_ceil(64)` words each. Row `r`, bit `c` is set
+/// iff members `r` and `c` are adjacent (the diagonal stays clear).
+///
+/// This owning builder is the reference form; the fused expansion kernels
+/// build the same rows directly into arena scratch via
+/// [`local_row_intersect`], one virtual thread per row.
+pub struct LocalBitmap {
+    m: usize,
+    words_per_row: usize,
+    words: Vec<u64>,
+}
+
+impl LocalBitmap {
+    /// Builds the bitmap for `members` (distinct vertices, any order) from
+    /// the graph's sorted adjacency lists.
+    pub fn build(graph: &Csr, members: &[u32]) -> Self {
+        let m = members.len();
+        let words_per_row = m.div_ceil(64);
+        let mut packed: Vec<u64> = members
+            .iter()
+            .enumerate()
+            .map(|(pos, &v)| pack_member(v, pos as u32))
+            .collect();
+        packed.sort_unstable();
+        let mut words = vec![0u64; m * words_per_row];
+        for (r, &v) in members.iter().enumerate() {
+            let row = &mut words[r * words_per_row..(r + 1) * words_per_row];
+            local_row_intersect(graph.neighbors(v), &packed, |pos| {
+                row[pos as usize / 64] |= 1 << (pos % 64);
+            });
+        }
+        Self {
+            m,
+            words_per_row,
+            words,
+        }
+    }
+
+    /// Number of members (bits per row).
+    pub fn len(&self) -> usize {
+        self.m
+    }
+
+    /// Whether the sublist is empty.
+    pub fn is_empty(&self) -> bool {
+        self.m == 0
+    }
+
+    /// Words per row.
+    pub fn words_per_row(&self) -> usize {
+        self.words_per_row
+    }
+
+    /// The packed words of row `r`.
+    pub fn row(&self, r: usize) -> &[u64] {
+        &self.words[r * self.words_per_row..(r + 1) * self.words_per_row]
+    }
+
+    /// Whether members `r` and `c` are adjacent.
+    pub fn bit(&self, r: usize, c: usize) -> bool {
+        (self.row(r)[c / 64] >> (c % 64)) & 1 == 1
+    }
+}
+
 /// Open-addressing hash set of edges, keyed on the ordered pair.
 ///
 /// A single flat table of 64-bit keys (`(min << 32) | max`), linear
@@ -116,10 +299,16 @@ pub struct HashAdjacency {
 const EMPTY: u64 = u64::MAX;
 
 impl HashAdjacency {
+    /// Device footprint of a table over `num_edges` edges, computable
+    /// *before* building (so OOM can fail fast).
+    pub fn footprint_for(num_edges: usize) -> usize {
+        (num_edges.max(1) * 2).next_power_of_two() * std::mem::size_of::<u64>()
+    }
+
     /// Builds the table from a CSR graph.
     pub fn build(graph: &Csr) -> Self {
         let edges = graph.num_edges();
-        let capacity = (edges.max(1) * 2).next_power_of_two();
+        let capacity = Self::footprint_for(edges) / std::mem::size_of::<u64>();
         let mask = capacity - 1;
         let mut table = vec![EMPTY; capacity];
         for v in 0..graph.num_vertices() as u32 {
@@ -179,8 +368,12 @@ mod tests {
     use super::*;
     use crate::generators;
 
+    fn exec() -> Executor {
+        Executor::new(2)
+    }
+
     fn oracles_agree(graph: &Csr) {
-        let bits = BitMatrix::build(graph);
+        let bits = BitMatrix::build(&exec(), graph);
         let hash = HashAdjacency::build(graph);
         let n = graph.num_vertices() as u32;
         for u in 0..n {
@@ -211,11 +404,11 @@ mod tests {
     fn bitmatrix_intersections() {
         // K4: any two vertices share the other two.
         let g = generators::complete(4);
-        let bits = BitMatrix::build(&g);
+        let bits = BitMatrix::build(&exec(), &g);
         assert_eq!(bits.intersection_size(0, 1), 2);
         // Path 0-1-2: endpoints share the middle.
         let p = Csr::from_edges(3, &[(0, 1), (1, 2)]);
-        let bits = BitMatrix::build(&p);
+        let bits = BitMatrix::build(&exec(), &p);
         assert_eq!(bits.intersection_size(0, 2), 1);
         assert_eq!(bits.intersection_size(0, 1), 0);
     }
@@ -224,13 +417,16 @@ mod tests {
     fn footprints_have_expected_shape() {
         let g = generators::gnp(256, 0.1, 7);
         let csr_bytes = g.footprint_bytes();
-        let bits = BitMatrix::build(&g).footprint_bytes();
+        let bits = BitMatrix::build(&exec(), &g).footprint_bytes();
         let hash = HashAdjacency::build(&g).footprint_bytes();
         // Bitset is n²/8 = 8 KiB regardless of density.
         assert_eq!(bits, 256 * 4 * 8);
         // Hash ~ 2|E| slots of 8 bytes, power of two.
         assert!(hash >= g.num_edges() * 16);
         assert!(csr_bytes > 0);
+        // The pre-build footprint formulas match what building charges.
+        assert_eq!(BitMatrix::footprint_for(g.num_vertices()), bits);
+        assert_eq!(HashAdjacency::footprint_for(g.num_edges()), hash);
     }
 
     #[test]
@@ -255,7 +451,81 @@ mod tests {
         let g = Csr::empty(4);
         let hash = HashAdjacency::build(&g);
         assert!(!hash.connected(0, 1));
-        let bits = BitMatrix::build(&g);
+        let bits = BitMatrix::build(&exec(), &g);
         assert!(!bits.connected(2, 3));
+    }
+
+    #[test]
+    fn parallel_bitmatrix_is_worker_count_invariant() {
+        let g = generators::gnp(130, 0.15, 9);
+        let reference = BitMatrix::build(&Executor::new(1), &g);
+        for workers in [2, 8] {
+            let bits = BitMatrix::build(&Executor::new(workers), &g);
+            assert_eq!(bits.bits, reference.bits, "workers {workers}");
+        }
+    }
+
+    #[test]
+    fn local_bitmap_matches_oracle_on_arbitrary_member_sets() {
+        let g = generators::gnp(80, 0.25, 11);
+        // Unsorted member slice, as deeper BFS levels produce.
+        let members: Vec<u32> = vec![17, 3, 42, 8, 77, 21, 5, 60, 33];
+        let local = LocalBitmap::build(&g, &members);
+        assert_eq!(local.len(), members.len());
+        for (r, &u) in members.iter().enumerate() {
+            for (c, &v) in members.iter().enumerate() {
+                assert_eq!(local.bit(r, c), g.has_edge(u, v), "({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn local_bitmap_spans_multiple_words() {
+        // 70 members of a complete graph: rows are 2 words, every off-
+        // diagonal bit set.
+        let g = generators::complete(70);
+        let members: Vec<u32> = (0..70).collect();
+        let local = LocalBitmap::build(&g, &members);
+        assert_eq!(local.words_per_row(), 2);
+        for r in 0..70 {
+            for c in 0..70 {
+                assert_eq!(local.bit(r, c), r != c, "({r},{c})");
+            }
+        }
+        assert!(LocalBitmap::build(&g, &[]).is_empty());
+    }
+
+    #[test]
+    fn galloping_intersect_agrees_with_linear_merge() {
+        // A hub whose adjacency list dwarfs the member slice, and vice
+        // versa, so both galloping arms execute.
+        let mut edges: Vec<(u32, u32)> = (1..2000).map(|v| (0, v)).collect();
+        edges.push((3, 7));
+        let g = Csr::from_edges(2000, &edges);
+        let members = [0u32, 3, 7, 500, 1999];
+        let local = LocalBitmap::build(&g, &members);
+        for (r, &u) in members.iter().enumerate() {
+            for (c, &v) in members.iter().enumerate() {
+                assert_eq!(local.bit(r, c), g.has_edge(u, v), "({u},{v})");
+            }
+        }
+        // Members far longer than a short adjacency list.
+        let many: Vec<u32> = (0..1500).collect();
+        let local = LocalBitmap::build(&g, &many);
+        for c in 1..1500 {
+            assert_eq!(local.bit(3, c), g.has_edge(3, c as u32), "(3,{c})");
+        }
+    }
+
+    #[test]
+    fn member_packing_round_trips() {
+        let p = pack_member(0xDEAD_BEEF, 42);
+        assert_eq!(member_vertex(p), 0xDEAD_BEEF);
+        assert_eq!(member_pos(p), 42);
+        // Sorting packed keys sorts by vertex id.
+        let mut keys = [pack_member(9, 0), pack_member(2, 1), pack_member(5, 2)];
+        keys.sort_unstable();
+        let order: Vec<u32> = keys.iter().map(|&k| member_vertex(k)).collect();
+        assert_eq!(order, [2, 5, 9]);
     }
 }

@@ -33,6 +33,9 @@ pub mod generators;
 pub mod io;
 pub mod kcore;
 
-pub use adjacency::{BitMatrix, EdgeOracle, HashAdjacency};
+pub use adjacency::{
+    local_row_intersect, member_pos, member_vertex, pack_member, BitMatrix, EdgeOracle,
+    HashAdjacency, LocalBitmap,
+};
 pub use builder::GraphBuilder;
 pub use csr::Csr;

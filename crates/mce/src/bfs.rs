@@ -34,12 +34,33 @@
 //!   unpruned sublist tail (repeating the count kernel's oracle queries),
 //!   fresh per-level allocations and the two-phase scan.
 //!
+//! The fused pipeline additionally carries a **sublist-local bitmap fast
+//! path** ([`SolverConfig::local_bits`]): before each count kernel the head
+//! level is segmented by sublist (boundaries fall out of the threaded
+//! tails), and every sublist that is long enough — and, under `Auto`,
+//! whose provable walk savings at this level's bound cover the build cost
+//! — gets an m×m sublist-local adjacency bitmap. Two
+//! launches build it with *zero* oracle probes: one sorts each such
+//! sublist's packed member keys, one builds each row by galloping the row
+//! vertex's sorted CSR neighbor list against the sorted member slice. The
+//! count kernel then derives entry `i`'s tail mask directly from its row —
+//! tail bit `b` is row bit `r + 1 + b` for local position `r`, so the
+//! inline word and every spill word are 64-wide funnel shifts of the row,
+//! the surviving count is one suffix popcount, and bound-directed pruning
+//! collapses to a popcount comparison. Scalar sublists in the same level
+//! walk exactly as before and the emit kernel is untouched, so the fast
+//! path is bit-identical to the scalar walk, spill layout included.
+//!
 //! Both pipelines count their `EdgeOracle::connected` calls exactly into
 //! [`ExpansionOutcome::oracle_queries`]. The unfused walks are fully
 //! deterministic, so their tally is computed analytically on the host; the
 //! fused count kernel records each pruned entry's truncated walk length in
 //! that entry's otherwise-dead mask slot, and the host folds the tally from
-//! there at zero hot-path cost.
+//! there at zero hot-path cost. Bitmap segments make no oracle calls at
+//! all; the probes the scalar walk *would* have made are reconstructed
+//! from the rows by the same rule and tallied into
+//! [`LocalBitsStats::probes_avoided`], so local-bits on/off query tallies
+//! always reconcile exactly.
 //!
 //! The loop ends when a level produces no entries; every entry of the last
 //! level is then a maximum clique (each entry of level `L` is a valid
@@ -47,11 +68,13 @@
 //! orientation makes its vertex order unique).
 //!
 //! [`SolverConfig::fused`]: crate::SolverConfig::fused
+//! [`SolverConfig::local_bits`]: crate::SolverConfig::local_bits
 
-use crate::arena::LevelArena;
+use crate::arena::{LevelArena, LocalSeg};
+use crate::config::LocalBitsMode;
 use gmc_cliquelist::{CliqueLevel, CliqueList};
-use gmc_dpp::{Device, DeviceOom, SharedSlice, UninitSlice};
-use gmc_graph::{Csr, EdgeOracle};
+use gmc_dpp::{bits, Device, DeviceOom, SharedSlice, UninitSlice};
+use gmc_graph::{local_row_intersect, pack_member, Csr, EdgeOracle};
 
 /// Result of expanding one clique list to exhaustion.
 #[derive(Debug)]
@@ -69,6 +92,37 @@ pub(crate) struct ExpansionOutcome {
     /// (count/output walks plus early-exit checks). The fused pipeline's
     /// saving over the unfused baseline shows up here.
     pub oracle_queries: u64,
+    /// Sublist-local bitmap fast-path counters (all zero when the path
+    /// never fired).
+    pub local_bits: LocalBitsStats,
+}
+
+/// Counters for the sublist-local bitmap fast path (fused pipeline only).
+///
+/// All three are exact, not sampled: `probes_avoided` is reconstructed from
+/// the bitmap rows with the same walk-length rule the scalar tally uses, so
+/// for any expansion `oracle_queries(bitmaps on) + probes_avoided ==
+/// oracle_queries(bitmaps off)`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LocalBitsStats {
+    /// Bitmap rows built across all levels — one per member of each
+    /// bitmap-covered sublist.
+    pub rows_built: u64,
+    /// Row words the count kernel scanned; each replaces up to 64 scalar
+    /// oracle probes with one shift/AND/popcount.
+    pub words_anded: u64,
+    /// Scalar `EdgeOracle::connected` probes the bitmap path made
+    /// unnecessary (what the scalar walk would have cost on those entries).
+    pub probes_avoided: u64,
+}
+
+impl LocalBitsStats {
+    /// Folds another tally (a level's, or a window's) into this one.
+    pub fn accumulate(&mut self, other: LocalBitsStats) {
+        self.rows_built += other.rows_built;
+        self.words_anded += other.words_anded;
+        self.probes_avoided += other.probes_avoided;
+    }
 }
 
 /// Largest head level for which the early-exit mutual-adjacency check is
@@ -79,14 +133,47 @@ const EARLY_EXIT_CHECK_LIMIT: usize = 512;
 /// tails spill whole `u64` words into the arena's side buffer.
 const INLINE_BITS: usize = 64;
 
+/// Sublists shorter than this never get a local bitmap, even when forced
+/// on: a single-entry sublist has no tail to intersect.
+const LOCAL_BITS_FORCED_MIN: usize = 2;
+
+/// `Auto` builds a bitmap only for sublists at least this long — below it
+/// the m²-bit payoff cannot recoup the build's sort-and-merge cost.
+const LOCAL_BITS_AUTO_MIN: usize = 32;
+
+/// `Auto` cost guard: measured cost of one edge-oracle probe relative to
+/// one CSR merge step of the row build (a binary-search probe is ~5 merge
+/// steps on this executor). The bitmap fires only when the walk it provably
+/// replaces, weighted by this ratio, covers the build's `Σ deg(member) + m²`
+/// merge-and-write work — see [`min_walk_lower_bound`].
+const LOCAL_BITS_PROBE_WEIGHT: usize = 5;
+
+/// Lower bound on the scalar probes a length-`m` sublist walks at bound
+/// `need`: the bound-directed walk of an entry with tail `t` stops right
+/// after its `t − need + 1`-th miss, so it performs at least
+/// `t − need + 1` probes when `t ≥ need` (and surviving entries walk the
+/// full `t ≥ need ≥ t − need + 1` anyway); entries with `t < need` may
+/// walk nothing. At `need == 0` every entry walks its full tail. Summing
+/// over the sublist's tails `0..m` gives a triangular number either way.
+fn min_walk_lower_bound(m: usize, need: usize) -> usize {
+    let span = if need == 0 {
+        m.saturating_sub(1)
+    } else {
+        m.saturating_sub(need)
+    };
+    span * (span + 1) / 2
+}
+
 /// Expands `level0` breadth-first until no further cliques exist, returning
 /// the cliques of the deepest level whose size reaches `min_target`.
 ///
 /// `min_target` is the pruning bound: branches that cannot reach a clique of
 /// at least this size are cut. For full enumeration pass `ω̄` (ties kept);
-/// for find-one-better pass `best + 1`. `fused` selects the pipeline (see
-/// the module docs); `arena` supplies recycled scratch and absorbs the
-/// retired levels' buffers on return, including the OOM path.
+/// for find-one-better pass `best + 1`. `fused` selects the pipeline and
+/// `local_bits` the sublist-bitmap fast path within it (see the module
+/// docs); `arena` supplies recycled scratch and absorbs the retired levels'
+/// buffers on return, including the OOM path. The graph backs the bitmap
+/// builds — all scalar connectivity goes through the oracle.
 #[allow(clippy::too_many_arguments)] // mirrors the solver's knobs 1:1
 pub(crate) fn expand<O: EdgeOracle + ?Sized>(
     device: &Device,
@@ -96,9 +183,9 @@ pub(crate) fn expand<O: EdgeOracle + ?Sized>(
     min_target: u32,
     early_exit_enabled: bool,
     fused: bool,
+    local_bits: LocalBitsMode,
     arena: &mut LevelArena,
 ) -> Result<ExpansionOutcome, DeviceOom> {
-    let _ = graph; // connectivity goes through the oracle; kept for debug asserts
     let mut list = CliqueList::new();
     let mut level_entries = vec![level0.len()];
     if level0.is_empty() {
@@ -108,21 +195,26 @@ pub(crate) fn expand<O: EdgeOracle + ?Sized>(
             level_entries,
             early_exit: false,
             oracle_queries: 0,
+            local_bits: LocalBitsStats::default(),
         });
     }
     list.push_level(level0);
 
     let mut queries = 0u64;
+    let mut local_stats = LocalBitsStats::default();
     let grown = if fused {
         grow_fused(
             device,
+            graph,
             oracle,
             &mut list,
             &mut level_entries,
             min_target,
             early_exit_enabled,
+            local_bits,
             arena,
             &mut queries,
+            &mut local_stats,
         )
     } else {
         grow_unfused(
@@ -151,6 +243,7 @@ pub(crate) fn expand<O: EdgeOracle + ?Sized>(
                 level_entries,
                 early_exit: true,
                 oracle_queries: queries,
+                local_bits: local_stats,
             }
         }
         Ok(None) => {
@@ -167,6 +260,7 @@ pub(crate) fn expand<O: EdgeOracle + ?Sized>(
                     level_entries,
                     early_exit: false,
                     oracle_queries: queries,
+                    local_bits: local_stats,
                 }
             } else {
                 ExpansionOutcome {
@@ -175,6 +269,7 @@ pub(crate) fn expand<O: EdgeOracle + ?Sized>(
                     level_entries,
                     early_exit: false,
                     oracle_queries: queries,
+                    local_bits: local_stats,
                 }
             }
         }
@@ -196,19 +291,23 @@ fn recycle(arena: &mut LevelArena, list: &mut CliqueList) {
 }
 
 /// The fused level loop: record-and-replay adjacency bitmasks, threaded
-/// sublist tails, single-pass scan, arena-recycled scratch. Returns the
+/// sublist tails, single-pass scan, arena-recycled scratch, and the
+/// sublist-local bitmap fast path when `local_bits` selects it. Returns the
 /// early-exit clique when that check fires, `None` when the level loop
 /// drains normally.
 #[allow(clippy::too_many_arguments)]
 fn grow_fused<O: EdgeOracle + ?Sized>(
     device: &Device,
+    graph: &Csr,
     oracle: &O,
     list: &mut CliqueList,
     level_entries: &mut Vec<usize>,
     min_target: u32,
     early_exit_enabled: bool,
+    local_bits: LocalBitsMode,
     arena: &mut LevelArena,
     queries: &mut u64,
+    local_stats: &mut LocalBitsStats,
 ) -> Result<Option<Vec<u32>>, DeviceOom> {
     let exec = device.exec();
     let tracer = exec.tracer();
@@ -253,16 +352,21 @@ fn grow_fused<O: EdgeOracle + ?Sized>(
             0
         };
 
+        // Segment the head level by sublist and plan which sublists get a
+        // local adjacency bitmap (see the module docs). An empty plan —
+        // mode off, or every sublist rejected — keeps the level on the
+        // plain scalar kernel with zero dispatch overhead.
+        let local_words = plan_local_segments(graph, vertex_id, arena, local_bits, need);
+        let local_active = local_words > 0;
+        if local_active {
+            build_local_bitmaps(device, graph, vertex_id, arena, local_words)?;
+        }
+
         // Fused COUNTCLIQUES: the single adjacency walk records both the
         // pruned count and the raw adjacency bitmask the emit kernel will
-        // replay. The walk is *bound-directed*: it runs only while
-        // `connected + remaining >= need`, so a hopeless entry stops at the
-        // first position where pruning is already certain (an entry whose
-        // whole tail is shorter than `need` makes no queries at all) — the
-        // truncated walk is safe because such an entry is zeroed by the
-        // pruning rule either way. A pruned entry's mask slot is dead (the
-        // emit kernel skips it), so the kernel stores the entry's actual
-        // query count there instead, keeping the host-side tally exact.
+        // replay (see `scalar_count_walk` for the walk's invariants).
+        // Entries of bitmap segments skip the walk entirely and derive
+        // their mask by shifting their bitmap row past their own position.
         // Spill words are assembled locally and each is stored exactly once
         // (bailing entries zero-fill the rest of their span), so the side
         // buffer needs no pre-zeroing.
@@ -272,49 +376,60 @@ fn grow_fused<O: EdgeOracle + ?Sized>(
             let counts_dst = UninitSlice::for_vec(&mut arena.counts, len);
             let masks_dst = UninitSlice::for_vec(&mut arena.masks, len);
             let spill_dst = UninitSlice::for_vec(&mut arena.spill, spill_total);
-            exec.for_each_indexed_fused_named("bfs_count_cliques_fused", len, |i| {
-                let t = tails[i] as usize;
-                let spill_base = if t > INLINE_BITS { spill_offsets[i] } else { 0 };
-                let spill_len = t.saturating_sub(INLINE_BITS).div_ceil(64);
-                let mut connected = 0usize;
-                let mut inline = 0u64;
-                let mut word = 0u64;
-                let mut flushed = 0usize;
-                let mut walked = 0usize;
-                while walked < t && connected + (t - walked) >= need {
-                    let b = walked;
-                    if oracle.connected(vertex_id[i], vertex_id[i + 1 + b]) {
-                        connected += 1;
-                        if b < INLINE_BITS {
-                            inline |= 1u64 << b;
-                        } else {
-                            word |= 1u64 << ((b - INLINE_BITS) % 64);
-                        }
+            if local_active {
+                let segs = &arena.segs;
+                let seg_of = &arena.seg_of;
+                let local_rows = &arena.local_rows;
+                exec.for_each_indexed_fused_named("bfs_count_cliques_local", len, |i| {
+                    let t = tails[i] as usize;
+                    let spill_base = if t > INLINE_BITS { spill_offsets[i] } else { 0 };
+                    let seg = &segs[seg_of[i] as usize];
+                    if seg.bitmap {
+                        let r = i - seg.start;
+                        let base = seg.rows_off + r * seg.words_per_row;
+                        let row = &local_rows[base..base + seg.words_per_row];
+                        bitmap_count_walk(
+                            row,
+                            r,
+                            i,
+                            t,
+                            need,
+                            spill_base,
+                            &counts_dst,
+                            &masks_dst,
+                            &spill_dst,
+                        );
+                    } else {
+                        scalar_count_walk(
+                            oracle,
+                            vertex_id,
+                            i,
+                            t,
+                            need,
+                            spill_base,
+                            &counts_dst,
+                            &masks_dst,
+                            &spill_dst,
+                        );
                     }
-                    walked += 1;
-                    if b >= INLINE_BITS && (b - INLINE_BITS) % 64 == 63 {
-                        // SAFETY: entry i owns its spill span; each word is
-                        // completed, and therefore written, exactly once.
-                        unsafe { spill_dst.write(spill_base + flushed, word) };
-                        flushed += 1;
-                        word = 0;
-                    }
-                }
-                for w in flushed..spill_len {
-                    // SAFETY: the walk flushed words 0..flushed; this writes
-                    // the trailing partial word plus zeros for the span a
-                    // bailed walk never reached, exactly once each.
-                    unsafe { spill_dst.write(spill_base + w, if w == flushed { word } else { 0 }) };
-                }
-                let count = if connected < need { 0 } else { connected };
-                // SAFETY: one write per index. A zero-count entry is never
-                // replayed, so its mask slot carries the query tally the
-                // truncated walk actually made.
-                unsafe {
-                    counts_dst.write(i, count);
-                    masks_dst.write(i, if count == 0 { walked as u64 } else { inline });
-                }
-            });
+                });
+            } else {
+                exec.for_each_indexed_fused_named("bfs_count_cliques_fused", len, |i| {
+                    let t = tails[i] as usize;
+                    let spill_base = if t > INLINE_BITS { spill_offsets[i] } else { 0 };
+                    scalar_count_walk(
+                        oracle,
+                        vertex_id,
+                        i,
+                        t,
+                        need,
+                        spill_base,
+                        &counts_dst,
+                        &masks_dst,
+                        &spill_dst,
+                    );
+                });
+            }
             // SAFETY: the launch wrote every index of all three buffers
             // (spill spans tile 0..spill_total across entries with long
             // tails).
@@ -327,14 +442,42 @@ fn grow_fused<O: EdgeOracle + ?Sized>(
 
         // Exact query tally: a surviving entry always walked its whole tail
         // (a bailed walk implies pruning), a pruned entry recorded its
-        // truncated walk length in the dead mask slot.
-        *queries += arena
-            .counts
-            .iter()
-            .zip(&arena.tails)
-            .zip(&arena.masks)
-            .map(|((&c, &t), &m)| if c > 0 { u64::from(t) } else { m })
-            .sum::<u64>();
+        // truncated walk length in the dead mask slot. Bitmap segments made
+        // no oracle calls — the same rule reconstructs the probes the
+        // scalar walk would have made, which feed the avoided counter.
+        let mut level_local = LocalBitsStats::default();
+        if local_active {
+            for seg in &arena.segs {
+                let would_walk = |i: usize| {
+                    if arena.counts[i] > 0 {
+                        u64::from(arena.tails[i])
+                    } else {
+                        arena.masks[i]
+                    }
+                };
+                if seg.bitmap {
+                    level_local.rows_built += seg.len as u64;
+                    for i in seg.start..seg.start + seg.len {
+                        let r = i - seg.start;
+                        level_local.words_anded += (seg.words_per_row - (r + 1) / 64) as u64;
+                        level_local.probes_avoided += would_walk(i);
+                    }
+                } else {
+                    for i in seg.start..seg.start + seg.len {
+                        *queries += would_walk(i);
+                    }
+                }
+            }
+            local_stats.accumulate(level_local);
+        } else {
+            *queries += arena
+                .counts
+                .iter()
+                .zip(&arena.tails)
+                .zip(&arena.masks)
+                .map(|((&c, &t), &m)| if c > 0 { u64::from(t) } else { m })
+                .sum::<u64>();
+        }
 
         let total = gmc_dpp::exclusive_scan_into(exec, &arena.counts, &mut arena.offsets);
         if let Some(span) = level_span.as_mut() {
@@ -344,6 +487,10 @@ fn grow_fused<O: EdgeOracle + ?Sized>(
                 arena.counts.iter().filter(|&&c| c == 0).count() as i64,
             );
             span.arg("oracle_queries", (*queries - queries_before) as i64);
+            if local_active {
+                span.arg("bitmap_rows", level_local.rows_built as i64);
+                span.arg("probes_avoided", level_local.probes_avoided as i64);
+            }
         }
         if total == 0 {
             return Ok(None);
@@ -421,6 +568,287 @@ fn grow_fused<O: EdgeOracle + ?Sized>(
             }
         }
     }
+}
+
+/// Segments the head level by sublist (a sublist starting at `s` has length
+/// `tails[s] + 1`) and plans which sublists take the bitmap fast path:
+/// every one at least [`LOCAL_BITS_FORCED_MIN`] long under
+/// [`LocalBitsMode::On`], none under `Off`, and under `Auto` only sublists
+/// of at least [`LOCAL_BITS_AUTO_MIN`] members where the scalar walk the
+/// bitmap replaces provably outweighs the CSR build — the
+/// [`min_walk_lower_bound`] at this level's `need`, weighted by
+/// [`LOCAL_BITS_PROBE_WEIGHT`], must cover `Σ deg(member) + m²`. Returns
+/// the total bitmap words to build; zero means the level runs the plain
+/// scalar kernel.
+fn plan_local_segments(
+    graph: &Csr,
+    vertex_id: &[u32],
+    arena: &mut LevelArena,
+    mode: LocalBitsMode,
+    need: usize,
+) -> usize {
+    arena.segs.clear();
+    arena.seg_of.clear();
+    arena.row_seg.clear();
+    if mode == LocalBitsMode::Off {
+        return 0;
+    }
+    let len = vertex_id.len();
+    let mut rows = 0usize;
+    let mut words = 0usize;
+    let mut start = 0usize;
+    while start < len {
+        let m = arena.tails[start] as usize + 1;
+        let bitmap = match mode {
+            LocalBitsMode::Off => unreachable!("handled above"),
+            LocalBitsMode::On => m >= LOCAL_BITS_FORCED_MIN,
+            LocalBitsMode::Auto => {
+                // The degree sum only lowers the budget, so reject on the
+                // O(1) `m²` term alone before walking member degrees.
+                let budget = LOCAL_BITS_PROBE_WEIGHT * min_walk_lower_bound(m, need);
+                m >= LOCAL_BITS_AUTO_MIN && budget >= m * m && {
+                    let deg: usize = vertex_id[start..start + m]
+                        .iter()
+                        .map(|&v| graph.degree(v))
+                        .sum();
+                    budget >= deg + m * m
+                }
+            }
+        };
+        let seg_idx = arena.segs.len() as u32;
+        let words_per_row = m.div_ceil(64);
+        arena.segs.push(LocalSeg {
+            start,
+            len: m,
+            row0: rows,
+            rows_off: words,
+            words_per_row,
+            bitmap,
+        });
+        if bitmap {
+            rows += m;
+            words += m * words_per_row;
+            // Rows of this segment all map back to it.
+            arena.row_seg.resize(rows, seg_idx);
+        }
+        arena.seg_of.resize(start + m, seg_idx);
+        start += m;
+    }
+    words
+}
+
+/// Charges, sorts and builds the per-sublist local bitmaps planned by
+/// [`plan_local_segments`] — with *zero* oracle probes. One launch sorts
+/// each bitmap sublist's packed member keys; a second builds each row by
+/// galloping the row vertex's sorted CSR neighbor list against the sorted
+/// member slice ([`local_row_intersect`]).
+fn build_local_bitmaps(
+    device: &Device,
+    graph: &Csr,
+    vertex_id: &[u32],
+    arena: &mut LevelArena,
+    total_words: usize,
+) -> Result<(), DeviceOom> {
+    let exec = device.exec();
+    let total_rows = arena.row_seg.len();
+    // Member keys and row words are device-resident between these launches
+    // and the count kernel; charge both at the arena's high-water mark.
+    arena.charge_local(
+        device.memory(),
+        (total_rows + total_words) * std::mem::size_of::<u64>(),
+    )?;
+
+    // Sort each bitmap sublist's members once. Keys pack vertex then local
+    // position (`pack_member`), so rows sort by vertex for the merge and
+    // still recover each match's bit position.
+    {
+        let segs = &arena.segs;
+        let members_dst = UninitSlice::for_vec(&mut arena.members, total_rows);
+        exec.for_each_indexed_named("bfs_local_sort_members", segs.len(), |s| {
+            let seg = &segs[s];
+            if !seg.bitmap {
+                return;
+            }
+            let mut keys: Vec<u64> = (0..seg.len)
+                .map(|p| pack_member(vertex_id[seg.start + p], p as u32))
+                .collect();
+            keys.sort_unstable();
+            for (idx, key) in keys.into_iter().enumerate() {
+                // SAFETY: bitmap segments' member spans tile 0..total_rows
+                // and each slot is written exactly once.
+                unsafe { members_dst.write(seg.row0 + idx, key) };
+            }
+        });
+        // SAFETY: every span of 0..total_rows was written by the launch.
+        unsafe { arena.members.set_len(total_rows) };
+    }
+
+    // Build the rows: thread j exclusively owns row j's word span, OR-ing
+    // one bit per adjacent member. Matches arrive in member-vertex order —
+    // not bit order — so the span is pre-zeroed and read-modify-written by
+    // its owner.
+    arena.local_rows.clear();
+    arena.local_rows.resize(total_words, 0);
+    {
+        let segs = &arena.segs;
+        let row_seg = &arena.row_seg;
+        let members = &arena.members;
+        let rows = SharedSlice::new(&mut arena.local_rows);
+        exec.for_each_indexed_named("bfs_local_build_rows", total_rows, |j| {
+            let seg = &segs[row_seg[j] as usize];
+            let r = j - seg.row0;
+            let base = seg.rows_off + r * seg.words_per_row;
+            let mem = &members[seg.row0..seg.row0 + seg.len];
+            local_row_intersect(graph.neighbors(vertex_id[seg.start + r]), mem, |pos| {
+                let w = base + pos as usize / 64;
+                // SAFETY: row j's words are touched by thread j alone.
+                unsafe { rows.write(w, rows.read(w) | (1u64 << (pos % 64))) };
+            });
+        });
+    }
+    Ok(())
+}
+
+/// One entry's scalar bound-directed record walk — the body shared by the
+/// plain fused count kernel and the scalar segments of the local-bitmap
+/// kernel.
+///
+/// The walk runs only while `connected + remaining >= need`, so a hopeless
+/// entry stops at the first position where pruning is already certain (an
+/// entry whose whole tail is shorter than `need` makes no queries at all) —
+/// the truncation is safe because such an entry is zeroed by the pruning
+/// rule either way. A pruned entry's mask slot is dead (the emit kernel
+/// skips it), so the walk stores the entry's actual query count there
+/// instead, keeping the host-side tally exact.
+#[allow(clippy::too_many_arguments)] // kernel body: mirrors the launch captures
+#[inline]
+fn scalar_count_walk<O: EdgeOracle + ?Sized>(
+    oracle: &O,
+    vertex_id: &[u32],
+    i: usize,
+    t: usize,
+    need: usize,
+    spill_base: usize,
+    counts_dst: &UninitSlice<usize>,
+    masks_dst: &UninitSlice<u64>,
+    spill_dst: &UninitSlice<u64>,
+) {
+    let spill_len = t.saturating_sub(INLINE_BITS).div_ceil(64);
+    let mut connected = 0usize;
+    let mut inline = 0u64;
+    let mut word = 0u64;
+    let mut flushed = 0usize;
+    let mut walked = 0usize;
+    while walked < t && connected + (t - walked) >= need {
+        let b = walked;
+        if oracle.connected(vertex_id[i], vertex_id[i + 1 + b]) {
+            connected += 1;
+            if b < INLINE_BITS {
+                inline |= 1u64 << b;
+            } else {
+                word |= 1u64 << ((b - INLINE_BITS) % 64);
+            }
+        }
+        walked += 1;
+        if b >= INLINE_BITS && (b - INLINE_BITS) % 64 == 63 {
+            // SAFETY: entry i owns its spill span; each word is completed,
+            // and therefore written, exactly once.
+            unsafe { spill_dst.write(spill_base + flushed, word) };
+            flushed += 1;
+            word = 0;
+        }
+    }
+    for w in flushed..spill_len {
+        // SAFETY: the walk flushed words 0..flushed; this writes the
+        // trailing partial word plus zeros for the span a bailed walk never
+        // reached, exactly once each.
+        unsafe { spill_dst.write(spill_base + w, if w == flushed { word } else { 0 }) };
+    }
+    let count = if connected < need { 0 } else { connected };
+    // SAFETY: one write per index. A zero-count entry is never replayed, so
+    // its mask slot carries the query tally the truncated walk made.
+    unsafe {
+        counts_dst.write(i, count);
+        masks_dst.write(i, if count == 0 { walked as u64 } else { inline });
+    }
+}
+
+/// One entry's bitmap fast-path body: entry `i` sits at local position `r`
+/// of a bitmap segment, and its tail mask is the segment's row `r` shifted
+/// past its own position — tail bit `b` is row bit `r + 1 + b`, so the
+/// inline mask and every spill word are 64-wide funnel shifts of the row
+/// and the surviving count is one suffix popcount. The row carries exactly
+/// `m` member bits, so everything past the tail is already zero and the
+/// stored words match the scalar walk's bit for bit. A pruned entry's dead
+/// mask slot records the length the scalar bound-directed walk *would*
+/// have made ([`scalar_walk_len`]), keeping the probes-avoided tally exact.
+#[allow(clippy::too_many_arguments)] // kernel body: mirrors the launch captures
+#[inline]
+fn bitmap_count_walk(
+    row: &[u64],
+    r: usize,
+    i: usize,
+    t: usize,
+    need: usize,
+    spill_base: usize,
+    counts_dst: &UninitSlice<usize>,
+    masks_dst: &UninitSlice<u64>,
+    spill_dst: &UninitSlice<u64>,
+) {
+    let spill_len = t.saturating_sub(INLINE_BITS).div_ceil(64);
+    let connected = bits::count_ones_from(row, r + 1);
+    if connected >= need && connected > 0 {
+        // SAFETY: one write per index; entry i owns its spill span and
+        // writes each word exactly once.
+        unsafe {
+            counts_dst.write(i, connected);
+            masks_dst.write(i, bits::read_word_at(row, r + 1));
+        }
+        for w in 0..spill_len {
+            let word = bits::read_word_at(row, r + 1 + INLINE_BITS + 64 * w);
+            unsafe { spill_dst.write(spill_base + w, word) };
+        }
+    } else {
+        // Pruned (or nothing to emit): dead mask slot carries the scalar
+        // walk length for the probes-avoided tally; the spill span is
+        // zero-filled exactly as a bailed scalar walk leaves it.
+        unsafe {
+            counts_dst.write(i, 0);
+            masks_dst.write(i, scalar_walk_len(row, r + 1, t, need) as u64);
+        }
+        for w in 0..spill_len {
+            unsafe { spill_dst.write(spill_base + w, 0) };
+        }
+    }
+}
+
+/// How many tail positions the scalar bound-directed walk of this entry
+/// would probe before stopping, reconstructed from the entry's bitmap row
+/// (tail bit `b` = row bit `start_bit + b`). The walk stops right after
+/// the miss that makes the bound unreachable — the `(t - need + 1)`-th zero
+/// bit — and never starts when even a full tail cannot reach `need`.
+fn scalar_walk_len(row: &[u64], start_bit: usize, t: usize, need: usize) -> usize {
+    if need > t {
+        return 0;
+    }
+    let mut remaining = t - need + 1;
+    let mut bit = 0usize;
+    while bit < t {
+        let span = (t - bit).min(64) as u32;
+        let misses = !bits::read_word_at(row, start_bit + bit) & bits::prefix_mask(span);
+        let zeros = misses.count_ones() as usize;
+        if zeros >= remaining {
+            // Select the `remaining`-th zero: the walk ends on it.
+            let mut w = misses;
+            for _ in 1..remaining {
+                w &= w - 1;
+            }
+            return bit + w.trailing_zeros() as usize + 1;
+        }
+        remaining -= zeros;
+        bit += span as usize;
+    }
+    t // fewer misses than the cutoff: the walk runs the whole tail
 }
 
 /// The unfused level loop — the seed pipeline kept verbatim as the ablation
@@ -582,7 +1010,13 @@ mod tests {
     use gmc_graph::generators;
     use std::sync::atomic::{AtomicU64, Ordering};
 
-    fn run_with(graph: &Csr, lower: u32, early_exit: bool, fused: bool) -> ExpansionOutcome {
+    fn run_with(
+        graph: &Csr,
+        lower: u32,
+        early_exit: bool,
+        fused: bool,
+        local: LocalBitsMode,
+    ) -> ExpansionOutcome {
         let device = Device::unlimited();
         let setup = build_two_clique_list(
             device.exec(),
@@ -604,13 +1038,14 @@ mod tests {
             lower.max(2),
             early_exit,
             fused,
+            local,
             &mut arena,
         )
         .unwrap()
     }
 
     fn run(graph: &Csr, lower: u32, early_exit: bool) -> ExpansionOutcome {
-        run_with(graph, lower, early_exit, true)
+        run_with(graph, lower, early_exit, true, LocalBitsMode::Auto)
     }
 
     fn normalize(mut cliques: Vec<Vec<u32>>) -> Vec<Vec<u32>> {
@@ -742,7 +1177,18 @@ mod tests {
             CliqueLevel::from_vecs(device.memory(), setup.vertex_id, setup.sublist_id).unwrap();
         // Ask for cliques of size ≥ 5 in a K4.
         let mut arena = LevelArena::new();
-        let out = expand(&device, &g, &g, level0, 5, false, true, &mut arena).unwrap();
+        let out = expand(
+            &device,
+            &g,
+            &g,
+            level0,
+            5,
+            false,
+            true,
+            LocalBitsMode::Auto,
+            &mut arena,
+        )
+        .unwrap();
         assert!(out.cliques.is_empty());
         assert_eq!(out.clique_size, 0);
     }
@@ -765,7 +1211,17 @@ mod tests {
             let level0 =
                 CliqueLevel::from_vecs(device.memory(), setup.vertex_id, setup.sublist_id).unwrap();
             let mut arena = LevelArena::new();
-            let err = expand(&device, &g, &g, level0, 2, false, fused, &mut arena);
+            let err = expand(
+                &device,
+                &g,
+                &g,
+                level0,
+                2,
+                false,
+                fused,
+                LocalBitsMode::Auto,
+                &mut arena,
+            );
             assert!(err.is_err(), "expected OOM (fused={fused})");
             // The failed expansion must leave nothing charged — the level
             // charges and any spill charge are all released on the way out.
@@ -788,21 +1244,48 @@ mod tests {
     fn fused_matches_unfused_exactly() {
         // The emit kernel replays bits in ascending order — the same order
         // as the unfused re-walk — so even the raw read-out must agree.
+        // Every local-bits mode must be bit-identical too.
         for seed in 0..6 {
             let g = generators::gnp(50, 0.18, seed);
             for early_exit in [false, true] {
-                let fused = run_with(&g, 0, early_exit, true);
-                let unfused = run_with(&g, 0, early_exit, false);
-                let tag = format!("seed {seed} early_exit {early_exit}");
-                assert_eq!(fused.clique_size, unfused.clique_size, "{tag}");
-                assert_eq!(fused.cliques, unfused.cliques, "{tag}");
-                assert_eq!(fused.level_entries, unfused.level_entries, "{tag}");
-                assert_eq!(fused.early_exit, unfused.early_exit, "{tag}");
+                let unfused = run_with(&g, 0, early_exit, false, LocalBitsMode::Off);
+                for local in [LocalBitsMode::Off, LocalBitsMode::Auto, LocalBitsMode::On] {
+                    let fused = run_with(&g, 0, early_exit, true, local);
+                    let tag = format!("seed {seed} early_exit {early_exit} local {local}");
+                    assert_eq!(fused.clique_size, unfused.clique_size, "{tag}");
+                    assert_eq!(fused.cliques, unfused.cliques, "{tag}");
+                    assert_eq!(fused.level_entries, unfused.level_entries, "{tag}");
+                    assert_eq!(fused.early_exit, unfused.early_exit, "{tag}");
+                }
             }
         }
     }
 
-    fn counted(graph: &Csr, fused: bool) -> (ExpansionOutcome, u64) {
+    #[test]
+    fn local_bits_tallies_reconcile_with_scalar() {
+        // Forced-on bitmaps make zero oracle calls for covered segments and
+        // reconstruct the walk the scalar kernel would have made, so the
+        // on/off tallies must reconcile to the probe: on + avoided == off.
+        for (name, g) in [
+            ("dense", generators::gnp(60, 0.4, 3)),
+            ("sparse", generators::gnp(80, 0.05, 4)),
+            ("complete", generators::complete(10)),
+        ] {
+            let on = run_with(&g, 0, false, true, LocalBitsMode::On);
+            let off = run_with(&g, 0, false, true, LocalBitsMode::Off);
+            assert_eq!(off.local_bits, LocalBitsStats::default(), "{name}");
+            assert_eq!(
+                on.oracle_queries + on.local_bits.probes_avoided,
+                off.oracle_queries,
+                "{name}"
+            );
+            assert!(on.local_bits.rows_built > 0, "{name}");
+            assert!(on.local_bits.words_anded > 0, "{name}");
+            assert_eq!(on.cliques, off.cliques, "{name}");
+        }
+    }
+
+    fn counted(graph: &Csr, fused: bool, local: LocalBitsMode) -> (ExpansionOutcome, u64) {
         let device = Device::unlimited();
         let setup = build_two_clique_list(
             device.exec(),
@@ -820,15 +1303,18 @@ mod tests {
             calls: AtomicU64::new(0),
         };
         let mut arena = LevelArena::new();
-        let out = expand(&device, graph, &oracle, level0, 2, false, fused, &mut arena).unwrap();
+        let out = expand(
+            &device, graph, &oracle, level0, 2, false, fused, local, &mut arena,
+        )
+        .unwrap();
         (out, oracle.calls.load(Ordering::Relaxed))
     }
 
     #[test]
     fn oracle_query_counter_is_exact_and_fusion_skips_the_rewalk() {
         let g = generators::gnp(100, 0.3, 7);
-        let (fused, fused_actual) = counted(&g, true);
-        let (unfused, unfused_actual) = counted(&g, false);
+        let (fused, fused_actual) = counted(&g, true, LocalBitsMode::Off);
+        let (unfused, unfused_actual) = counted(&g, false, LocalBitsMode::Off);
         // The analytic tally must match the oracle's own call count.
         assert_eq!(fused.oracle_queries, fused_actual);
         assert_eq!(unfused.oracle_queries, unfused_actual);
@@ -840,6 +1326,94 @@ mod tests {
             "fused {} vs unfused {}",
             fused.oracle_queries,
             unfused.oracle_queries
+        );
+    }
+
+    #[test]
+    fn local_bits_counter_is_exact_and_skips_covered_probes() {
+        let g = generators::gnp(100, 0.3, 7);
+        let (off, off_actual) = counted(&g, true, LocalBitsMode::Off);
+        for local in [LocalBitsMode::Auto, LocalBitsMode::On] {
+            let (on, on_actual) = counted(&g, true, local);
+            // The analytic tally stays exact with bitmaps active, and the
+            // avoided counter accounts for every skipped probe.
+            assert_eq!(on.oracle_queries, on_actual, "{local}");
+            assert_eq!(
+                on.oracle_queries + on.local_bits.probes_avoided,
+                off.oracle_queries,
+                "{local}"
+            );
+            assert_eq!(on.cliques, off.cliques, "{local}");
+        }
+        // Forced on, every multi-entry sublist is covered: the bitmaps must
+        // eliminate the bulk of the scalar probes on a dense graph (the
+        // leftovers are early-exit checks and single-entry sublists).
+        let (on, on_actual) = counted(&g, true, LocalBitsMode::On);
+        assert!(on_actual < off_actual);
+        assert!(
+            on.local_bits.probes_avoided * 10 >= off.oracle_queries * 8,
+            "on avoided {} of {}",
+            on.local_bits.probes_avoided,
+            off.oracle_queries
+        );
+    }
+
+    #[test]
+    fn auto_heuristic_covers_hub_sublists() {
+        // A Facebook-like shape in miniature: a few 40-member sublists well
+        // past the Auto threshold dominate the probe count, plus a couple
+        // of short scalar sublists. Auto must cover the hubs and so avoid
+        // most probes.
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        let mut vertex_id = Vec::new();
+        let mut sublist_id = Vec::new();
+        for hub in 0..3u32 {
+            let base = 10 + hub * 40;
+            for v in 0..40u32 {
+                edges.push((hub, base + v));
+                vertex_id.push(base + v);
+                sublist_id.push(hub);
+            }
+            // Internal edges give each hub sublist depth to expand.
+            for u in 0..6 {
+                for v in (u + 1)..6 {
+                    edges.push((base + u, base + v));
+                }
+            }
+        }
+        // Two short scalar sublists (a shared triangle over 3, 4, 5).
+        edges.extend([(3, 4), (3, 5), (4, 5)]);
+        for (s, v) in [(3u32, 4u32), (3, 5), (4, 5)] {
+            vertex_id.push(v);
+            sublist_id.push(s);
+        }
+        let g = Csr::from_edges(130, &edges);
+        let run = |local: LocalBitsMode| {
+            let device = Device::unlimited();
+            let level0 =
+                CliqueLevel::from_vecs(device.memory(), vertex_id.clone(), sublist_id.clone())
+                    .unwrap();
+            let oracle = CountingOracle {
+                inner: &g,
+                calls: AtomicU64::new(0),
+            };
+            let mut arena = LevelArena::new();
+            let out = expand(
+                &device, &g, &oracle, level0, 2, false, true, local, &mut arena,
+            )
+            .unwrap();
+            (out, oracle.calls.load(Ordering::Relaxed))
+        };
+        let (auto, auto_actual) = run(LocalBitsMode::Auto);
+        let (off, _) = run(LocalBitsMode::Off);
+        assert_eq!(auto.oracle_queries, auto_actual);
+        assert_eq!(auto.cliques, off.cliques);
+        assert!(auto.local_bits.rows_built >= 120, "hub sublists covered");
+        assert!(
+            auto.local_bits.probes_avoided * 10 >= off.oracle_queries * 8,
+            "auto avoided {} of {}",
+            auto.local_bits.probes_avoided,
+            off.oracle_queries
         );
     }
 
@@ -856,7 +1430,6 @@ mod tests {
         let level0 = |device: &Device| {
             CliqueLevel::from_vecs(device.memory(), (1..=70).collect(), vec![0; 70]).unwrap()
         };
-        let fused = expand(&device, &g, &g, level0(&device), 2, false, true, &mut arena).unwrap();
         let unfused = expand(
             &device,
             &g,
@@ -865,14 +1438,137 @@ mod tests {
             2,
             false,
             false,
+            LocalBitsMode::Off,
             &mut arena,
         )
         .unwrap();
-        assert_eq!(fused.clique_size, 4);
-        assert_eq!(fused.cliques, vec![vec![0, 1, 2, 3]]);
-        assert_eq!(fused.cliques, unfused.cliques);
-        assert_eq!(fused.level_entries, unfused.level_entries);
-        assert_eq!(device.memory().live(), 0, "spill charges must be released");
+        // The 70-entry sublist crosses the inline/spill boundary for both
+        // the scalar walk and the bitmap fast path (Auto and On both cover
+        // it: 70 ≥ 32 and the hub members are degree-light).
+        for local in [LocalBitsMode::Off, LocalBitsMode::Auto, LocalBitsMode::On] {
+            let fused = expand(
+                &device,
+                &g,
+                &g,
+                level0(&device),
+                2,
+                false,
+                true,
+                local,
+                &mut arena,
+            )
+            .unwrap();
+            assert_eq!(fused.clique_size, 4, "{local}");
+            assert_eq!(fused.cliques, vec![vec![0, 1, 2, 3]], "{local}");
+            assert_eq!(fused.cliques, unfused.cliques, "{local}");
+            assert_eq!(fused.level_entries, unfused.level_entries, "{local}");
+            if local != LocalBitsMode::Off {
+                assert!(fused.local_bits.rows_built >= 70, "{local}");
+            }
+            assert_eq!(
+                device.memory().live(),
+                0,
+                "spill/local charges must be released ({local})"
+            );
+        }
+    }
+
+    #[test]
+    fn local_bits_handles_word_boundary_sublists() {
+        // Sublist lengths straddling every interesting boundary: the forced
+        // minimum, the Auto threshold, and the 64-bit word edges (63/64/65
+        // tails exercise the inline/spill seam inside the bitmap shifts).
+        for n in [2usize, 31, 32, 33, 63, 64, 65, 66, 129] {
+            let mut edges: Vec<(u32, u32)> = (1..=n as u32).map(|v| (0u32, v)).collect();
+            // A clique among the first few successors gives depth.
+            let k = n.min(5) as u32;
+            for u in 1..=k {
+                for v in (u + 1)..=k {
+                    edges.push((u, v));
+                }
+            }
+            let g = Csr::from_edges(n + 1, &edges);
+            let device = Device::unlimited();
+            let mut arena = LevelArena::new();
+            let level0 = |device: &Device| {
+                CliqueLevel::from_vecs(device.memory(), (1..=n as u32).collect(), vec![0; n])
+                    .unwrap()
+            };
+            let off = expand(
+                &device,
+                &g,
+                &g,
+                level0(&device),
+                2,
+                false,
+                true,
+                LocalBitsMode::Off,
+                &mut arena,
+            )
+            .unwrap();
+            let on = expand(
+                &device,
+                &g,
+                &g,
+                level0(&device),
+                2,
+                false,
+                true,
+                LocalBitsMode::On,
+                &mut arena,
+            )
+            .unwrap();
+            assert_eq!(on.cliques, off.cliques, "n={n}");
+            assert_eq!(on.level_entries, off.level_entries, "n={n}");
+            assert_eq!(
+                on.oracle_queries + on.local_bits.probes_avoided,
+                off.oracle_queries,
+                "n={n}"
+            );
+            assert_eq!(device.memory().live(), 0, "n={n}");
+        }
+    }
+
+    #[test]
+    fn local_charges_are_released_on_oom_and_success() {
+        // Sweep budgets from starvation to plenty with bitmaps forced on:
+        // whether the run OOMs (anywhere — level growth, spill, or the
+        // local-bitmap charge) or completes, nothing may stay charged.
+        let g = generators::complete(16);
+        let reference = run_with(&g, 0, false, true, LocalBitsMode::Off);
+        for budget in (64..6000).step_by(97) {
+            let device = Device::with_memory_budget(budget);
+            let setup = build_two_clique_list(
+                device.exec(),
+                &g,
+                0,
+                &g.degrees(),
+                crate::config::OrientationRule::Degree,
+                CandidateOrder::Index,
+                crate::config::SublistBound::Length,
+            );
+            let Ok(level0) =
+                CliqueLevel::from_vecs(device.memory(), setup.vertex_id, setup.sublist_id)
+            else {
+                continue; // level 0 itself does not fit this budget
+            };
+            let mut arena = LevelArena::new();
+            let out = expand(
+                &device,
+                &g,
+                &g,
+                level0,
+                2,
+                false,
+                true,
+                LocalBitsMode::On,
+                &mut arena,
+            );
+            if let Ok(out) = out {
+                assert_eq!(out.cliques, reference.cliques, "budget {budget}");
+            }
+            assert_eq!(device.memory().live(), 0, "leak at budget {budget}");
+        }
     }
 
     #[test]
@@ -915,7 +1611,18 @@ mod tests {
         let level0 =
             CliqueLevel::from_vecs(device.memory(), setup.vertex_id, setup.sublist_id).unwrap();
         let mut arena = LevelArena::new();
-        expand(device, graph, graph, level0, 2, false, fused, &mut arena).unwrap()
+        expand(
+            device,
+            graph,
+            graph,
+            level0,
+            2,
+            false,
+            fused,
+            LocalBitsMode::Auto,
+            &mut arena,
+        )
+        .unwrap()
     }
 
     #[test]
@@ -940,7 +1647,18 @@ mod tests {
                 let level0 =
                     CliqueLevel::from_vecs(device.memory(), setup.vertex_id, setup.sublist_id)
                         .unwrap();
-                let out = expand(&device, &g, &g, level0, 2, false, true, &mut arena).unwrap();
+                let out = expand(
+                    &device,
+                    &g,
+                    &g,
+                    level0,
+                    2,
+                    false,
+                    true,
+                    LocalBitsMode::On,
+                    &mut arena,
+                )
+                .unwrap();
                 if round == 0 {
                     reference.push(out.cliques);
                 } else {

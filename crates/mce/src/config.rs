@@ -37,6 +37,70 @@ pub enum EdgeIndexKind {
     Auto,
 }
 
+/// Whether the fused count kernel may take the *sublist-local bitmap* fast
+/// path: per BFS level, sublists are segmented and each long-enough sublist
+/// gets an m×m adjacency bitmap built straight from the CSR (no
+/// [`EdgeOracle`] probes), so the tail intersection becomes word-wise
+/// shift + popcount, 64 candidates per operation.
+///
+/// Settable from the environment via `GMC_LOCAL_BITS=on|off|auto`
+/// (picked up by [`SolverConfig::default`]).
+///
+/// [`EdgeOracle`]: gmc_graph::EdgeOracle
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LocalBitsMode {
+    /// Build a bitmap for every sublist with at least two members —
+    /// mainly for ablation and equivalence testing; tiny sublists pay the
+    /// build overhead without amortising it.
+    On,
+    /// Never build sublist bitmaps: every tail walks the scalar
+    /// record-and-replay path (the PR 2 fused pipeline, bit for bit).
+    Off,
+    /// Per-sublist heuristic (the default): bitmap when the sublist has at
+    /// least `LOCAL_BITS_AUTO_MIN` members *and* a lower bound on the
+    /// bound-directed scalar walk it would replace — weighted by the
+    /// measured probe-vs-merge-step cost ratio — covers the
+    /// `Σ deg(member) + m²` build work. Short sublists, degree-heavy
+    /// sublists and tight-bound levels (where the scalar walk stops almost
+    /// immediately) keep the scalar walk.
+    #[default]
+    Auto,
+}
+
+impl std::str::FromStr for LocalBitsMode {
+    type Err = ();
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "on" | "1" | "true" => Ok(LocalBitsMode::On),
+            "off" | "0" | "false" => Ok(LocalBitsMode::Off),
+            "auto" => Ok(LocalBitsMode::Auto),
+            _ => Err(()),
+        }
+    }
+}
+
+impl std::fmt::Display for LocalBitsMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            LocalBitsMode::On => "on",
+            LocalBitsMode::Off => "off",
+            LocalBitsMode::Auto => "auto",
+        })
+    }
+}
+
+impl LocalBitsMode {
+    /// Reads `GMC_LOCAL_BITS` (`on`/`off`/`auto`), defaulting to [`Auto`]
+    /// when unset and panicking loudly on a typo (fail-loud policy of
+    /// `gmc_trace::env`).
+    ///
+    /// [`Auto`]: LocalBitsMode::Auto
+    pub fn from_env() -> Self {
+        gmc_trace::env::parse_or("GMC_LOCAL_BITS", LocalBitsMode::Auto)
+    }
+}
+
 /// Upper bound used when pruning whole sublists at setup (paper §II-B3: the
 /// straightforward bound is `|C| + |P|`; "we can find a tighter upper bound
 /// using other metrics, such as vertex coloring").
@@ -201,6 +265,9 @@ pub struct SolverConfig {
     /// `false` selects the paper-literal count → scan → re-walk pipeline —
     /// kept as the ablation baseline.
     pub fused: bool,
+    /// Sublist-local bitmap fast path inside the fused count kernel (no
+    /// effect on the unfused pipeline). See [`LocalBitsMode`].
+    pub local_bits: LocalBitsMode,
     /// Recording handle for profiling: the solver installs it on the
     /// device's executor and memory accountant for the duration of each
     /// solve, and wraps every phase, BFS level and window in spans.
@@ -221,6 +288,7 @@ impl Default for SolverConfig {
             window: None,
             early_exit: true,
             fused: true,
+            local_bits: LocalBitsMode::from_env(),
             trace: Tracer::disabled(),
         }
     }
@@ -238,7 +306,28 @@ mod tests {
         assert!(cfg.window.is_none());
         assert!(cfg.early_exit);
         assert!(cfg.fused);
+        // Default Auto unless the environment overrides it (CI ablation
+        // jobs may set GMC_LOCAL_BITS; respect whatever it says here).
+        assert_eq!(cfg.local_bits, LocalBitsMode::from_env());
         assert!(!cfg.trace.is_enabled());
+    }
+
+    #[test]
+    fn local_bits_mode_parses_and_displays() {
+        use std::str::FromStr;
+        for (raw, want) in [
+            ("on", LocalBitsMode::On),
+            ("ON", LocalBitsMode::On),
+            ("1", LocalBitsMode::On),
+            ("off", LocalBitsMode::Off),
+            ("0", LocalBitsMode::Off),
+            ("auto", LocalBitsMode::Auto),
+        ] {
+            assert_eq!(LocalBitsMode::from_str(raw), Ok(want), "{raw}");
+            // Display round-trips through FromStr.
+            assert_eq!(LocalBitsMode::from_str(&want.to_string()), Ok(want));
+        }
+        assert!(LocalBitsMode::from_str("banana").is_err());
     }
 
     #[test]

@@ -27,9 +27,10 @@ mod setup;
 pub mod verify;
 mod window;
 
+pub use bfs::LocalBitsStats;
 pub use config::{
-    CandidateOrder, EdgeIndexKind, OrientationRule, SolverConfig, SublistBound, WindowConfig,
-    WindowOrdering,
+    CandidateOrder, EdgeIndexKind, LocalBitsMode, OrientationRule, SolverConfig, SublistBound,
+    WindowConfig, WindowOrdering,
 };
 pub use setup::SetupStats;
 pub use verify::{verify_result, VerifyError};
@@ -105,6 +106,10 @@ pub struct SolveStats {
     /// the unfused baseline by replaying recorded adjacency bits instead of
     /// re-walking sublists.
     pub oracle_queries: u64,
+    /// Sublist-local bitmap fast-path counters (see
+    /// [`SolverConfig::local_bits`]): rows built, row words scanned, and the
+    /// exact number of scalar oracle probes the bitmaps made unnecessary.
+    pub local_bits: LocalBitsStats,
     /// Virtual-GPU launch counters consumed by this solve.
     pub launches: LaunchStats,
     /// Window counters when the windowed variant ran.
@@ -233,6 +238,14 @@ impl MaxCliqueSolver {
     /// the paper-literal double-walk baseline (see [`SolverConfig::fused`]).
     pub fn fused(mut self, enabled: bool) -> Self {
         self.config.fused = enabled;
+        self
+    }
+
+    /// Selects the sublist-local bitmap fast path inside the fused pipeline
+    /// (see [`SolverConfig::local_bits`]): `On`, `Off`, or the `Auto`
+    /// heuristic (the default, overridable via `GMC_LOCAL_BITS`).
+    pub fn local_bits(mut self, mode: LocalBitsMode) -> Self {
+        self.config.local_bits = mode;
         self
     }
 
@@ -449,11 +462,13 @@ impl MaxCliqueSolver {
                     min_target,
                     self.config.early_exit,
                     self.config.fused,
+                    self.config.local_bits,
                     &mut arena,
                 )?;
                 stats.level_entries = outcome.level_entries;
                 stats.early_exit = outcome.early_exit;
                 stats.oracle_queries = outcome.oracle_queries;
+                stats.local_bits = outcome.local_bits;
                 debug_assert!(
                     outcome.clique_size as u32 >= heuristic.lower_bound(),
                     "exact search lost the heuristic witness"
@@ -471,8 +486,10 @@ impl MaxCliqueSolver {
                     min_target,
                     self.config.early_exit,
                     self.config.fused,
+                    self.config.local_bits,
                 )?;
                 stats.oracle_queries = outcome.stats.oracle_queries;
+                stats.local_bits = outcome.stats.local_bits;
                 stats.window = Some(outcome.stats);
                 (
                     outcome.cliques,
@@ -500,17 +517,24 @@ impl MaxCliqueSolver {
             }
             other => other,
         };
+        // Charge *before* building: the footprints are computable from the
+        // graph's shape alone, so an over-budget oracle fails fast with
+        // DeviceOom instead of first materialising the full structure.
         Ok(match kind {
             EdgeIndexKind::BinarySearch | EdgeIndexKind::Auto => BuiltOracle::Csr(graph),
             EdgeIndexKind::Bitset => {
-                let bits = BitMatrix::build(graph);
-                let guard = self.device.memory().try_charge(bits.footprint_bytes())?;
-                BuiltOracle::Bits(bits, guard)
+                let guard = self
+                    .device
+                    .memory()
+                    .try_charge(BitMatrix::footprint_for(graph.num_vertices()))?;
+                BuiltOracle::Bits(BitMatrix::build(self.device.exec(), graph), guard)
             }
             EdgeIndexKind::Hash => {
-                let hash = HashAdjacency::build(graph);
-                let guard = self.device.memory().try_charge(hash.footprint_bytes())?;
-                BuiltOracle::Hash(hash, guard)
+                let guard = self
+                    .device
+                    .memory()
+                    .try_charge(HashAdjacency::footprint_for(graph.num_edges()))?;
+                BuiltOracle::Hash(HashAdjacency::build(graph), guard)
             }
         })
     }
@@ -865,6 +889,48 @@ mod tests {
         assert!(
             wfq > 0 && wfq < wuq,
             "windowed fused {wfq} vs unfused {wuq}"
+        );
+    }
+
+    #[test]
+    fn local_bits_ablation_agrees_and_reconciles() {
+        let g = generators::gnp(90, 0.25, 43);
+        let on = solver().local_bits(LocalBitsMode::On).solve(&g).unwrap();
+        let off = solver().local_bits(LocalBitsMode::Off).solve(&g).unwrap();
+        assert_eq!(on.clique_number, off.clique_number);
+        assert_eq!(on.cliques, off.cliques);
+        assert_eq!(on.stats.level_entries, off.stats.level_entries);
+        // Bitmaps replace scalar probes one for one and say so exactly.
+        assert_eq!(off.stats.local_bits, LocalBitsStats::default());
+        assert!(on.stats.local_bits.rows_built > 0);
+        assert_eq!(
+            on.stats.oracle_queries + on.stats.local_bits.probes_avoided,
+            off.stats.oracle_queries
+        );
+
+        // The same ablation through the windowed search path.
+        let windowed = |mode: LocalBitsMode| {
+            solver()
+                .local_bits(mode)
+                .windowed(WindowConfig {
+                    size: 16,
+                    enumerate_all: true,
+                    ..WindowConfig::default()
+                })
+                .solve(&g)
+                .unwrap()
+        };
+        let (won, woff) = (windowed(LocalBitsMode::On), windowed(LocalBitsMode::Off));
+        assert_eq!(won.cliques, on.cliques);
+        assert_eq!(woff.cliques, on.cliques);
+        assert_eq!(
+            won.stats.local_bits,
+            won.stats.window.unwrap().local_bits,
+            "solver stats mirror the window tally"
+        );
+        assert_eq!(
+            won.stats.oracle_queries + won.stats.local_bits.probes_avoided,
+            woff.stats.oracle_queries
         );
     }
 

@@ -25,8 +25,8 @@
 //! subproblem whose results carry the committed chain as a prefix).
 
 use crate::arena::LevelArena;
-use crate::bfs::expand;
-use crate::config::{WindowConfig, WindowOrdering};
+use crate::bfs::{expand, LocalBitsStats};
+use crate::config::{LocalBitsMode, WindowConfig, WindowOrdering};
 use crate::setup::SetupOutput;
 use gmc_cliquelist::CliqueLevel;
 use gmc_dpp::{Device, DeviceOom, SharedSlice};
@@ -55,6 +55,8 @@ pub struct WindowStats {
     /// Exact number of edge-oracle `connected` calls across all windows
     /// (expansion walks plus recursive child-level construction).
     pub oracle_queries: u64,
+    /// Sublist-local bitmap fast-path counters summed over all windows.
+    pub local_bits: LocalBitsStats,
 }
 
 pub(crate) struct WindowOutcome {
@@ -134,6 +136,7 @@ struct SearchCtx<'a, O: EdgeOracle + ?Sized> {
     config: &'a WindowConfig,
     early_exit: bool,
     fused: bool,
+    local_bits: LocalBitsMode,
 }
 
 /// Reorders whole sublists of the 2-clique list according to `ordering`.
@@ -215,6 +218,7 @@ pub(crate) fn windowed_search<O: EdgeOracle + ?Sized>(
     min_enum_target: u32,
     early_exit: bool,
     fused: bool,
+    local_bits: LocalBitsMode,
 ) -> Result<WindowOutcome, DeviceOom> {
     let tracer = device.exec().tracer();
     let mut search_span = tracer.is_enabled().then(|| {
@@ -254,6 +258,7 @@ pub(crate) fn windowed_search<O: EdgeOracle + ?Sized>(
         config,
         early_exit,
         fused,
+        local_bits,
     };
     if config.parallel_windows <= 1 {
         // One arena serves every window of the sweep: level scratch grown by
@@ -419,6 +424,7 @@ fn process_window<O: EdgeOracle + ?Sized>(
                     target_local,
                     ctx.early_exit,
                     ctx.fused,
+                    ctx.local_bits,
                     arena,
                 )
             });
@@ -430,6 +436,7 @@ fn process_window<O: EdgeOracle + ?Sized>(
             .max(ctx.device.memory().peak().saturating_sub(live_base));
         if let Ok(outcome) = &attempt {
             stats.oracle_queries += outcome.oracle_queries;
+            stats.local_bits.accumulate(outcome.local_bits);
         }
     }
 
@@ -680,7 +687,16 @@ mod tests {
         target: u32,
     ) -> Result<WindowOutcome, DeviceOom> {
         windowed_search(
-            device, graph, graph, setup, cfg, witness, target, false, true,
+            device,
+            graph,
+            graph,
+            setup,
+            cfg,
+            witness,
+            target,
+            false,
+            true,
+            LocalBitsMode::Auto,
         )
     }
 
@@ -695,7 +711,18 @@ mod tests {
         )
         .unwrap();
         let mut arena = LevelArena::new();
-        expand(&device, graph, graph, level0, 2, false, false, &mut arena).unwrap()
+        expand(
+            &device,
+            graph,
+            graph,
+            level0,
+            2,
+            false,
+            false,
+            LocalBitsMode::Off,
+            &mut arena,
+        )
+        .unwrap()
     }
 
     fn normalize(mut cs: Vec<Vec<u32>>) -> Vec<Vec<u32>> {
@@ -846,6 +873,7 @@ mod tests {
             2,
             false,
             true,
+            LocalBitsMode::Auto,
             &mut LevelArena::new(),
         )
         .unwrap();

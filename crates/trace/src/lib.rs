@@ -18,7 +18,7 @@
 //!   histograms ([`Timeline::latency_table_markdown`]), and flamegraph-style
 //!   folded stacks ([`Timeline::folded_stacks`]).
 //! * [`mod@env`] is the repo's shared fail-loud environment-variable parser
-//!   (`GMC_TRACE`, `GMC_SEQ_GRID`, bench knobs, ...).
+//!   (`GMC_TRACE`, `GMC_SEQ_GRID`, `GMC_LOCAL_BITS`, bench knobs, ...).
 //!
 //! ```
 //! let session = gmc_trace::TraceSession::new();

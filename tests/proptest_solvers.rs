@@ -34,9 +34,15 @@ fn csr(case: &GraphCase) -> Csr {
 /// The original proptest suite ran 48 cases per property; keep that scale
 /// (still overridable through `GMC_PROP_CASES`).
 fn config() -> Config {
+    config_with(48)
+}
+
+/// Like [`config`], for properties whose cases are individually expensive
+/// (e.g. near-complete spill-boundary graphs).
+fn config_with(cases: u32) -> Config {
     let mut config = Config::default();
     if std::env::var("GMC_PROP_CASES").is_err() {
-        config.cases = 48;
+        config.cases = cases;
     }
     config
 }
@@ -356,6 +362,196 @@ fn fused_pipeline_is_indistinguishable_from_unfused() {
                     prop_assert_eq!(f.stats.early_exit, u.stats.early_exit);
                     prop_assert!(f.stats.oracle_queries <= u.stats.oracle_queries);
                 }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn local_bitmap_path_is_indistinguishable_from_scalar() {
+    // The sublist-local bitmap fast path must be a pure strength reduction:
+    // same cliques, same level shapes, same early exits as the scalar fused
+    // walk and the unfused baseline, for every edge oracle and worker count.
+    // Its accounting must reconcile exactly — every scalar probe is either
+    // performed or reported as covered by a bitmap row, never dropped.
+    use gpu_max_clique::mce::{EdgeIndexKind, LocalBitsMode};
+    prop::check_with(
+        config(),
+        "local_bitmap_path_is_indistinguishable_from_scalar",
+        |rng| arb_graph(rng, 16),
+        shrink_graph,
+        |case| {
+            let graph = csr(case);
+            for workers in [1usize, 2, 8] {
+                for kind in [
+                    EdgeIndexKind::BinarySearch,
+                    EdgeIndexKind::Bitset,
+                    EdgeIndexKind::Hash,
+                    EdgeIndexKind::Auto,
+                ] {
+                    let solve = |fused: bool, local: LocalBitsMode| {
+                        MaxCliqueSolver::new(Device::new(workers, usize::MAX))
+                            .edge_index(kind)
+                            .fused(fused)
+                            .local_bits(local)
+                            .solve(&graph)
+                            .unwrap()
+                    };
+                    let off = solve(true, LocalBitsMode::Off);
+                    let unfused = solve(false, LocalBitsMode::Off);
+                    prop_assert_eq!(&off.cliques, &unfused.cliques);
+                    prop_assert_eq!(&off.stats.level_entries, &unfused.stats.level_entries);
+                    prop_assert_eq!(off.stats.local_bits.rows_built, 0);
+                    for local in [LocalBitsMode::On, LocalBitsMode::Auto] {
+                        let on = solve(true, local);
+                        prop_assert_eq!(on.clique_number, off.clique_number);
+                        prop_assert_eq!(&on.cliques, &off.cliques);
+                        prop_assert_eq!(&on.stats.level_entries, &off.stats.level_entries);
+                        prop_assert_eq!(on.stats.early_exit, off.stats.early_exit);
+                        prop_assert_eq!(
+                            on.stats.oracle_queries + on.stats.local_bits.probes_avoided,
+                            off.stats.oracle_queries
+                        );
+                    }
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn local_bitmaps_cross_the_inline_spill_boundary() {
+    // Near-complete cores of 62–70 vertices produce sublists whose tails
+    // straddle the 64-bit inline mask: below it the bitmap row feeds the
+    // inline word only, above it the spill words too. Both sides must stay
+    // bit-identical to the scalar walk, and the fringe vertices keep some
+    // short scalar sublists in the same level so mixed dispatch is covered.
+    use gpu_max_clique::mce::{EdgeIndexKind, LocalBitsMode};
+    prop::check_with(
+        config_with(8),
+        "local_bitmaps_cross_the_inline_spill_boundary",
+        |rng| {
+            let core = rng.gen_range(62usize..=70);
+            let fringe = rng.gen_range(0usize..=4);
+            let mut edges = Vec::new();
+            for a in 0..core as u32 {
+                for b in (a + 1)..core as u32 {
+                    edges.push((a, b));
+                }
+            }
+            for f in 0..fringe {
+                let v = (core + f) as u32;
+                for u in 0..core as u32 {
+                    if rng.gen_range(0usize..3) == 0 {
+                        edges.push((u, v));
+                    }
+                }
+            }
+            (core + fringe, edges)
+        },
+        // A near-complete edge list has no useful smaller shape; replay the
+        // failing seed via GMC_PROP_SEED instead of shrinking ~2400 edges.
+        |_case| Vec::new(),
+        |case| {
+            let graph = csr(case);
+            for workers in [1usize, 8] {
+                for kind in [EdgeIndexKind::BinarySearch, EdgeIndexKind::Bitset] {
+                    let solve = |local: LocalBitsMode| {
+                        MaxCliqueSolver::new(Device::new(workers, usize::MAX))
+                            .edge_index(kind)
+                            .fused(true)
+                            .local_bits(local)
+                            .solve(&graph)
+                            .unwrap()
+                    };
+                    let off = solve(LocalBitsMode::Off);
+                    for local in [LocalBitsMode::On, LocalBitsMode::Auto] {
+                        let on = solve(local);
+                        prop_assert_eq!(on.clique_number, off.clique_number);
+                        prop_assert_eq!(&on.cliques, &off.cliques);
+                        prop_assert_eq!(&on.stats.level_entries, &off.stats.level_entries);
+                        prop_assert_eq!(
+                            on.stats.oracle_queries + on.stats.local_bits.probes_avoided,
+                            off.stats.oracle_queries
+                        );
+                        // On forces a bitmap for every 62+-member core
+                        // sublist; Auto correctly stays scalar here — the
+                        // near-complete core makes the bound tight (need ≈ m
+                        // at every level), so the provable walk savings never
+                        // cover the build cost.
+                        if local == LocalBitsMode::On {
+                            prop_assert!(on.stats.local_bits.rows_built > 0);
+                        } else {
+                            prop_assert_eq!(on.stats.local_bits.rows_built, 0);
+                        }
+                    }
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn auto_threshold_edge_keeps_modes_equivalent() {
+    // Wheels of 29–36 rim vertices under *index* orientation (so the hub at
+    // vertex 0 sources one sublist of exactly m members) put the sublist
+    // length right at the Auto heuristic's 32-member cutoff: below it Auto
+    // must stay scalar (zero rows built), at or above it the degree-light,
+    // loose-bound sublist passes the walk-vs-build test and the bitmap
+    // fires — and in both regimes every mode returns identical results
+    // with exact probe reconciliation. The rim cycle matters: it keeps the
+    // whole wheel in its own 3-core, so setup's core-number pruning (the
+    // wheel's triangles bound ω at 3) cannot strip any hub member — a bare
+    // star's degree-1 leaves would all be pruned before the BFS begins.
+    use gpu_max_clique::mce::{LocalBitsMode, OrientationRule};
+    prop::check_with(
+        config_with(16),
+        "auto_threshold_edge_keeps_modes_equivalent",
+        |rng| {
+            let m = rng.gen_range(29usize..=36);
+            let mut edges: Vec<(u32, u32)> = (1..=m as u32).map(|v| (0, v)).collect();
+            for v in 1..m as u32 {
+                edges.push((v, v + 1));
+            }
+            edges.push((1, m as u32));
+            (m + 1, edges)
+        },
+        |_case| Vec::new(),
+        |case| {
+            let graph = csr(case);
+            let m = case.0 - 1;
+            let solve = |local: LocalBitsMode| {
+                MaxCliqueSolver::new(Device::new(2, usize::MAX))
+                    .orientation(OrientationRule::Index)
+                    .fused(true)
+                    .local_bits(local)
+                    .solve(&graph)
+                    .unwrap()
+            };
+            let off = solve(LocalBitsMode::Off);
+            let on = solve(LocalBitsMode::On);
+            let auto = solve(LocalBitsMode::Auto);
+            for run in [&on, &auto] {
+                prop_assert_eq!(run.clique_number, off.clique_number);
+                prop_assert_eq!(&run.cliques, &off.cliques);
+                prop_assert_eq!(&run.stats.level_entries, &off.stats.level_entries);
+                prop_assert_eq!(
+                    run.stats.oracle_queries + run.stats.local_bits.probes_avoided,
+                    off.stats.oracle_queries
+                );
+            }
+            prop_assert!(on.stats.local_bits.rows_built > 0);
+            // The hub sublist has exactly m members and deeper levels only
+            // shrink, so Auto fires iff m reaches the 32-member cutoff
+            // (with ω = 3 the bound is loose, so the triangular walk bound
+            // dwarfs the rim's m cycle edges + m² build cost).
+            if m >= 32 {
+                prop_assert!(auto.stats.local_bits.rows_built > 0, "m={m}");
+            } else {
+                prop_assert_eq!(auto.stats.local_bits.rows_built, 0);
             }
             Ok(())
         },
