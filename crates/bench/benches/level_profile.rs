@@ -80,6 +80,9 @@ fn main() {
                     total_entries: result.stats.level_entries.iter().sum(),
                     level_entries: result.stats.level_entries,
                 }),
+                Err(err @ SolveError::FaultRetriesExhausted { .. }) => {
+                    panic!("no fault plan is armed in this bench: {err}")
+                }
                 Err(SolveError::DeviceOom(_)) => rows.push(ProfileRow {
                     dataset: dataset.name().to_string(),
                     heuristic: kind.name().to_string(),

@@ -3,10 +3,11 @@
 //! (`gmc_bench::harness`): warmup, calibrated iteration counts,
 //! median-of-k ns/op.
 //!
-//! `GMC_PERF_GATE=1` runs the tracing-overhead gate instead: a paired
-//! traced-vs-untraced scan timing plus a measurement of the disabled
-//! fast-path cost, failing the process if disabled tracing costs more
-//! than a few percent of a scan (see [`tracing_gate`]).
+//! `GMC_PERF_GATE=1` runs the overhead gates instead: a paired
+//! traced-vs-untraced scan timing plus measurements of the disabled
+//! fast-path costs, failing the process if disabled tracing costs more
+//! than a few percent of a scan (see [`tracing_gate`]) or if the disabled
+//! fault-injection check costs more than 1% (see [`fault_gate`]).
 
 use gmc_bench::harness::Harness;
 use gmc_dpp::Executor;
@@ -198,7 +199,7 @@ fn paired_scan_ns(samples: usize, input: &[usize]) -> (f64, f64) {
 ///    measured directly) must account for under 3% of an untraced 10k scan.
 /// 2. The untraced scan must not be slower than the recording scan beyond
 ///    noise — a broken enabled-check would show up here.
-fn tracing_gate() -> ExitCode {
+fn tracing_gate() -> bool {
     let samples: usize = gmc_trace::env::parse_or("GMC_BENCH_SAMPLES", 5);
     let n = 10_000usize;
     let input: Vec<usize> = (0..n).map(|i| i % 13).collect();
@@ -242,16 +243,64 @@ fn tracing_gate() -> ExitCode {
 
     if failed {
         eprintln!("tracing gate FAILED");
-        ExitCode::FAILURE
     } else {
         println!("tracing gate passed");
-        ExitCode::SUCCESS
     }
+    !failed
+}
+
+/// CI gate: with no fault plan armed, the fault-injection hooks must stay
+/// in the noise. Mirrors [`tracing_gate`]: the disabled path is one cached
+/// relaxed load + branch per fallible launch (`Executor::fault_armed`) and
+/// per memory charge, measured in isolation and required to account for
+/// under 1% of a pooled 10k scan.
+fn fault_gate() -> bool {
+    let samples: usize = gmc_trace::env::parse_or("GMC_BENCH_SAMPLES", 5);
+    let n = 10_000usize;
+    let input: Vec<usize> = (0..n).map(|i| i % 13).collect();
+    let mut failed = false;
+
+    println!("\n-- Fault-injection overhead gate: 10k exclusive scan --");
+    let (scan_ns, _) = paired_scan_ns(samples, &input);
+
+    let exec = Executor::new(gate_workers());
+    let before = exec.stats();
+    gmc_dpp::try_exclusive_scan(&exec, &input).expect("no injector armed");
+    let launches = exec.stats().since(&before).launches;
+    let check_iters = 10_000_000u64;
+    let start = Instant::now();
+    for _ in 0..check_iters {
+        std::hint::black_box(exec.fault_armed());
+    }
+    let check_ns = start.elapsed().as_secs_f64() * 1e9 / check_iters as f64;
+    let overhead_pct = 100.0 * (launches as f64 * check_ns) / scan_ns;
+    println!(
+        "disabled fault path: {check_ns:.2} ns/launch × {launches} launches \
+         = {overhead_pct:.3}% of the scan (gate < 1%)"
+    );
+    let budget_ok = overhead_pct < 1.0;
+    if !budget_ok {
+        eprintln!("FAIL: disabled fault-injection overhead exceeds the budget");
+    }
+    failed |= !budget_ok;
+
+    if failed {
+        eprintln!("fault gate FAILED");
+    } else {
+        println!("fault gate passed");
+    }
+    !failed
 }
 
 fn main() -> ExitCode {
     if std::env::var("GMC_PERF_GATE").as_deref() == Ok("1") {
-        return tracing_gate();
+        let tracing_ok = tracing_gate();
+        let faults_ok = fault_gate();
+        return if tracing_ok && faults_ok {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
     }
     let mut harness = Harness::from_args();
     bench_scan(&mut harness);

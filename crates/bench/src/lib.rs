@@ -303,6 +303,7 @@ pub fn run_solver(
     match solver.solve(graph) {
         Ok(result) => Ok(RunOutcome::Solved(record_of(graph, &result))),
         Err(SolveError::DeviceOom(_)) => Ok(RunOutcome::Oom),
+        Err(err @ SolveError::FaultRetriesExhausted { .. }) => Err(err),
     }
 }
 

@@ -1,0 +1,181 @@
+//! Counter-shape trend gate over the committed bench records.
+//!
+//! Re-parses `BENCH_fused.json` and `BENCH_localbits.json` with the
+//! in-tree `gmc_bench::json` parser and re-runs the probe/query counter
+//! measurements for a handful of smoke datasets. The gate fails when a
+//! current counter *regresses* past a tolerance against its committed
+//! value — deterministic counters, not wall-clock, so the gate is stable
+//! on any CI machine. Run by the `bench-trend` CI step.
+
+use gmc_bench::json::{self, Json};
+use gmc_corpus::{by_name, Tier};
+use gmc_dpp::Device;
+use gmc_mce::{LocalBitsMode, MaxCliqueSolver};
+
+/// A counter may regress by at most 10% against its committed value.
+/// Improvements (fewer queries, fewer launches) always pass.
+const TOLERANCE: f64 = 1.10;
+
+/// Spot-checked datasets: the same per-category representatives the timed
+/// micro benches use, so a regression here mirrors a regression there.
+const CHECKED: &[&str] = &[
+    "road-grid-02",
+    "ca-papers-03",
+    "socfb-campus-04",
+    "web-crawl-03",
+];
+
+fn committed(name: &str) -> Json {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let text = std::fs::read_to_string(format!("{path}/{name}"))
+        .unwrap_or_else(|e| panic!("reading committed {name}: {e}"));
+    json::parse(&text).unwrap_or_else(|e| panic!("parsing committed {name}: {e}"))
+}
+
+fn row<'a>(doc: &'a Json, dataset: &str) -> &'a Json {
+    doc.as_array()
+        .expect("record is an array of rows")
+        .iter()
+        .find(|row| row["dataset"].as_str() == Some(dataset))
+        .unwrap_or_else(|| panic!("dataset {dataset} missing from committed record"))
+}
+
+fn load(dataset: &str) -> gmc_graph::Csr {
+    by_name(Tier::Smoke, dataset)
+        .unwrap_or_else(|| panic!("dataset {dataset}"))
+        .load()
+}
+
+/// `current` may beat `expected` freely but not regress past tolerance.
+fn check_counter(dataset: &str, counter: &str, current: u64, expected: u64) -> Result<(), String> {
+    if (current as f64) <= (expected as f64) * TOLERANCE {
+        Ok(())
+    } else {
+        Err(format!(
+            "{dataset}: {counter} regressed {current} vs committed {expected} (tolerance {:.0}%)",
+            (TOLERANCE - 1.0) * 100.0
+        ))
+    }
+}
+
+#[test]
+fn fused_query_and_launch_counters_have_not_regressed() {
+    let doc = committed("BENCH_fused.json");
+    let mut failures = Vec::new();
+    for dataset in CHECKED {
+        let expected = row(&doc, dataset);
+        let graph = load(dataset);
+        let fused = MaxCliqueSolver::new(Device::unlimited())
+            .fused(true)
+            .solve(&graph)
+            .expect("unlimited device");
+        for (counter, current, key) in [
+            (
+                "fused oracle queries",
+                fused.stats.oracle_queries,
+                "fused_queries",
+            ),
+            (
+                "fused launches",
+                fused.stats.launches.launches,
+                "fused_launches",
+            ),
+        ] {
+            let committed_value = expected[key]
+                .as_u64()
+                .unwrap_or_else(|| panic!("{dataset}: {key} is not an integer"));
+            if let Err(e) = check_counter(dataset, counter, current, committed_value) {
+                failures.push(e);
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "bench trend gate failed:\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn local_bitmap_probe_counters_have_not_regressed() {
+    let doc = committed("BENCH_localbits.json");
+    let mut failures = Vec::new();
+    for dataset in CHECKED {
+        let expected = row(&doc, dataset);
+        let graph = load(dataset);
+        let solve = |mode: LocalBitsMode| {
+            MaxCliqueSolver::new(Device::unlimited())
+                .fused(true)
+                .local_bits(mode)
+                .solve(&graph)
+                .expect("unlimited device")
+        };
+        let off = solve(LocalBitsMode::Off);
+        let on = solve(LocalBitsMode::On);
+        for (counter, current, key) in [
+            (
+                "scalar oracle queries",
+                off.stats.oracle_queries,
+                "scalar_queries",
+            ),
+            (
+                "bitmap-on oracle queries",
+                on.stats.oracle_queries,
+                "on_queries",
+            ),
+        ] {
+            let committed_value = expected[key]
+                .as_u64()
+                .unwrap_or_else(|| panic!("{dataset}: {key} is not an integer"));
+            if let Err(e) = check_counter(dataset, counter, current, committed_value) {
+                failures.push(e);
+            }
+        }
+        // The bitmap path must still *avoid* probes: at least 90% of the
+        // committed avoided count.
+        let committed_avoided = expected["on_avoided"].as_u64().expect("on_avoided");
+        let current_avoided = on.stats.local_bits.probes_avoided;
+        if (current_avoided as f64) < (committed_avoided as f64) / TOLERANCE {
+            failures.push(format!(
+                "{dataset}: on_avoided fell to {current_avoided} vs committed {committed_avoided}"
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "bench trend gate failed:\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn committed_records_are_internally_consistent() {
+    // Shape check on the full committed records: every row parses, the
+    // derived percentages match their inputs, and the fused pipeline never
+    // issues more queries than the unfused baseline it replaced.
+    let fused = committed("BENCH_fused.json");
+    for row in fused.as_array().expect("array") {
+        let f = row["fused_queries"].as_f64().expect("fused_queries");
+        let u = row["unfused_queries"].as_f64().expect("unfused_queries");
+        let pct = row["query_reduction_pct"].as_f64().expect("pct");
+        let derived = if u == 0.0 { 0.0 } else { 100.0 * (1.0 - f / u) };
+        assert!(
+            (pct - derived).abs() < 1e-6,
+            "{}: committed reduction {pct} != derived {derived}",
+            row["dataset"].as_str().unwrap_or("?")
+        );
+        assert!(f <= u, "fused pipeline must not add queries");
+    }
+
+    let localbits = committed("BENCH_localbits.json");
+    for row in localbits.as_array().expect("array") {
+        let scalar = row["scalar_queries"].as_f64().expect("scalar_queries");
+        let on_q = row["on_queries"].as_f64().expect("on_queries");
+        let on_avoided = row["on_avoided"].as_f64().expect("on_avoided");
+        assert!(
+            (on_q + on_avoided - scalar).abs() < 1e-6,
+            "{}: on_queries + on_avoided must equal scalar_queries",
+            row["dataset"].as_str().unwrap_or("?")
+        );
+    }
+}

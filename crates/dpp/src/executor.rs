@@ -1,3 +1,4 @@
+use crate::fault::{FaultInjector, LaunchError};
 use crate::stats::{LaunchStats, StatsCells};
 use gmc_trace::{SpanGuard, Tracer};
 use std::panic::AssertUnwindSafe;
@@ -84,6 +85,11 @@ struct ExecutorInner {
     /// Cache of "is a live tracer installed": the disabled-tracing fast
     /// path is this one relaxed load and a branch per launch.
     trace_on: AtomicBool,
+    /// Armed fault injector (see [`Executor::set_fault_injector`]);
+    /// `fault_on` caches whether it can fail launches so the fault-free
+    /// path of the `try_*` wrappers is one relaxed load and a branch.
+    fault: RwLock<Option<FaultInjector>>,
+    fault_on: AtomicBool,
 }
 
 /// Bulk-synchronous parallel executor: the reproduction's stand-in for a GPU.
@@ -134,6 +140,8 @@ impl Executor {
                 sequential_grid_limit: AtomicUsize::new(initial_sequential_grid_limit()),
                 tracer: RwLock::new(Tracer::disabled()),
                 trace_on: AtomicBool::new(false),
+                fault: RwLock::new(None),
+                fault_on: AtomicBool::new(false),
             }),
         }
     }
@@ -179,6 +187,62 @@ impl Executor {
             return Tracer::disabled();
         }
         self.inner.tracer.read().unwrap().clone()
+    }
+
+    /// Arms (or with `None` disarms) fault injection for the fallible
+    /// `try_*` launch wrappers: each such launch first rolls the injector's
+    /// launch fault and returns [`LaunchError`] — without running the
+    /// kernel — when it fires. The infallible wrappers never consult the
+    /// injector, so unplumbed call sites cannot panic while faults are
+    /// armed; fault coverage is exactly the sites converted to `try_*`.
+    pub fn set_fault_injector(&self, injector: Option<FaultInjector>) {
+        let on = injector
+            .as_ref()
+            .is_some_and(|inj| inj.plan().launch_rate > 0.0);
+        *self.inner.fault.write().unwrap() = injector;
+        self.inner.fault_on.store(on, Ordering::Relaxed);
+    }
+
+    /// The armed fault injector, if any. Pipelines use this to reach the
+    /// shared recovery counters without threading the injector by hand.
+    pub fn fault_injector(&self) -> Option<FaultInjector> {
+        self.inner.fault.read().unwrap().clone()
+    }
+
+    /// Whether a launch-faulting injector is armed — the exact relaxed load
+    /// the `try_*` wrappers pay per launch when faults are disabled (probed
+    /// by the `GMC_PERF_GATE=1` micro bench).
+    #[inline]
+    pub fn fault_armed(&self) -> bool {
+        self.inner.fault_on.load(Ordering::Relaxed)
+    }
+
+    /// Rolls one launch fault for `name`; `Err` means the launch must not
+    /// run. The disabled path is one relaxed load and a branch. The `try_*`
+    /// wrappers call this per launch; composite primitives (scan, select)
+    /// call it once up front so a faulted call fails before mutating its
+    /// output.
+    #[inline]
+    pub fn check_launch_fault(&self, name: &'static str) -> Result<(), LaunchError> {
+        if !self.inner.fault_on.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        self.roll_injected_launch(name)
+    }
+
+    /// Injected-launch slow path, out of line so the fault-free `try_*`
+    /// launch stays one relaxed load and a branch.
+    #[cold]
+    fn roll_injected_launch(&self, name: &'static str) -> Result<(), LaunchError> {
+        let guard = self.inner.fault.read().unwrap();
+        let Some(step) = guard.as_ref().and_then(FaultInjector::roll_launch) else {
+            return Ok(());
+        };
+        if self.inner.trace_on.load(Ordering::Relaxed) {
+            let tracer = self.inner.tracer.read().unwrap();
+            tracer.instant("fault_launch_injected", &[("step", step as i64)]);
+        }
+        Err(LaunchError { kernel: name, step })
     }
 
     /// Opens the per-launch span, or `None` on the disabled fast path.
@@ -295,6 +359,91 @@ impl Executor {
         self.inner.stats.record_fused_launch(name, n);
         let _span = self.launch_span(name, n);
         self.dispatch_indexed(n, kernel);
+    }
+
+    /// Fallible [`Executor::for_each_indexed_named`]: rolls the armed fault
+    /// injector first and returns [`LaunchError`] — with the kernel not run
+    /// and nothing recorded — when it fires. Production pipeline launch
+    /// sites call this so injected launch faults surface as errors the
+    /// solver recovers from instead of panics.
+    pub fn try_for_each_indexed_named<F>(
+        &self,
+        name: &'static str,
+        n: usize,
+        kernel: F,
+    ) -> Result<(), LaunchError>
+    where
+        F: Fn(usize) + Sync,
+    {
+        self.check_launch_fault(name)?;
+        self.for_each_indexed_named(name, n, kernel);
+        Ok(())
+    }
+
+    /// Fallible [`Executor::for_each_indexed_fused_named`]; see
+    /// [`Executor::try_for_each_indexed_named`].
+    pub fn try_for_each_indexed_fused_named<F>(
+        &self,
+        name: &'static str,
+        n: usize,
+        kernel: F,
+    ) -> Result<(), LaunchError>
+    where
+        F: Fn(usize) + Sync,
+    {
+        self.check_launch_fault(name)?;
+        self.for_each_indexed_fused_named(name, n, kernel);
+        Ok(())
+    }
+
+    /// Fallible [`Executor::for_each_chunk_named`]; see
+    /// [`Executor::try_for_each_indexed_named`].
+    pub fn try_for_each_chunk_named<F>(
+        &self,
+        name: &'static str,
+        n: usize,
+        body: F,
+    ) -> Result<(), LaunchError>
+    where
+        F: Fn(usize, std::ops::Range<usize>) + Sync,
+    {
+        self.check_launch_fault(name)?;
+        self.for_each_chunk_named(name, n, body);
+        Ok(())
+    }
+
+    /// Fallible [`Executor::fill_indexed_named`]; see
+    /// [`Executor::try_for_each_indexed_named`]. On `Err` the output slice
+    /// is untouched.
+    pub fn try_fill_indexed_named<T, F>(
+        &self,
+        name: &'static str,
+        out: &mut [T],
+        kernel: F,
+    ) -> Result<(), LaunchError>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        self.check_launch_fault(name)?;
+        self.fill_indexed_named(name, out, kernel);
+        Ok(())
+    }
+
+    /// Fallible [`Executor::map_indexed_named`]; see
+    /// [`Executor::try_for_each_indexed_named`].
+    pub fn try_map_indexed_named<T, F>(
+        &self,
+        name: &'static str,
+        n: usize,
+        kernel: F,
+    ) -> Result<Vec<T>, LaunchError>
+    where
+        T: Send + Copy + Default,
+        F: Fn(usize) -> T + Sync,
+    {
+        self.check_launch_fault(name)?;
+        Ok(self.map_indexed_named(name, n, kernel))
     }
 
     fn dispatch_indexed<F>(&self, n: usize, kernel: F)
@@ -740,6 +889,73 @@ mod tests {
         for (i, v) in out.iter().enumerate() {
             assert_eq!(*v, (i * 3) as u64);
         }
+    }
+
+    #[test]
+    fn armed_try_launches_fail_without_running_or_recording() {
+        let exec = Executor::new(2);
+        let plan: crate::fault::FaultPlan = "launch=1".parse().unwrap();
+        let injector = crate::fault::FaultInjector::new(plan);
+        exec.set_fault_injector(Some(injector.clone()));
+        assert!(exec.fault_armed());
+        let before = exec.stats();
+        let ran = AtomicU64::new(0);
+        let err = exec
+            .try_for_each_indexed_named("faulted_kernel", 100, |_| {
+                ran.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap_err();
+        assert_eq!(err.kernel, "faulted_kernel");
+        assert_eq!(ran.load(Ordering::Relaxed), 0, "kernel must not run");
+        assert_eq!(
+            exec.stats().since(&before).launches,
+            0,
+            "a failed launch is not a launch"
+        );
+        assert_eq!(injector.stats().injected_launches, 1);
+        exec.set_fault_injector(None);
+        assert!(!exec.fault_armed());
+        assert!(exec.try_for_each_indexed_named("ok", 10, |_| {}).is_ok());
+    }
+
+    #[test]
+    fn unarmed_try_launches_match_infallible_ones() {
+        let exec = Executor::new(3);
+        let mapped = exec
+            .try_map_indexed_named("try_map", 10_000, |i| i as u64 * 3)
+            .unwrap();
+        assert_eq!(mapped[9999], 29_997);
+        let mut filled = vec![0u32; 5000];
+        exec.try_fill_indexed_named("try_fill", &mut filled, |i| i as u32)
+            .unwrap();
+        assert_eq!(filled[4999], 4999);
+        let hits: Vec<AtomicU64> = (0..5000).map(|_| AtomicU64::new(0)).collect();
+        exec.try_for_each_chunk_named("try_chunk", 5000, |_, range| {
+            for i in range {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        })
+        .unwrap();
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        exec.try_for_each_indexed_fused_named("try_fused", 100, |_| {})
+            .unwrap();
+    }
+
+    #[test]
+    fn alloc_only_plans_do_not_arm_the_executor() {
+        let exec = Executor::new(2);
+        let plan: crate::fault::FaultPlan = "alloc=1".parse().unwrap();
+        exec.set_fault_injector(Some(crate::fault::FaultInjector::new(plan)));
+        assert!(!exec.fault_armed());
+        for _ in 0..50 {
+            assert!(exec
+                .try_for_each_indexed_named("never_fails", 8, |_| {})
+                .is_ok());
+        }
+        assert!(
+            exec.fault_injector().is_some(),
+            "injector is still reachable"
+        );
     }
 
     #[test]

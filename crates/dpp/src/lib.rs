@@ -27,6 +27,10 @@
 //! * [`prop`] — a seeded property-testing harness (case generation plus
 //!   bounded shrinking) behind the repo's property suites (no external
 //!   `proptest`).
+//! * [`fault`] — deterministic fault injection: a seeded [`FaultPlan`] that
+//!   fails device-memory charges and `try_*` launches at a configured rate,
+//!   so the solver's recovery paths are continuously exercised
+//!   (`GMC_FAULTS`, chaos CI).
 //!
 //! Determinism: every primitive in this crate returns byte-identical output
 //! for a given input regardless of how many workers the executor has; all
@@ -36,6 +40,7 @@
 
 pub mod bits;
 mod executor;
+pub mod fault;
 mod histogram;
 mod memory;
 pub mod prop;
@@ -49,18 +54,21 @@ mod sort;
 mod stats;
 
 pub use executor::{Executor, DEFAULT_KERNEL_NAME, DEFAULT_SEQUENTIAL_GRID_LIMIT};
+pub use fault::{DeviceError, FaultInjector, FaultPlan, FaultStats, LaunchError};
 pub use histogram::histogram_u32;
 pub use memory::{DeviceBuffer, DeviceMemory, DeviceOom, MemoryGuard};
-pub use rle::{run_length_encode, run_starts};
+pub use rle::{run_length_encode, run_starts, try_run_starts};
 pub use rng::Rng;
 pub use scan::{
     exclusive_scan, exclusive_scan_by, exclusive_scan_by_into, exclusive_scan_into, inclusive_scan,
-    reduce, reduce_by,
+    reduce, reduce_by, try_exclusive_scan, try_exclusive_scan_into,
 };
 pub use segmented::{
     remove_empty_segments, segment_lengths, segmented_argmax_by_key, segmented_sum,
 };
-pub use select::{select_count, select_flagged, select_if, select_if_into, select_indices};
+pub use select::{
+    select_count, select_flagged, select_if, select_if_into, select_indices, try_select_indices,
+};
 pub use shared::{SharedSlice, UninitSlice};
 pub use sort::{sort_pairs_u32, sort_u32, sort_u32_desc};
 pub use stats::{KernelStats, LaunchStats};
@@ -111,6 +119,15 @@ impl Device {
     /// The device memory accountant.
     pub fn memory(&self) -> &DeviceMemory {
         &self.memory
+    }
+
+    /// Arms (or with `None` disarms) fault injection on both halves of the
+    /// device: the memory accountant rolls allocation faults, the executor
+    /// rolls launch faults, and both share the injector's step counter and
+    /// recovery tallies.
+    pub fn set_fault_injector(&self, injector: Option<FaultInjector>) {
+        self.memory.set_fault_injector(injector.clone());
+        self.exec.set_fault_injector(injector);
     }
 }
 

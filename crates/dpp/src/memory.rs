@@ -1,3 +1,4 @@
+use crate::fault::FaultInjector;
 use gmc_trace::Tracer;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, RwLock};
@@ -15,6 +16,9 @@ pub struct DeviceOom {
     pub live: usize,
     /// Configured device capacity in bytes.
     pub capacity: usize,
+    /// Whether the failure was produced by the fault injector rather than a
+    /// genuine capacity exhaustion. Injected failures are retryable.
+    pub injected: bool,
 }
 
 impl std::fmt::Display for DeviceOom {
@@ -33,11 +37,19 @@ struct MemoryCells {
     capacity: usize,
     live: AtomicUsize,
     peak: AtomicUsize,
+    /// Successful charges since creation — lets fault-injection harnesses
+    /// calibrate an allocation fault rate against the real charge count.
+    charges: AtomicUsize,
     /// Recording handle for the allocation counter track (see
     /// [`DeviceMemory::set_tracer`]); `trace_on` caches whether it is live
     /// so untraced charges pay one relaxed load.
     tracer: RwLock<Tracer>,
     trace_on: AtomicBool,
+    /// Armed fault injector (see [`DeviceMemory::set_fault_injector`]);
+    /// `fault_on` caches whether it is live so the fault-free path pays one
+    /// relaxed load and branch per charge.
+    fault: RwLock<Option<FaultInjector>>,
+    fault_on: AtomicBool,
 }
 
 impl MemoryCells {
@@ -80,8 +92,11 @@ impl DeviceMemory {
                 capacity: capacity_bytes,
                 live: AtomicUsize::new(0),
                 peak: AtomicUsize::new(0),
+                charges: AtomicUsize::new(0),
                 tracer: RwLock::new(Tracer::disabled()),
                 trace_on: AtomicBool::new(false),
+                fault: RwLock::new(None),
+                fault_on: AtomicBool::new(false),
             }),
         }
     }
@@ -112,6 +127,13 @@ impl DeviceMemory {
         self.cells.peak.store(self.live(), Ordering::Relaxed);
     }
 
+    /// Number of successful charges since creation. Each charge is one
+    /// potential allocation-fault site, so this is the roll count a
+    /// fault-injection harness should calibrate `alloc_rate` against.
+    pub fn charge_count(&self) -> usize {
+        self.cells.charges.load(Ordering::Relaxed)
+    }
+
     /// Installs a tracer: every charge and release then samples the
     /// `device_live_bytes` / `device_peak_bytes` counter tracks. Pass
     /// [`Tracer::disabled`] to stop recording.
@@ -121,9 +143,46 @@ impl DeviceMemory {
         self.cells.trace_on.store(on, Ordering::Relaxed);
     }
 
+    /// Arms (or with `None` disarms) fault injection: every subsequent
+    /// charge first rolls the injector's allocation fault and fails with an
+    /// `injected` [`DeviceOom`] when it fires — without touching the
+    /// live/peak accounting, exactly like a real allocator that rejects a
+    /// request it never performed.
+    pub fn set_fault_injector(&self, injector: Option<FaultInjector>) {
+        let on = injector
+            .as_ref()
+            .is_some_and(|inj| inj.plan().alloc_rate > 0.0);
+        *self.cells.fault.write().unwrap() = injector;
+        self.cells.fault_on.store(on, Ordering::Relaxed);
+    }
+
+    /// Injected-alloc slow path, out of line so the fault-free charge stays
+    /// one relaxed load and branch.
+    #[cold]
+    fn roll_injected_alloc(&self, bytes: usize) -> Option<DeviceOom> {
+        let guard = self.cells.fault.read().unwrap();
+        let injector = guard.as_ref()?;
+        injector.roll_alloc()?;
+        if self.cells.trace_on.load(Ordering::Relaxed) {
+            let tracer = self.cells.tracer.read().unwrap();
+            tracer.instant("fault_alloc_injected", &[("bytes", bytes as i64)]);
+        }
+        Some(DeviceOom {
+            requested: bytes,
+            live: self.live(),
+            capacity: self.cells.capacity,
+            injected: true,
+        })
+    }
+
     /// Attempts to charge `bytes`, returning a guard that releases the charge
     /// when dropped.
     pub fn try_charge(&self, bytes: usize) -> Result<MemoryGuard, DeviceOom> {
+        if self.cells.fault_on.load(Ordering::Relaxed) {
+            if let Some(oom) = self.roll_injected_alloc(bytes) {
+                return Err(oom);
+            }
+        }
         let prev = self.cells.live.fetch_add(bytes, Ordering::Relaxed);
         let new_live = prev.saturating_add(bytes);
         if new_live > self.cells.capacity {
@@ -132,9 +191,11 @@ impl DeviceMemory {
                 requested: bytes,
                 live: prev,
                 capacity: self.cells.capacity,
+                injected: false,
             });
         }
         self.cells.peak.fetch_max(new_live, Ordering::Relaxed);
+        self.cells.charges.fetch_add(1, Ordering::Relaxed);
         self.cells.trace_sample();
         Ok(MemoryGuard {
             cells: Arc::clone(&self.cells),
@@ -319,6 +380,33 @@ mod tests {
         let mem = DeviceMemory::unlimited();
         let _g = mem.try_charge(1 << 40).unwrap();
         assert!(mem.try_charge(1 << 40).is_ok());
+    }
+
+    #[test]
+    fn injected_alloc_faults_bypass_accounting_and_are_retryable() {
+        let mem = DeviceMemory::new(1000);
+        let plan: crate::fault::FaultPlan = "alloc=1".parse().unwrap();
+        let injector = crate::fault::FaultInjector::new(plan);
+        mem.set_fault_injector(Some(injector.clone()));
+        let err = mem.try_charge(100).unwrap_err();
+        assert!(err.injected);
+        assert_eq!(err.requested, 100);
+        assert_eq!(mem.live(), 0, "failed injected charge leaves no residue");
+        assert_eq!(mem.peak(), 0);
+        assert_eq!(injector.stats().injected_allocs, 1);
+        mem.set_fault_injector(None);
+        assert!(mem.try_charge(100).is_ok(), "disarmed memory charges again");
+    }
+
+    #[test]
+    fn zero_alloc_rate_injector_never_arms_the_fast_path() {
+        let mem = DeviceMemory::new(1000);
+        let plan: crate::fault::FaultPlan = "launch=1".parse().unwrap();
+        mem.set_fault_injector(Some(crate::fault::FaultInjector::new(plan)));
+        let guards: Vec<_> = (0..50).map(|_| mem.try_charge(1).unwrap()).collect();
+        assert_eq!(mem.live(), 50);
+        drop(guards);
+        assert_eq!(mem.live(), 0);
     }
 
     #[test]

@@ -5,12 +5,19 @@
 //! window-snapping kernel is a run-boundary scan with an `atomicMin`).
 
 use crate::executor::Executor;
-use crate::select::select_indices;
+use crate::fault::LaunchError;
+use crate::select::{select_indices, try_select_indices};
 
 /// Start index of every maximal run of equal adjacent values, in order.
 /// Empty input yields no runs.
 pub fn run_starts(exec: &Executor, values: &[u32]) -> Vec<usize> {
     select_indices(exec, values, |i, v| i == 0 || values[i - 1] != v)
+}
+
+/// Fallible [`run_starts`]: returns [`LaunchError`] — with no work
+/// performed — when the executor's armed fault injector fires.
+pub fn try_run_starts(exec: &Executor, values: &[u32]) -> Result<Vec<usize>, LaunchError> {
+    try_select_indices(exec, values, |i, v| i == 0 || values[i - 1] != v)
 }
 
 /// Run-length encodes `values`: returns `(unique_values, run_lengths)` in

@@ -18,6 +18,7 @@
 //! chunk order, so output is identical for any worker count.
 
 use crate::executor::Executor;
+use crate::fault::LaunchError;
 use crate::shared::{SharedSlice, UninitSlice};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -115,6 +116,19 @@ where
 /// Exclusive prefix sum over `usize` values; returns `(prefixes, total)`.
 pub fn exclusive_scan(exec: &Executor, input: &[usize]) -> (Vec<usize>, usize) {
     exclusive_scan_by(exec, input, 0usize, |a, b| a + b)
+}
+
+/// Fallible [`exclusive_scan`]: rolls the executor's armed fault injector
+/// once for the scan's launches and returns [`LaunchError`] — with no work
+/// performed — when it fires. Fault-free behaviour is identical to
+/// [`exclusive_scan`], and with no injector armed the extra cost is one
+/// relaxed load.
+pub fn try_exclusive_scan(
+    exec: &Executor,
+    input: &[usize],
+) -> Result<(Vec<usize>, usize), LaunchError> {
+    exec.check_launch_fault("scan_partials")?;
+    Ok(exclusive_scan(exec, input))
 }
 
 /// Status-flag encoding for the decoupled look-back scan: the top two bits
@@ -232,6 +246,22 @@ pub fn exclusive_scan_into(exec: &Executor, input: &[usize], out: &mut Vec<usize
     }
     // The last active chunk's inclusive prefix is the grand total.
     (status[active - 1].load(Ordering::Acquire) & VALUE_MASK) as usize
+}
+
+/// Fallible [`exclusive_scan_into`]: rolls the executor's armed fault
+/// injector once for the scan's launch and returns [`LaunchError`] — with
+/// `out` cleared and the input untouched — when it fires, so a recovering
+/// caller can simply retry.
+pub fn try_exclusive_scan_into(
+    exec: &Executor,
+    input: &[usize],
+    out: &mut Vec<usize>,
+) -> Result<usize, LaunchError> {
+    if let Err(err) = exec.check_launch_fault("scan_lookback") {
+        out.clear();
+        return Err(err);
+    }
+    Ok(exclusive_scan_into(exec, input, out))
 }
 
 /// Inclusive prefix sum over `usize` values.

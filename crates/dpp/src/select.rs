@@ -5,6 +5,7 @@
 //! filtering).
 
 use crate::executor::Executor;
+use crate::fault::LaunchError;
 use crate::scan::exclusive_scan;
 use crate::shared::{SharedSlice, UninitSlice};
 
@@ -101,6 +102,22 @@ where
         });
     }
     out
+}
+
+/// Fallible [`select_indices`]: rolls the executor's armed fault injector
+/// once for the select's launches and returns [`LaunchError`] — with no
+/// work performed — when it fires.
+pub fn try_select_indices<T, P>(
+    exec: &Executor,
+    data: &[T],
+    pred: P,
+) -> Result<Vec<usize>, LaunchError>
+where
+    T: Copy + Send + Sync,
+    P: Fn(usize, T) -> bool + Sync,
+{
+    exec.check_launch_fault("select_count")?;
+    Ok(select_indices(exec, data, pred))
 }
 
 fn per_chunk_counts<T, P>(exec: &Executor, data: &[T], pred: &P) -> Vec<usize>

@@ -73,7 +73,7 @@
 use crate::arena::{LevelArena, LocalSeg};
 use crate::config::LocalBitsMode;
 use gmc_cliquelist::{CliqueLevel, CliqueList};
-use gmc_dpp::{bits, Device, DeviceOom, SharedSlice, UninitSlice};
+use gmc_dpp::{bits, Device, DeviceError, SharedSlice, UninitSlice};
 use gmc_graph::{local_row_intersect, pack_member, Csr, EdgeOracle};
 
 /// Result of expanding one clique list to exhaustion.
@@ -172,8 +172,14 @@ fn min_walk_lower_bound(m: usize, need: usize) -> usize {
 /// for find-one-better pass `best + 1`. `fused` selects the pipeline and
 /// `local_bits` the sublist-bitmap fast path within it (see the module
 /// docs); `arena` supplies recycled scratch and absorbs the retired levels'
-/// buffers on return, including the OOM path. The graph backs the bitmap
+/// buffers on return, including the error path. The graph backs the bitmap
 /// builds — all scalar connectivity goes through the oracle.
+///
+/// Failures — genuine OOM or injected allocation/launch faults — surface as
+/// [`DeviceError`] with the arena released, so the caller can retry (fault
+/// recovery) or split the window (OOM). One fault is recovered *inside* the
+/// loop: an injected failure while building a level's local bitmaps drops
+/// that level back to the scalar walk, which is bit-identical by design.
 #[allow(clippy::too_many_arguments)] // mirrors the solver's knobs 1:1
 pub(crate) fn expand<O: EdgeOracle + ?Sized>(
     device: &Device,
@@ -185,7 +191,7 @@ pub(crate) fn expand<O: EdgeOracle + ?Sized>(
     fused: bool,
     local_bits: LocalBitsMode,
     arena: &mut LevelArena,
-) -> Result<ExpansionOutcome, DeviceOom> {
+) -> Result<ExpansionOutcome, DeviceError> {
     let mut list = CliqueList::new();
     let mut level_entries = vec![level0.len()];
     if level0.is_empty() {
@@ -229,10 +235,10 @@ pub(crate) fn expand<O: EdgeOracle + ?Sized>(
         )
     };
     let outcome = match grown {
-        Err(oom) => {
+        Err(err) => {
             recycle(arena, &mut list);
             arena.release_charges();
-            return Err(oom);
+            return Err(err);
         }
         Ok(Some(clique)) => {
             // Early exit (paper Algorithm 2, line 36) fired.
@@ -308,9 +314,10 @@ fn grow_fused<O: EdgeOracle + ?Sized>(
     arena: &mut LevelArena,
     queries: &mut u64,
     local_stats: &mut LocalBitsStats,
-) -> Result<Option<Vec<u32>>, DeviceOom> {
+) -> Result<Option<Vec<u32>>, DeviceError> {
     let exec = device.exec();
     let tracer = exec.tracer();
+    let injector = exec.fault_injector();
     arena.set_tails_from_sublists(list.head().expect("list is non-empty").sublist_ids());
     loop {
         let head = list.head().expect("list is non-empty");
@@ -337,15 +344,18 @@ fn grow_fused<O: EdgeOracle + ?Sized>(
         let spill_total = if max_tail as usize > INLINE_BITS {
             let tails = &arena.tails;
             let words_dst = UninitSlice::for_vec(&mut arena.spill_words, len);
-            exec.for_each_indexed_named("bfs_spill_words", len, |i| {
+            exec.try_for_each_indexed_named("bfs_spill_words", len, |i| {
                 let words = (tails[i] as usize).saturating_sub(INLINE_BITS).div_ceil(64);
                 // SAFETY: one write per index.
                 unsafe { words_dst.write(i, words) };
-            });
+            })?;
             // SAFETY: the launch above wrote every index in 0..len.
             unsafe { arena.spill_words.set_len(len) };
-            let total =
-                gmc_dpp::exclusive_scan_into(exec, &arena.spill_words, &mut arena.spill_offsets);
+            let total = gmc_dpp::try_exclusive_scan_into(
+                exec,
+                &arena.spill_words,
+                &mut arena.spill_offsets,
+            )?;
             arena.charge_spill(device.memory(), total * std::mem::size_of::<u64>())?;
             total
         } else {
@@ -357,9 +367,26 @@ fn grow_fused<O: EdgeOracle + ?Sized>(
         // mode off, or every sublist rejected — keeps the level on the
         // plain scalar kernel with zero dispatch overhead.
         let local_words = plan_local_segments(graph, vertex_id, arena, local_bits, need);
-        let local_active = local_words > 0;
+        let mut local_active = local_words > 0;
         if local_active {
-            build_local_bitmaps(device, graph, vertex_id, arena, local_words)?;
+            if let Err(err) = build_local_bitmaps(device, graph, vertex_id, arena, local_words) {
+                let recoverable = err.is_injected() && injector.is_some();
+                if !recoverable {
+                    return Err(err);
+                }
+                // Recovery ladder, first rung: an injected fault in the
+                // bitmap build drops this level back to the scalar walk —
+                // bit-identical output by design, only the query tally
+                // shifts from `probes_avoided` to real probes.
+                injector
+                    .as_ref()
+                    .expect("recoverable implies an armed injector")
+                    .note_bitmap_fallback(&err);
+                if tracer.is_enabled() {
+                    tracer.instant("fault_bitmap_fallback", &[("k", k as i64)]);
+                }
+                local_active = false;
+            }
         }
 
         // Fused COUNTCLIQUES: the single adjacency walk records both the
@@ -380,7 +407,7 @@ fn grow_fused<O: EdgeOracle + ?Sized>(
                 let segs = &arena.segs;
                 let seg_of = &arena.seg_of;
                 let local_rows = &arena.local_rows;
-                exec.for_each_indexed_fused_named("bfs_count_cliques_local", len, |i| {
+                exec.try_for_each_indexed_fused_named("bfs_count_cliques_local", len, |i| {
                     let t = tails[i] as usize;
                     let spill_base = if t > INLINE_BITS { spill_offsets[i] } else { 0 };
                     let seg = &segs[seg_of[i] as usize];
@@ -412,9 +439,9 @@ fn grow_fused<O: EdgeOracle + ?Sized>(
                             &spill_dst,
                         );
                     }
-                });
+                })?;
             } else {
-                exec.for_each_indexed_fused_named("bfs_count_cliques_fused", len, |i| {
+                exec.try_for_each_indexed_fused_named("bfs_count_cliques_fused", len, |i| {
                     let t = tails[i] as usize;
                     let spill_base = if t > INLINE_BITS { spill_offsets[i] } else { 0 };
                     scalar_count_walk(
@@ -428,7 +455,7 @@ fn grow_fused<O: EdgeOracle + ?Sized>(
                         &masks_dst,
                         &spill_dst,
                     );
-                });
+                })?;
             }
             // SAFETY: the launch wrote every index of all three buffers
             // (spill spans tile 0..spill_total across entries with long
@@ -479,7 +506,7 @@ fn grow_fused<O: EdgeOracle + ?Sized>(
                 .sum::<u64>();
         }
 
-        let total = gmc_dpp::exclusive_scan_into(exec, &arena.counts, &mut arena.offsets);
+        let total = gmc_dpp::try_exclusive_scan_into(exec, &arena.counts, &mut arena.offsets)?;
         if let Some(span) = level_span.as_mut() {
             span.arg("emitted", total as i64);
             span.arg(
@@ -511,7 +538,7 @@ fn grow_fused<O: EdgeOracle + ?Sized>(
             let vertex_dst = UninitSlice::for_vec(&mut new_vertex, total);
             let sublist_dst = UninitSlice::for_vec(&mut new_sublist, total);
             let tails_dst = UninitSlice::for_vec(&mut arena.next_tails, total);
-            exec.for_each_indexed_fused_named("bfs_emit_cliques_fused", len, |i| {
+            exec.try_for_each_indexed_fused_named("bfs_emit_cliques_fused", len, |i| {
                 if counts[i] == 0 {
                     return;
                 }
@@ -547,7 +574,7 @@ fn grow_fused<O: EdgeOracle + ?Sized>(
                     }
                 }
                 debug_assert_eq!(cursor, end, "mask replay disagrees with count");
-            });
+            })?;
             // SAFETY: counts/offsets tile 0..total, so the launch wrote
             // every slot of all three buffers.
             unsafe {
@@ -648,7 +675,7 @@ fn build_local_bitmaps(
     vertex_id: &[u32],
     arena: &mut LevelArena,
     total_words: usize,
-) -> Result<(), DeviceOom> {
+) -> Result<(), DeviceError> {
     let exec = device.exec();
     let total_rows = arena.row_seg.len();
     // Member keys and row words are device-resident between these launches
@@ -664,7 +691,7 @@ fn build_local_bitmaps(
     {
         let segs = &arena.segs;
         let members_dst = UninitSlice::for_vec(&mut arena.members, total_rows);
-        exec.for_each_indexed_named("bfs_local_sort_members", segs.len(), |s| {
+        exec.try_for_each_indexed_named("bfs_local_sort_members", segs.len(), |s| {
             let seg = &segs[s];
             if !seg.bitmap {
                 return;
@@ -678,7 +705,7 @@ fn build_local_bitmaps(
                 // and each slot is written exactly once.
                 unsafe { members_dst.write(seg.row0 + idx, key) };
             }
-        });
+        })?;
         // SAFETY: every span of 0..total_rows was written by the launch.
         unsafe { arena.members.set_len(total_rows) };
     }
@@ -694,7 +721,7 @@ fn build_local_bitmaps(
         let row_seg = &arena.row_seg;
         let members = &arena.members;
         let rows = SharedSlice::new(&mut arena.local_rows);
-        exec.for_each_indexed_named("bfs_local_build_rows", total_rows, |j| {
+        exec.try_for_each_indexed_named("bfs_local_build_rows", total_rows, |j| {
             let seg = &segs[row_seg[j] as usize];
             let r = j - seg.row0;
             let base = seg.rows_off + r * seg.words_per_row;
@@ -704,7 +731,7 @@ fn build_local_bitmaps(
                 // SAFETY: row j's words are touched by thread j alone.
                 unsafe { rows.write(w, rows.read(w) | (1u64 << (pos % 64))) };
             });
-        });
+        })?;
     }
     Ok(())
 }
@@ -865,7 +892,7 @@ fn grow_unfused<O: EdgeOracle + ?Sized>(
     early_exit_enabled: bool,
     arena: &mut LevelArena,
     queries: &mut u64,
-) -> Result<Option<Vec<u32>>, DeviceOom> {
+) -> Result<Option<Vec<u32>>, DeviceError> {
     let exec = device.exec();
     let tracer = exec.tracer();
     loop {
@@ -887,7 +914,7 @@ fn grow_unfused<O: EdgeOracle + ?Sized>(
 
         // COUNTCLIQUES: adjacent successors within the sublist, pruned
         // against the target.
-        let counts: Vec<usize> = exec.map_indexed_named("bfs_count_cliques", len, |i| {
+        let counts: Vec<usize> = exec.try_map_indexed_named("bfs_count_cliques", len, |i| {
             let mut connected = 0usize;
             let mut j = i + 1;
             while j < len && sublist_id[j] == sublist_id[i] {
@@ -901,9 +928,9 @@ fn grow_unfused<O: EdgeOracle + ?Sized>(
             } else {
                 connected
             }
-        });
+        })?;
 
-        let (offsets, total) = gmc_dpp::exclusive_scan(exec, &counts);
+        let (offsets, total) = gmc_dpp::try_exclusive_scan(exec, &counts)?;
 
         // The output kernel re-walks the full tail of every unpruned entry.
         *queries += arena
@@ -929,7 +956,7 @@ fn grow_unfused<O: EdgeOracle + ?Sized>(
         {
             let vertex_shared = SharedSlice::new(&mut new_vertex);
             let sublist_shared = SharedSlice::new(&mut new_sublist);
-            exec.for_each_indexed_named("bfs_output_new_cliques", len, |i| {
+            exec.try_for_each_indexed_named("bfs_output_new_cliques", len, |i| {
                 if counts[i] == 0 {
                     return;
                 }
@@ -946,7 +973,7 @@ fn grow_unfused<O: EdgeOracle + ?Sized>(
                     }
                     j += 1;
                 }
-            });
+            })?;
         }
 
         let new_level = CliqueLevel::from_vecs(device.memory(), new_vertex, new_sublist)?;

@@ -1,4 +1,4 @@
-use gmc_dpp::Tracer;
+use gmc_dpp::{FaultPlan, Tracer};
 use gmc_heuristic::HeuristicKind;
 
 /// Which directed arc of each undirected edge survives orientation
@@ -273,6 +273,14 @@ pub struct SolverConfig {
     /// solve, and wraps every phase, BFS level and window in spans.
     /// Disabled by default (cost: one branch per instrumented site).
     pub trace: Tracer,
+    /// Deterministic fault injection: when set to an active plan, the
+    /// solver arms a [`gmc_dpp::FaultInjector`] on the device for the
+    /// expansion phase, making allocations and launches fail at the plan's
+    /// rates; the recovery ladder (arena release → window shrink →
+    /// bitmap→scalar fallback) must then reproduce the fault-free clique
+    /// set bit for bit. Defaults to `GMC_FAULTS`
+    /// (`seed=S,alloc=R,launch=R,retries=N`) or `None` when unset.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for SolverConfig {
@@ -290,6 +298,7 @@ impl Default for SolverConfig {
             fused: true,
             local_bits: LocalBitsMode::from_env(),
             trace: Tracer::disabled(),
+            faults: FaultPlan::from_env(),
         }
     }
 }

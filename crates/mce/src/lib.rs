@@ -37,7 +37,7 @@ pub use verify::{verify_result, VerifyError};
 pub use window::WindowStats;
 
 use gmc_cliquelist::CliqueLevel;
-use gmc_dpp::{Device, DeviceOom, LaunchStats, Tracer};
+use gmc_dpp::{Device, DeviceError, DeviceOom, FaultInjector, FaultStats, LaunchStats, Tracer};
 use gmc_graph::{BitMatrix, Csr, EdgeOracle, HashAdjacency};
 use gmc_heuristic::{run_heuristic, HeuristicKind, HeuristicResult};
 use std::time::{Duration, Instant};
@@ -49,12 +49,24 @@ pub enum SolveError {
     /// OOM outcome. The windowed variant or a better heuristic may still
     /// solve the instance.
     DeviceOom(DeviceOom),
+    /// Injected faults (see [`SolverConfig::faults`]) kept failing the
+    /// expansion past the fault plan's retry cap. Only fault-injected runs
+    /// can return this; it is the typed give-up the chaos suite asserts on
+    /// instead of a panic.
+    FaultRetriesExhausted {
+        /// Expansion attempts made before giving up (`max_retries + 1`).
+        attempts: u32,
+    },
 }
 
 impl std::fmt::Display for SolveError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SolveError::DeviceOom(oom) => write!(f, "solve ran out of device memory: {oom}"),
+            SolveError::FaultRetriesExhausted { attempts } => write!(
+                f,
+                "injected faults exhausted the expansion retry cap after {attempts} attempts"
+            ),
         }
     }
 }
@@ -114,6 +126,10 @@ pub struct SolveStats {
     pub launches: LaunchStats,
     /// Window counters when the windowed variant ran.
     pub window: Option<WindowStats>,
+    /// Exact fault-injection counters (all zero unless
+    /// [`SolverConfig::faults`] armed an active plan). On a successful solve
+    /// the recovery totals equal the injection totals.
+    pub faults: FaultStats,
 }
 
 impl SolveStats {
@@ -439,6 +455,13 @@ impl MaxCliqueSolver {
 
     /// The expansion phase, generic over the edge oracle so the count/emit
     /// kernels inline the concrete `connected` implementation.
+    ///
+    /// When [`SolverConfig::faults`] holds an active plan, the injector is
+    /// armed on the device for exactly this phase (heuristic, setup and
+    /// oracle construction run fault-free) and injected faults that escape
+    /// the inner recovery rungs — bitmap fallback inside a level, window
+    /// retry/shrink inside the sweep — are retried here from a clean slate,
+    /// up to the plan's cap.
     fn run_expansion<O: EdgeOracle>(
         &self,
         graph: &Csr,
@@ -448,6 +471,90 @@ impl MaxCliqueSolver {
         min_target: u32,
         stats: &mut SolveStats,
     ) -> Result<(Vec<Vec<u32>>, u32, bool), SolveError> {
+        let device = &self.device;
+        let injector = self
+            .config
+            .faults
+            .filter(|plan| plan.is_active())
+            .map(FaultInjector::new);
+        let Some(injector) = injector else {
+            // Fault-free: one attempt, setup arrays moved straight into the
+            // first level. Launch faults cannot occur without an injector.
+            return self
+                .expand_once(graph, oracle, setup, heuristic, min_target, stats, None)
+                .map_err(|err| match err {
+                    DeviceError::Oom(oom) => SolveError::DeviceOom(oom),
+                    DeviceError::Launch(launch) => {
+                        unreachable!("launch fault without an injector: {launch}")
+                    }
+                });
+        };
+
+        device.set_fault_injector(Some(injector.clone()));
+        let tracer = device.exec().tracer();
+        let max_retries = injector.plan().max_retries;
+        let mut attempts = 0u32;
+        let result = loop {
+            attempts += 1;
+            // Each attempt consumes its own copy of the setup arrays so a
+            // faulted attempt leaves the originals intact for the next one.
+            let attempt_setup = setup::SetupOutput {
+                vertex_id: setup.vertex_id.clone(),
+                sublist_id: setup.sublist_id.clone(),
+                stats: setup.stats,
+            };
+            match self.expand_once(
+                graph,
+                oracle,
+                attempt_setup,
+                heuristic,
+                min_target,
+                stats,
+                Some(&injector),
+            ) {
+                Ok(found) => break Ok(found),
+                Err(err) if err.is_injected() => {
+                    if attempts > max_retries {
+                        break Err(SolveError::FaultRetriesExhausted { attempts });
+                    }
+                    injector.note_recovery(&err);
+                    if tracer.is_enabled() {
+                        tracer
+                            .instant("fault_expansion_retry", &[("attempt", i64::from(attempts))]);
+                    }
+                }
+                Err(DeviceError::Oom(oom)) => break Err(SolveError::DeviceOom(oom)),
+                Err(DeviceError::Launch(launch)) => {
+                    unreachable!("non-injected launch fault: {launch}")
+                }
+            }
+        };
+        device.set_fault_injector(None);
+        stats.faults = injector.stats();
+        if result.is_ok() {
+            let f = stats.faults;
+            assert_eq!(
+                (f.alloc_recoveries, f.launch_recoveries),
+                (f.injected_allocs, f.injected_launches),
+                "a successful solve must recover every injected fault exactly once: {f:?}"
+            );
+        }
+        result
+    }
+
+    /// One expansion attempt (full BFS or windowed), shared by the
+    /// fault-free path and the retry loop above.
+    #[allow(clippy::too_many_arguments)] // mirrors run_expansion plus the injector
+    fn expand_once<O: EdgeOracle>(
+        &self,
+        graph: &Csr,
+        oracle: &O,
+        setup: setup::SetupOutput,
+        heuristic: &HeuristicResult,
+        min_target: u32,
+        stats: &mut SolveStats,
+        injector: Option<&FaultInjector>,
+    ) -> Result<(Vec<Vec<u32>>, u32, bool), DeviceError> {
         let device = &self.device;
         Ok(match &self.config.window {
             None => {
@@ -487,6 +594,7 @@ impl MaxCliqueSolver {
                     self.config.early_exit,
                     self.config.fused,
                     self.config.local_bits,
+                    injector,
                 )?;
                 stats.oracle_queries = outcome.stats.oracle_queries;
                 stats.local_bits = outcome.stats.local_bits;

@@ -29,7 +29,7 @@ use crate::bfs::{expand, LocalBitsStats};
 use crate::config::{LocalBitsMode, WindowConfig, WindowOrdering};
 use crate::setup::SetupOutput;
 use gmc_cliquelist::CliqueLevel;
-use gmc_dpp::{Device, DeviceOom, SharedSlice};
+use gmc_dpp::{Device, DeviceError, FaultInjector, LaunchError, SharedSlice};
 use gmc_graph::{Csr, EdgeOracle};
 use std::sync::Mutex;
 
@@ -57,6 +57,12 @@ pub struct WindowStats {
     pub oracle_queries: u64,
     /// Sublist-local bitmap fast-path counters summed over all windows.
     pub local_bits: LocalBitsStats,
+    /// Window attempts retried after an injected fault (fault injection
+    /// only; real OOM goes through `window_splits`).
+    pub fault_retries: usize,
+    /// Windows split in half after repeated injected faults (the bounded
+    /// geometric backoff of the recovery ladder).
+    pub fault_shrinks: usize,
 }
 
 pub(crate) struct WindowOutcome {
@@ -137,19 +143,26 @@ struct SearchCtx<'a, O: EdgeOracle + ?Sized> {
     early_exit: bool,
     fused: bool,
     local_bits: LocalBitsMode,
+    /// Armed injector (shares counters with the device's copy); `None` in
+    /// fault-free runs.
+    injector: Option<FaultInjector>,
+    /// Per-window retry cap from the fault plan (0 when fault-free).
+    max_retries: u32,
 }
 
 /// Reorders whole sublists of the 2-clique list according to `ordering`.
+/// Fallible because the boundary scan is a launch the fault injector may
+/// fail; no work is performed on `Err`.
 pub(crate) fn reorder_sublists(
     exec: &gmc_dpp::Executor,
     graph: &Csr,
     vertex_id: &[u32],
     sublist_id: &[u32],
     ordering: WindowOrdering,
-) -> (Vec<u32>, Vec<u32>) {
+) -> Result<(Vec<u32>, Vec<u32>), LaunchError> {
     // Identify sublist ranges: runs of equal sublist_id (the GPU version is
     // a run-length-encode kernel).
-    let starts = gmc_dpp::run_starts(exec, sublist_id);
+    let starts = gmc_dpp::try_run_starts(exec, sublist_id)?;
     let mut ranges: Vec<(usize, usize)> = starts
         .iter()
         .enumerate()
@@ -178,7 +191,7 @@ pub(crate) fn reorder_sublists(
         new_vertex.extend_from_slice(&vertex_id[s..e]);
         new_sublist.extend_from_slice(&sublist_id[s..e]);
     }
-    (new_vertex, new_sublist)
+    Ok((new_vertex, new_sublist))
 }
 
 /// Snaps `nominal_end` to the nearest sublist boundary at or below it; if
@@ -207,6 +220,9 @@ fn window_end(sublist_id: &[u32], start: usize, nominal_end: usize) -> usize {
 ///
 /// `witness` is the heuristic clique (the initial incumbent in find-one
 /// mode); `min_enum_target` is the enumeration pruning bound `max(ω̄, 2)`.
+/// `injector` is the armed fault injector, if any; injected faults inside a
+/// window are retried (and the window shrunk) here, while faults escaping
+/// this function are the caller's outer retry loop to handle.
 #[allow(clippy::too_many_arguments)] // mirrors the solve phases 1:1
 pub(crate) fn windowed_search<O: EdgeOracle + ?Sized>(
     device: &Device,
@@ -219,7 +235,8 @@ pub(crate) fn windowed_search<O: EdgeOracle + ?Sized>(
     early_exit: bool,
     fused: bool,
     local_bits: LocalBitsMode,
-) -> Result<WindowOutcome, DeviceOom> {
+    injector: Option<&FaultInjector>,
+) -> Result<WindowOutcome, DeviceError> {
     let tracer = device.exec().tracer();
     let mut search_span = tracer.is_enabled().then(|| {
         tracer.span_with(
@@ -236,7 +253,7 @@ pub(crate) fn windowed_search<O: EdgeOracle + ?Sized>(
         &setup.vertex_id,
         &setup.sublist_id,
         config.ordering,
-    );
+    )?;
 
     let stats = WindowStats {
         nominal_size: config.size,
@@ -259,6 +276,8 @@ pub(crate) fn windowed_search<O: EdgeOracle + ?Sized>(
         early_exit,
         fused,
         local_bits,
+        injector: injector.cloned(),
+        max_retries: injector.map_or(0, |inj| inj.plan().max_retries),
     };
     if config.parallel_windows <= 1 {
         // One arena serves every window of the sweep: level scratch grown by
@@ -351,7 +370,7 @@ fn search_slice<O: EdgeOracle + ?Sized>(
     incumbent: &Mutex<Incumbent>,
     stats: &Mutex<WindowStats>,
     arena: &mut LevelArena,
-) -> Result<(), DeviceOom> {
+) -> Result<(), DeviceError> {
     let mut start = 0usize;
     while start < vertex_id.len() {
         let end = if ctx.config.size == 0 {
@@ -374,8 +393,10 @@ fn search_slice<O: EdgeOracle + ?Sized>(
     Ok(())
 }
 
-/// Expands one window; on OOM, splits or recurses when recursive windowing
-/// is enabled and depth remains.
+/// Expands one window. Injected faults are retried in place (and the window
+/// halved after repeated faults — bounded geometric backoff) up to the fault
+/// plan's retry cap; on real OOM, splits or recurses when recursive
+/// windowing is enabled and depth remains.
 #[allow(clippy::too_many_arguments)] // one slot per recursion invariant
 fn process_window<O: EdgeOracle + ?Sized>(
     ctx: &SearchCtx<'_, O>,
@@ -386,16 +407,15 @@ fn process_window<O: EdgeOracle + ?Sized>(
     incumbent: &Mutex<Incumbent>,
     stats: &Mutex<WindowStats>,
     arena: &mut LevelArena,
-) -> Result<(), DeviceOom> {
+) -> Result<(), DeviceError> {
     if vertex_id.is_empty() {
         return Ok(());
     }
-    let live_base = ctx.device.memory().live();
-    ctx.device.memory().reset_peak();
     // Entries of this window extend `prefix`, so the local pruning target
     // shrinks by the committed chain length. (Concurrent windows may read a
     // slightly stale target; staleness only weakens pruning, never
-    // correctness.)
+    // correctness. Fault retries reuse the attempt's target so a recovered
+    // window reports exactly what the fault-free run would have.)
     let target_local = incumbent
         .lock()
         .expect("incumbent lock poisoned")
@@ -413,70 +433,136 @@ fn process_window<O: EdgeOracle + ?Sized>(
             ],
         )
     });
-    let attempt =
-        CliqueLevel::from_vecs(ctx.device.memory(), vertex_id.to_vec(), sublist_id.to_vec())
-            .and_then(|level0| {
-                expand(
-                    ctx.device,
-                    ctx.graph,
-                    ctx.oracle,
-                    level0,
-                    target_local,
-                    ctx.early_exit,
-                    ctx.fused,
-                    ctx.local_bits,
-                    arena,
-                )
-            });
-    {
-        let mut stats = stats.lock().expect("stats lock poisoned");
-        stats.num_windows += 1;
-        stats.peak_window_bytes = stats
-            .peak_window_bytes
-            .max(ctx.device.memory().peak().saturating_sub(live_base));
-        if let Ok(outcome) = &attempt {
-            stats.oracle_queries += outcome.oracle_queries;
-            stats.local_bits.accumulate(outcome.local_bits);
+    let mut fault_attempts = 0u32;
+    let err = loop {
+        let live_base = ctx.device.memory().live();
+        ctx.device.memory().reset_peak();
+        let attempt =
+            CliqueLevel::from_vecs(ctx.device.memory(), vertex_id.to_vec(), sublist_id.to_vec())
+                .map_err(DeviceError::from)
+                .and_then(|level0| {
+                    expand(
+                        ctx.device,
+                        ctx.graph,
+                        ctx.oracle,
+                        level0,
+                        target_local,
+                        ctx.early_exit,
+                        ctx.fused,
+                        ctx.local_bits,
+                        arena,
+                    )
+                });
+        {
+            let mut stats = stats.lock().expect("stats lock poisoned");
+            stats.num_windows += 1;
+            stats.peak_window_bytes = stats
+                .peak_window_bytes
+                .max(ctx.device.memory().peak().saturating_sub(live_base));
+            if let Ok(outcome) = &attempt {
+                stats.oracle_queries += outcome.oracle_queries;
+                stats.local_bits.accumulate(outcome.local_bits);
+            }
         }
-    }
 
-    let oom = match attempt {
-        Ok(outcome) => {
-            if let Some(span) = window_span.as_mut() {
-                span.arg("found", outcome.clique_size as i64);
+        match attempt {
+            Ok(outcome) => {
+                if let Some(span) = window_span.as_mut() {
+                    span.arg("found", outcome.clique_size as i64);
+                }
+                if outcome.clique_size > 0 {
+                    let size = outcome.clique_size + prefix.len();
+                    let cliques: Vec<Vec<u32>> = outcome
+                        .cliques
+                        .into_iter()
+                        .map(|c| {
+                            let mut full = prefix.to_vec();
+                            full.extend(c);
+                            full
+                        })
+                        .collect();
+                    incumbent
+                        .lock()
+                        .expect("incumbent lock poisoned")
+                        .offer(cliques, size);
+                }
+                return Ok(());
             }
-            if outcome.clique_size > 0 {
-                let size = outcome.clique_size + prefix.len();
-                let cliques: Vec<Vec<u32>> = outcome
-                    .cliques
-                    .into_iter()
-                    .map(|c| {
-                        let mut full = prefix.to_vec();
-                        full.extend(c);
-                        full
-                    })
-                    .collect();
-                incumbent
-                    .lock()
-                    .expect("incumbent lock poisoned")
-                    .offer(cliques, size);
+            Err(err) => {
+                let Some(injector) = ctx.injector.as_ref().filter(|_| err.is_injected()) else {
+                    // Real OOM: retries after a split (or the deeper
+                    // re-windowing below) nest inside this window's span.
+                    if let Some(span) = window_span.as_mut() {
+                        span.arg("oom", 1);
+                    }
+                    break err;
+                };
+                fault_attempts += 1;
+                if fault_attempts > ctx.max_retries {
+                    // Past the cap the fault is propagated, not recovered;
+                    // the solver's outer loop turns it into a typed error.
+                    return Err(err);
+                }
+                // `expand` released its arena charges on the way out; make
+                // the window's footprint provably zero before retrying.
+                arena.release_charges();
+                injector.note_recovery(&err);
+                stats.lock().expect("stats lock poisoned").fault_retries += 1;
+                if tracer.is_enabled() {
+                    tracer.instant(
+                        "fault_window_retry",
+                        &[
+                            ("attempt", i64::from(fault_attempts)),
+                            ("entries", vertex_id.len() as i64),
+                        ],
+                    );
+                }
+                let num_sublists = 1 + sublist_id.windows(2).filter(|w| w[0] != w[1]).count();
+                if fault_attempts >= 2 && num_sublists > 1 {
+                    // Repeated faults: halve the window at a sublist
+                    // boundary. Each half restarts its own retry budget, and
+                    // single-sublist windows can shrink no further, so the
+                    // backoff is geometric and bounded.
+                    injector.note_window_shrink();
+                    stats.lock().expect("stats lock poisoned").fault_shrinks += 1;
+                    if tracer.is_enabled() {
+                        tracer.instant(
+                            "fault_window_shrink",
+                            &[("entries", vertex_id.len() as i64)],
+                        );
+                    }
+                    let mid = window_end(sublist_id, 0, vertex_id.len() / 2)
+                        .clamp(1, vertex_id.len() - 1);
+                    drop(window_span);
+                    process_window(
+                        ctx,
+                        &vertex_id[..mid],
+                        &sublist_id[..mid],
+                        prefix,
+                        depth,
+                        incumbent,
+                        stats,
+                        arena,
+                    )?;
+                    return process_window(
+                        ctx,
+                        &vertex_id[mid..],
+                        &sublist_id[mid..],
+                        prefix,
+                        depth,
+                        incumbent,
+                        stats,
+                        arena,
+                    );
+                }
             }
-            return Ok(());
-        }
-        Err(oom) => {
-            // Retries after a split (or the deeper re-windowing below) nest
-            // inside this window's span.
-            if let Some(span) = window_span.as_mut() {
-                span.arg("oom", 1);
-            }
-            oom
         }
     };
 
     // The paper's windowing propagates OOM; the recursive extension keeps
     // subdividing while depth remains.
     if ctx.config.max_depth <= 1 {
-        return Err(oom);
+        return Err(err);
     }
     let num_sublists = 1 + sublist_id.windows(2).filter(|w| w[0] != w[1]).count();
     if num_sublists > 1 {
@@ -505,7 +591,7 @@ fn process_window<O: EdgeOracle + ?Sized>(
         );
     }
     if depth + 1 >= ctx.config.max_depth {
-        return Err(oom);
+        return Err(err);
     }
 
     // A single sublist whose subtree exceeds the budget: re-window one
@@ -536,7 +622,7 @@ fn process_window<O: EdgeOracle + ?Sized>(
         }
     }
 
-    let (child_vertex, child_sublist) = build_child_level(ctx, vertex_id);
+    let (child_vertex, child_sublist) = build_child_level(ctx, vertex_id)?;
     // Both child-level kernels walk every ordered candidate pair: exactly
     // len·(len−1) oracle queries.
     stats.lock().expect("stats lock poisoned").oracle_queries +=
@@ -566,7 +652,7 @@ fn parallel_window_sweep<O: EdgeOracle + ?Sized>(
     sublist_id: &[u32],
     incumbent: &Mutex<Incumbent>,
     stats: &Mutex<WindowStats>,
-) -> Result<(), DeviceOom> {
+) -> Result<(), DeviceError> {
     // Cut all top-level windows first.
     let mut ranges: Vec<(usize, usize)> = Vec::new();
     let mut start = 0usize;
@@ -581,7 +667,7 @@ fn parallel_window_sweep<O: EdgeOracle + ?Sized>(
     }
     let cursor = std::sync::atomic::AtomicUsize::new(0);
     let workers = ctx.config.parallel_windows.min(ranges.len()).max(1);
-    let first_error: Mutex<Option<DeviceOom>> = Mutex::new(None);
+    let first_error: Mutex<Option<DeviceError>> = Mutex::new(None);
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| {
@@ -601,11 +687,19 @@ fn parallel_window_sweep<O: EdgeOracle + ?Sized>(
                         stats,
                         &mut arena,
                     );
-                    if let Err(oom) = outcome {
-                        first_error
-                            .lock()
-                            .expect("error lock poisoned")
-                            .get_or_insert(oom);
+                    if let Err(err) = outcome {
+                        let mut slot = first_error.lock().expect("error lock poisoned");
+                        if slot.is_none() {
+                            *slot = Some(err);
+                        } else if err.is_injected() {
+                            // A sibling error already escapes this sweep; an
+                            // injected fault absorbed here is recovered by
+                            // the caller's retry of the whole sweep, so it
+                            // must be tallied exactly once — now.
+                            if let Some(inj) = ctx.injector.as_ref() {
+                                inj.note_recovery(&err);
+                            }
+                        }
                         break;
                     }
                 }
@@ -613,7 +707,7 @@ fn parallel_window_sweep<O: EdgeOracle + ?Sized>(
         }
     });
     match first_error.into_inner().expect("error lock poisoned") {
-        Some(oom) => Err(oom),
+        Some(err) => Err(err),
         None => Ok(()),
     }
 }
@@ -625,23 +719,23 @@ fn parallel_window_sweep<O: EdgeOracle + ?Sized>(
 fn build_child_level<O: EdgeOracle + ?Sized>(
     ctx: &SearchCtx<'_, O>,
     candidates: &[u32],
-) -> (Vec<u32>, Vec<u32>) {
+) -> Result<(Vec<u32>, Vec<u32>), LaunchError> {
     let exec = ctx.device.exec();
     let len = candidates.len();
     let oracle = ctx.oracle;
-    let counts: Vec<usize> = exec.map_indexed_named("window_count_sublists", len, |i| {
+    let counts: Vec<usize> = exec.try_map_indexed_named("window_count_sublists", len, |i| {
         candidates[i + 1..]
             .iter()
             .filter(|&&c| oracle.connected(candidates[i], c))
             .count()
-    });
-    let (offsets, total) = gmc_dpp::exclusive_scan(exec, &counts);
+    })?;
+    let (offsets, total) = gmc_dpp::try_exclusive_scan(exec, &counts)?;
     let mut child_vertex = vec![0u32; total];
     let mut child_sublist = vec![0u32; total];
     {
         let vertex_shared = SharedSlice::new(&mut child_vertex);
         let sublist_shared = SharedSlice::new(&mut child_sublist);
-        exec.for_each_indexed_named("window_expand_sublists", len, |i| {
+        exec.try_for_each_indexed_named("window_expand_sublists", len, |i| {
             let mut cursor = offsets[i];
             for &c in &candidates[i + 1..] {
                 if oracle.connected(candidates[i], c) {
@@ -653,9 +747,9 @@ fn build_child_level<O: EdgeOracle + ?Sized>(
                     cursor += 1;
                 }
             }
-        });
+        })?;
     }
-    (child_vertex, child_sublist)
+    Ok((child_vertex, child_sublist))
 }
 
 #[cfg(test)]
@@ -685,7 +779,7 @@ mod tests {
         cfg: &WindowConfig,
         witness: &[u32],
         target: u32,
-    ) -> Result<WindowOutcome, DeviceOom> {
+    ) -> Result<WindowOutcome, DeviceError> {
         windowed_search(
             device,
             graph,
@@ -697,6 +791,7 @@ mod tests {
             false,
             true,
             LocalBitsMode::Auto,
+            None,
         )
     }
 
@@ -763,7 +858,8 @@ mod tests {
             WindowOrdering::Random(5),
         ] {
             let exec = gmc_dpp::Executor::new(2);
-            let (v, s) = reorder_sublists(&exec, &g, &setup.vertex_id, &setup.sublist_id, ordering);
+            let (v, s) =
+                reorder_sublists(&exec, &g, &setup.vertex_id, &setup.sublist_id, ordering).unwrap();
             assert_eq!(v.len(), setup.vertex_id.len());
             // Sublists stay contiguous: each source appears in one run.
             let mut seen = std::collections::HashSet::new();
@@ -790,7 +886,8 @@ mod tests {
             &setup.vertex_id,
             &setup.sublist_id,
             WindowOrdering::DegreeDescending,
-        );
+        )
+        .unwrap();
         if !s.is_empty() {
             assert!(g.degree(s[0]) >= g.degree(*s.last().unwrap()));
         }

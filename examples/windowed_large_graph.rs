@@ -48,6 +48,9 @@ fn main() {
         Err(SolveError::DeviceOom(oom)) => {
             println!("full breadth-first: OOM as expected ({oom})");
         }
+        Err(err) => {
+            println!("full breadth-first failed unexpectedly: {err}");
+        }
         Ok(r) => {
             println!(
                 "full breadth-first unexpectedly fit (peak {:.1} KiB) — budget heuristics are

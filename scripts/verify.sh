@@ -2,9 +2,22 @@
 # Tier-1 verification gate: the exact commands the project promises will
 # pass from a clean checkout with NO network access (ROADMAP.md). The
 # workspace has no registry dependencies, so --offline must always work.
+#
+# The build/test tier is followed by the same static gates CI runs
+# (clippy, rustfmt, rustdoc), all --locked --offline, so a green local
+# verify means a green CI lint job. Set GMC_VERIFY_FAST=1 to run only the
+# tier-1 build/test pair.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-cargo build --release --offline
-cargo test -q --offline
+cargo build --release --locked --offline
+cargo test -q --locked --offline
+
+if [ "${GMC_VERIFY_FAST:-0}" = "1" ]; then
+    exit 0
+fi
+
+cargo clippy --workspace --all-targets --locked --offline -- -D warnings
+cargo fmt --all --check
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --locked --offline

@@ -16,7 +16,7 @@ use gpu_max_clique::heuristic::HeuristicKind;
 use gpu_max_clique::mce::{
     EdgeIndexKind, MaxCliqueSolver, SolveError, SolverConfig, WindowConfig, WindowOrdering,
 };
-use gpu_max_clique::prelude::Device;
+use gpu_max_clique::prelude::{Device, FaultPlan};
 use std::io::Write;
 use std::process::ExitCode;
 
@@ -41,6 +41,9 @@ SOLVE OPTIONS:
     --parallel-windows <N>  process N windows concurrently
     --edge-index <bin|bitset|hash|auto>       edge lookup structure
     --no-early-exit      disable the early-exit optimisation
+    --faults <spec>      inject deterministic device faults and exercise the
+                         recovery ladder; spec like seed=1,alloc=0.05,launch=0.02,retries=8
+                         (also readable from the GMC_FAULTS env var)
     --randomize <SEED>   shuffle vertex ids before solving
     --max-print <N>      print at most N cliques (default 10)
     --verify             independently re-check every reported clique
@@ -182,6 +185,11 @@ fn cmd_solve(args: &[String]) -> ExitCode {
         };
     }
     config.early_exit = !opts.has("no-early-exit");
+    match opts.get_parsed::<FaultPlan>("faults") {
+        Ok(Some(plan)) => config.faults = Some(plan),
+        Ok(None) => {}
+        Err(e) => return fail(e),
+    }
     match opts.get_parsed::<usize>("window") {
         Ok(Some(size)) => {
             let mut window = WindowConfig::with_size(size);
@@ -259,6 +267,13 @@ fn cmd_solve(args: &[String]) -> ExitCode {
             );
             return ExitCode::FAILURE;
         }
+        Err(SolveError::FaultRetriesExhausted { attempts }) => {
+            eprintln!(
+                "injected faults exhausted the retry cap after {attempts} attempts\n\
+                 hint: lower the --faults rates or raise retries= in the spec"
+            );
+            return ExitCode::FAILURE;
+        }
     };
 
     if opts.has("verify") {
@@ -290,13 +305,16 @@ fn cmd_solve(args: &[String]) -> ExitCode {
         let _ = writeln!(
             out,
             "{{\"clique_number\":{},\"multiplicity\":{},\"complete\":{},\"lower_bound\":{},\
-             \"total_ms\":{:.3},\"peak_bytes\":{},\"cliques\":[{}]}}",
+             \"total_ms\":{:.3},\"peak_bytes\":{},\"faults_injected\":{},\
+             \"faults_recovered\":{},\"cliques\":[{}]}}",
             result.clique_number,
             result.multiplicity(),
             result.complete_enumeration,
             result.stats.lower_bound,
             result.stats.total_time.as_secs_f64() * 1e3,
             result.stats.peak_device_bytes,
+            result.stats.faults.injected(),
+            result.stats.faults.recovered(),
             cliques_json.join(",")
         );
     } else {
@@ -347,6 +365,20 @@ fn cmd_solve(args: &[String]) -> ExitCode {
                 w.bound_improvements,
                 w.window_splits,
                 w.sublist_recursions
+            );
+        }
+        if s.faults.injected() > 0 {
+            let f = &s.faults;
+            let _ = writeln!(
+                out,
+                "faults: {} injected ({} alloc, {} launch), {} recovered, \
+                 {} bitmap fallbacks, {} window shrinks",
+                f.injected(),
+                f.injected_allocs,
+                f.injected_launches,
+                f.recovered(),
+                f.bitmap_fallbacks,
+                f.window_shrinks
             );
         }
     }

@@ -16,7 +16,9 @@ fn oom_error_carries_accounting_details() {
         .heuristic(HeuristicKind::None)
         .solve(&graph)
         .unwrap_err();
-    let SolveError::DeviceOom(oom) = err;
+    let SolveError::DeviceOom(oom) = err else {
+        panic!("expected DeviceOom, got {err:?}");
+    };
     assert_eq!(oom.capacity, 4096);
     assert!(oom.requested > 0);
     // Nothing leaks after the failed run.
@@ -176,4 +178,189 @@ fn heuristic_phase_oom_is_reported() {
         .heuristic(HeuristicKind::MultiDegree)
         .solve(&graph);
     assert!(matches!(result, Err(SolveError::DeviceOom(_))));
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection: the recovery ladder must never change answers.
+// ---------------------------------------------------------------------------
+
+use gmc_dpp::prop::{self, gens, shrinks, Config};
+use gmc_dpp::{prop_assert_eq, Rng};
+use gpu_max_clique::graph::Csr;
+use gpu_max_clique::mce::{EdgeIndexKind, SolverConfig};
+use gpu_max_clique::prelude::FaultPlan;
+
+/// A fault-injection case: a G(28, 0.25) edge list plus the fault-plan
+/// seed. Shrinking drops edges; the fault seed is replayed unchanged so the
+/// injected fault sequence stays the one that failed.
+type FaultCase = (Vec<(u32, u32)>, u64);
+
+fn arb_fault_case(rng: &mut Rng) -> FaultCase {
+    (gens::edges_gnp(rng, 28, 0.25), rng.next_u64())
+}
+
+fn fault_prop_config(cases: u32) -> Config {
+    let mut config = Config {
+        cases,
+        seed: 0xFA17_CA5E,
+        max_shrink_steps: 64,
+    };
+    if let Ok(v) = std::env::var("GMC_PROP_CASES") {
+        if let Ok(n) = v.parse() {
+            config.cases = n;
+        }
+    }
+    config
+}
+
+/// Gentle rates with a deep retry cap: faults fire on most cases, yet the
+/// chance of blowing through 32 whole-expansion retries is negligible. The
+/// roll sequence depends only on the plan seed and launch order — launches
+/// are bulk-synchronous and sequential — so outcomes are worker-count
+/// independent and every failure replays exactly.
+fn gentle_plan(seed: u64) -> FaultPlan {
+    FaultPlan {
+        seed,
+        alloc_rate: 0.02,
+        launch_rate: 0.02,
+        max_retries: 32,
+    }
+}
+
+#[test]
+fn prop_faulted_solves_match_fault_free_across_workers_and_oracles() {
+    prop::check_with(
+        fault_prop_config(10),
+        "faulted_solves_match_fault_free",
+        arb_fault_case,
+        shrinks::pair(shrinks::edges, shrinks::none),
+        |case| {
+            let (edges, fault_seed) = case;
+            let graph = Csr::from_edges(28, edges);
+            for kind in [EdgeIndexKind::BinarySearch, EdgeIndexKind::Hash] {
+                for workers in [1usize, 2, 8] {
+                    let baseline_config = SolverConfig {
+                        faults: None, // never inherit GMC_FAULTS
+                        edge_index: kind,
+                        ..SolverConfig::default()
+                    };
+                    let baseline = MaxCliqueSolver::with_config(
+                        Device::new(workers, usize::MAX),
+                        baseline_config.clone(),
+                    )
+                    .solve(&graph)
+                    .map_err(|e| format!("fault-free solve failed: {e}"))?;
+
+                    let mut faulted_config = baseline_config;
+                    faulted_config.faults = Some(gentle_plan(*fault_seed));
+                    let device = Device::new(workers, usize::MAX);
+                    let faulted = MaxCliqueSolver::with_config(device.clone(), faulted_config)
+                        .solve(&graph)
+                        .map_err(|e| {
+                            format!("faulted solve failed ({kind:?}, workers {workers}): {e}")
+                        })?;
+
+                    prop_assert_eq!(faulted.clique_number, baseline.clique_number);
+                    prop_assert_eq!(&faulted.cliques, &baseline.cliques);
+                    prop_assert_eq!(faulted.complete_enumeration, baseline.complete_enumeration);
+                    let f = faulted.stats.faults;
+                    prop_assert_eq!(f.recovered(), f.injected());
+                    prop_assert_eq!(device.memory().live(), 0);
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn prop_faulted_windowed_solves_match_fault_free() {
+    // Same property through the windowed path: rung 2 of the recovery
+    // ladder (per-window retry, then shrink at a sublist boundary) must
+    // also be answer-preserving. Tiny windows force many of them.
+    prop::check_with(
+        fault_prop_config(8),
+        "faulted_windowed_solves_match_fault_free",
+        arb_fault_case,
+        shrinks::pair(shrinks::edges, shrinks::none),
+        |case| {
+            let (edges, fault_seed) = case;
+            let graph = Csr::from_edges(28, edges);
+            let baseline_config = SolverConfig {
+                faults: None, // never inherit GMC_FAULTS
+                window: Some(WindowConfig {
+                    enumerate_all: true,
+                    ..WindowConfig::with_size(8)
+                }),
+                ..SolverConfig::default()
+            };
+            let baseline =
+                MaxCliqueSolver::with_config(Device::new(2, usize::MAX), baseline_config.clone())
+                    .solve(&graph)
+                    .map_err(|e| format!("fault-free windowed solve failed: {e}"))?;
+
+            let mut faulted_config = baseline_config;
+            faulted_config.faults = Some(gentle_plan(*fault_seed));
+            let device = Device::new(2, usize::MAX);
+            let faulted = MaxCliqueSolver::with_config(device.clone(), faulted_config)
+                .solve(&graph)
+                .map_err(|e| format!("faulted windowed solve failed: {e}"))?;
+
+            prop_assert_eq!(faulted.clique_number, baseline.clique_number);
+            prop_assert_eq!(&faulted.cliques, &baseline.cliques);
+            let f = faulted.stats.faults;
+            prop_assert_eq!(f.recovered(), f.injected());
+            prop_assert_eq!(device.memory().live(), 0);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn exhausting_the_fault_retry_cap_is_a_typed_error_not_a_panic() {
+    // With alloc_rate = 1.0 every expansion attempt faults on its first
+    // charge, so the solver burns max_retries + 1 attempts and must
+    // surface the typed error — leaving no live memory behind.
+    let graph = generators::gnp(60, 0.3, 9);
+    let device = Device::unlimited();
+    let config = SolverConfig {
+        faults: Some(FaultPlan {
+            seed: 1,
+            alloc_rate: 1.0,
+            launch_rate: 0.0,
+            max_retries: 2,
+        }),
+        ..SolverConfig::default()
+    };
+    let err = MaxCliqueSolver::with_config(device.clone(), config)
+        .solve(&graph)
+        .unwrap_err();
+    let SolveError::FaultRetriesExhausted { attempts } = err else {
+        panic!("expected FaultRetriesExhausted, got {err:?}");
+    };
+    assert_eq!(attempts, 3);
+    assert_eq!(device.memory().live(), 0);
+}
+
+#[test]
+fn exhausting_launch_fault_retries_is_also_typed() {
+    let graph = generators::gnp(60, 0.3, 10);
+    let device = Device::unlimited();
+    let config = SolverConfig {
+        faults: Some(FaultPlan {
+            seed: 2,
+            alloc_rate: 0.0,
+            launch_rate: 1.0,
+            max_retries: 1,
+        }),
+        ..SolverConfig::default()
+    };
+    let err = MaxCliqueSolver::with_config(device.clone(), config)
+        .solve(&graph)
+        .unwrap_err();
+    assert!(
+        matches!(err, SolveError::FaultRetriesExhausted { attempts: 2 }),
+        "expected FaultRetriesExhausted with 2 attempts, got {err:?}"
+    );
+    assert_eq!(device.memory().live(), 0);
 }
