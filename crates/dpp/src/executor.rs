@@ -1,10 +1,12 @@
 use crate::fault::{FaultInjector, LaunchError};
-use crate::stats::{LaunchStats, StatsCells};
+use crate::sched::{self, Schedule};
+use crate::stats::{LaunchStats, ScheduleCells, ScheduleStats, StatsCells};
 use gmc_trace::{SpanGuard, Tracer};
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Kernel name charged for launches issued through the un-named entry
 /// points ([`Executor::for_each_indexed`] and friends). Call the `_named`
@@ -69,11 +71,92 @@ impl PoolShared {
     }
 }
 
+/// Per-worker balance measurement for one pooled launch: how many work
+/// units (static chunks or dynamic morsels) the worker executed and how
+/// long it was busy. Written only by the owning worker during a launch and
+/// read by the launcher after the closing barrier, so relaxed atomics
+/// suffice; slots are reset by the launcher before each pooled launch.
+#[derive(Debug, Default)]
+struct BalanceSlot {
+    claims: AtomicU64,
+    busy_ns: AtomicU64,
+}
+
+/// Grid size at which the weighted-launch boundary planner switches from a
+/// single sequential pass to the chunk-parallel two-phase shape. Both
+/// planners implement the same exact integer crossing rule, so the switch
+/// (and the worker count) never changes the cut.
+const WEIGHT_PLAN_PARALLEL_THRESHOLD: usize = 1 << 16;
+
+/// A launch's morsel decomposition, as consumed by the dynamic claim loop.
+/// Uniform decompositions stay implicit (no allocation); guided and
+/// cost-cut decompositions carry explicit boundaries where
+/// `bounds[m]..bounds[m + 1]` is morsel `m`.
+enum Boundaries<'a> {
+    Uniform { grain: usize, count: usize },
+    Explicit(&'a [usize]),
+}
+
+impl Boundaries<'_> {
+    #[inline]
+    fn count(&self) -> usize {
+        match self {
+            Boundaries::Uniform { count, .. } => *count,
+            Boundaries::Explicit(bounds) => bounds.len() - 1,
+        }
+    }
+
+    #[inline]
+    fn range(&self, m: usize, n: usize) -> std::ops::Range<usize> {
+        match self {
+            Boundaries::Uniform { grain, .. } => {
+                let start = m * grain;
+                start..(start + grain).min(n)
+            }
+            Boundaries::Explicit(bounds) => bounds[m]..bounds[m + 1],
+        }
+    }
+}
+
+/// Encoding of [`Schedule`] into two lock-free cells so the pooled dispatch
+/// path pays only relaxed loads (no enum behind a lock).
+const SCHED_STATIC: u8 = 0;
+const SCHED_MORSEL: u8 = 1;
+const SCHED_GUIDED: u8 = 2;
+const SCHED_AUTO: u8 = 3;
+
+fn encode_schedule(schedule: Schedule) -> (u8, usize) {
+    match schedule {
+        Schedule::Static => (SCHED_STATIC, sched::DEFAULT_MORSEL_GRAIN),
+        Schedule::Morsel { grain } => (SCHED_MORSEL, grain.max(1)),
+        Schedule::Guided => (SCHED_GUIDED, sched::DEFAULT_MORSEL_GRAIN),
+        Schedule::Auto => (SCHED_AUTO, sched::DEFAULT_MORSEL_GRAIN),
+    }
+}
+
+fn decode_schedule(mode: u8, grain: usize) -> Schedule {
+    match mode {
+        SCHED_STATIC => Schedule::Static,
+        SCHED_MORSEL => Schedule::Morsel { grain },
+        SCHED_GUIDED => Schedule::Guided,
+        _ => Schedule::Auto,
+    }
+}
+
 struct ExecutorInner {
     shared: Arc<PoolShared>,
     workers: Vec<JoinHandle<()>>,
     num_workers: usize,
     stats: StatsCells,
+    /// Active [`Schedule`], split into a mode tag and a morsel grain so the
+    /// dispatch fast path is two relaxed loads (see [`Executor::schedule`]).
+    schedule_mode: AtomicU8,
+    schedule_grain: AtomicUsize,
+    /// Scheduling/balance counters (see [`Executor::schedule_stats`]).
+    sched_stats: ScheduleCells,
+    /// One balance slot per worker, reused across launches (launches never
+    /// overlap — `run_on_pool` asserts `pending == 0`).
+    balance: Vec<BalanceSlot>,
     /// Simulated fixed cost per launch, in nanoseconds (see
     /// [`Executor::set_launch_overhead`]).
     launch_overhead_ns: std::sync::atomic::AtomicU64,
@@ -130,12 +213,17 @@ impl Executor {
                     .expect("failed to spawn dpp worker thread")
             })
             .collect();
+        let initial_schedule = Schedule::from_env();
         Self {
             inner: Arc::new(ExecutorInner {
                 shared,
                 workers,
                 num_workers,
                 stats: StatsCells::default(),
+                schedule_mode: AtomicU8::new(encode_schedule(initial_schedule).0),
+                schedule_grain: AtomicUsize::new(encode_schedule(initial_schedule).1),
+                sched_stats: ScheduleCells::default(),
+                balance: (0..num_workers).map(|_| BalanceSlot::default()).collect(),
                 launch_overhead_ns: std::sync::atomic::AtomicU64::new(0),
                 sequential_grid_limit: AtomicUsize::new(initial_sequential_grid_limit()),
                 tracer: RwLock::new(Tracer::disabled()),
@@ -164,9 +252,44 @@ impl Executor {
         self.inner.stats.snapshot()
     }
 
-    /// Resets launch counters to zero.
+    /// Resets launch counters (including [`Executor::schedule_stats`]) to
+    /// zero.
     pub fn reset_stats(&self) {
         self.inner.stats.reset();
+        self.inner.sched_stats.reset();
+    }
+
+    /// Selects how pooled launches map virtual threads onto workers (see
+    /// [`Schedule`]). Defaults to [`Schedule::Auto`], overridable at
+    /// executor construction via the `GMC_SCHED` environment variable.
+    /// Results are bit-identical under every schedule; this only tunes
+    /// load balance versus dispatch overhead.
+    ///
+    /// Grids at or below [`Executor::sequential_grid_limit`] (and every
+    /// launch on a single-worker executor) run inline regardless of the
+    /// schedule — the inline check precedes the schedule load, so small
+    /// grids never pay any scheduling cost.
+    pub fn set_schedule(&self, schedule: Schedule) {
+        let (mode, grain) = encode_schedule(schedule);
+        self.inner.schedule_mode.store(mode, Ordering::Relaxed);
+        self.inner.schedule_grain.store(grain, Ordering::Relaxed);
+    }
+
+    /// The active launch schedule — the exact pair of relaxed loads the
+    /// pooled dispatch path pays per launch (probed by the
+    /// `GMC_PERF_GATE=1` micro bench).
+    #[inline]
+    pub fn schedule(&self) -> Schedule {
+        decode_schedule(
+            self.inner.schedule_mode.load(Ordering::Relaxed),
+            self.inner.schedule_grain.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Snapshot of scheduling and load-balance counters accumulated so far
+    /// (see [`ScheduleStats`]); reset together with [`Executor::reset_stats`].
+    pub fn schedule_stats(&self) -> ScheduleStats {
+        self.inner.sched_stats.snapshot()
     }
 
     /// Installs a tracer: every subsequent launch records one span (kernel
@@ -245,9 +368,16 @@ impl Executor {
         Err(LaunchError { kernel: name, step })
     }
 
-    /// Opens the per-launch span, or `None` on the disabled fast path.
+    /// Opens the per-launch span, or `None` on the disabled fast path. The
+    /// chunk count is computed lazily so the traced-off path never pays for
+    /// a morsel-count computation.
     #[inline]
-    fn launch_span(&self, name: &'static str, n: usize) -> Option<SpanGuard> {
+    fn launch_span(
+        &self,
+        name: &'static str,
+        n: usize,
+        chunks: impl FnOnce() -> usize,
+    ) -> Option<SpanGuard> {
         if !self.inner.trace_on.load(Ordering::Relaxed) {
             return None;
         }
@@ -255,7 +385,7 @@ impl Executor {
         if !tracer.is_enabled() {
             return None;
         }
-        let chunks = self.num_chunks(n);
+        let chunks = chunks();
         Some(tracer.span_with(
             name,
             &[
@@ -264,6 +394,27 @@ impl Executor {
                 ("inline", i64::from(chunks == 1)),
             ],
         ))
+    }
+
+    /// Number of work units the active schedule will decompose an `n`-index
+    /// launch into: `1` on the inline path, the worker count for static
+    /// mappings, and the (worker-count-independent) morsel count for
+    /// dynamic ones. Trace-span metadata only; [`Executor::num_chunks`]
+    /// stays the contract for [`Executor::for_each_chunk`], which is always
+    /// static (see the `crate::sched` module docs).
+    fn planned_chunks(&self, n: usize, weighted: bool) -> usize {
+        if n <= self.sequential_grid_limit() || self.inner.num_workers == 1 {
+            return 1;
+        }
+        let schedule = self.schedule();
+        match (schedule, weighted) {
+            (Schedule::Static, _) | (Schedule::Auto, false) => self.inner.num_workers,
+            (Schedule::Morsel { grain }, _) => sched::uniform_morsels(n, grain).1,
+            (Schedule::Guided, false) => sched::guided_morsel_count(n),
+            (Schedule::Guided | Schedule::Auto, true) => {
+                sched::uniform_morsels(n, schedule.grain()).1
+            }
+        }
     }
 
     /// Models a fixed per-launch cost (CUDA kernel launch + synchronisation
@@ -335,7 +486,7 @@ impl Executor {
         F: Fn(usize) + Sync,
     {
         self.inner.stats.record_launch(name, n);
-        let _span = self.launch_span(name, n);
+        let _span = self.launch_span(name, n, || self.planned_chunks(n, false));
         self.dispatch_indexed(n, kernel);
     }
 
@@ -357,7 +508,7 @@ impl Executor {
         F: Fn(usize) + Sync,
     {
         self.inner.stats.record_fused_launch(name, n);
-        let _span = self.launch_span(name, n);
+        let _span = self.launch_span(name, n, || self.planned_chunks(n, false));
         self.dispatch_indexed(n, kernel);
     }
 
@@ -446,9 +597,154 @@ impl Executor {
         Ok(self.map_indexed_named(name, n, kernel))
     }
 
+    /// [`Executor::for_each_indexed`] with per-entry cost hints: under a
+    /// dynamic [`Schedule`] (including the default [`Schedule::Auto`]),
+    /// morsel boundaries are cut where the summed cost crosses equal
+    /// fractions of the total, so one expensive stretch of indices spreads
+    /// over many claimable morsels instead of serialising one worker.
+    ///
+    /// `cost(i)` is a *hint* for virtual thread `i`'s relative expense
+    /// (candidate-list length, CSR degree, …); it may be called more than
+    /// once per index and must be cheap and pure. Results are bit-identical
+    /// to the unweighted launch under every schedule and worker count — the
+    /// decomposition is a pure function of `(n, grain, costs)`.
+    pub fn for_each_weighted<C, F>(&self, n: usize, cost: C, kernel: F)
+    where
+        C: Fn(usize) -> u64 + Sync,
+        F: Fn(usize) + Sync,
+    {
+        self.for_each_weighted_named(DEFAULT_KERNEL_NAME, n, cost, kernel);
+    }
+
+    /// [`Executor::for_each_weighted`] with a kernel name for the
+    /// per-kernel launch-stats breakdown and the trace span.
+    pub fn for_each_weighted_named<C, F>(&self, name: &'static str, n: usize, cost: C, kernel: F)
+    where
+        C: Fn(usize) -> u64 + Sync,
+        F: Fn(usize) + Sync,
+    {
+        self.inner.stats.record_launch(name, n);
+        let _span = self.launch_span(name, n, || self.planned_chunks(n, true));
+        self.dispatch_weighted(n, &cost, kernel);
+    }
+
+    /// Fused-kernel variant of [`Executor::for_each_weighted_named`] (see
+    /// [`Executor::for_each_indexed_fused`] for what "fused" counts).
+    pub fn for_each_weighted_fused_named<C, F>(
+        &self,
+        name: &'static str,
+        n: usize,
+        cost: C,
+        kernel: F,
+    ) where
+        C: Fn(usize) -> u64 + Sync,
+        F: Fn(usize) + Sync,
+    {
+        self.inner.stats.record_fused_launch(name, n);
+        let _span = self.launch_span(name, n, || self.planned_chunks(n, true));
+        self.dispatch_weighted(n, &cost, kernel);
+    }
+
+    /// Fallible [`Executor::for_each_weighted_named`]; see
+    /// [`Executor::try_for_each_indexed_named`]. Rolls the fault injector
+    /// exactly once, before any planning pass runs — weighted launches
+    /// consume the same number of fault steps as unweighted ones.
+    pub fn try_for_each_weighted_named<C, F>(
+        &self,
+        name: &'static str,
+        n: usize,
+        cost: C,
+        kernel: F,
+    ) -> Result<(), LaunchError>
+    where
+        C: Fn(usize) -> u64 + Sync,
+        F: Fn(usize) + Sync,
+    {
+        self.check_launch_fault(name)?;
+        self.for_each_weighted_named(name, n, cost, kernel);
+        Ok(())
+    }
+
+    /// Fallible [`Executor::for_each_weighted_fused_named`]; see
+    /// [`Executor::try_for_each_weighted_named`].
+    pub fn try_for_each_weighted_fused_named<C, F>(
+        &self,
+        name: &'static str,
+        n: usize,
+        cost: C,
+        kernel: F,
+    ) -> Result<(), LaunchError>
+    where
+        C: Fn(usize) -> u64 + Sync,
+        F: Fn(usize) + Sync,
+    {
+        self.check_launch_fault(name)?;
+        self.for_each_weighted_fused_named(name, n, cost, kernel);
+        Ok(())
+    }
+
+    /// [`Executor::for_each_weighted_named`] over a CSR-style segmented
+    /// layout: launches `offsets.len() - 1` virtual threads where entry
+    /// `i`'s cost is its segment length `offsets[i + 1] - offsets[i]`.
+    pub fn for_each_segmented_cost_named<F>(&self, name: &'static str, offsets: &[usize], kernel: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let n = offsets.len().saturating_sub(1);
+        self.for_each_weighted_named(name, n, |i| (offsets[i + 1] - offsets[i]) as u64, kernel);
+    }
+
+    /// Fallible [`Executor::for_each_segmented_cost_named`]; see
+    /// [`Executor::try_for_each_weighted_named`].
+    pub fn try_for_each_segmented_cost_named<F>(
+        &self,
+        name: &'static str,
+        offsets: &[usize],
+        kernel: F,
+    ) -> Result<(), LaunchError>
+    where
+        F: Fn(usize) + Sync,
+    {
+        self.check_launch_fault(name)?;
+        self.for_each_segmented_cost_named(name, offsets, kernel);
+        Ok(())
+    }
+
     fn dispatch_indexed<F>(&self, n: usize, kernel: F)
     where
         F: Fn(usize) + Sync,
+    {
+        self.pay_launch_overhead();
+        if n == 0 {
+            return;
+        }
+        // The inline check runs before the schedule is even loaded: grids
+        // at or below the sequential limit pay zero scheduling cost no
+        // matter which `Schedule` is active.
+        if n <= self.sequential_grid_limit() || self.inner.num_workers == 1 {
+            for i in 0..n {
+                kernel(i);
+            }
+            return;
+        }
+        match self.schedule() {
+            // `Auto` without cost hints has no reason to pay claim traffic.
+            Schedule::Static | Schedule::Auto => self.run_static(n, &kernel),
+            Schedule::Morsel { grain } => {
+                let (grain, count) = sched::uniform_morsels(n, grain);
+                self.run_dynamic(n, Boundaries::Uniform { grain, count }, false, &kernel);
+            }
+            Schedule::Guided => {
+                let bounds = sched::guided_boundaries(n);
+                self.run_dynamic(n, Boundaries::Explicit(&bounds), false, &kernel);
+            }
+        }
+    }
+
+    fn dispatch_weighted<F, C>(&self, n: usize, cost: &C, kernel: F)
+    where
+        F: Fn(usize) + Sync,
+        C: Fn(usize) -> u64 + Sync,
     {
         self.pay_launch_overhead();
         if n == 0 {
@@ -460,15 +756,262 @@ impl Executor {
             }
             return;
         }
+        let schedule = self.schedule();
+        if schedule == Schedule::Static {
+            // Static ignores cost hints entirely (the ablation baseline).
+            self.run_static(n, &kernel);
+            return;
+        }
+        // Every dynamic mode — `Auto` included — cuts morsel boundaries at
+        // approximately equal cost, with the morsel *count* taken from the
+        // uniform decomposition at the schedule's grain so it stays a pure
+        // function of `(n, grain)`.
+        let (grain, count) = sched::uniform_morsels(n, schedule.grain());
+        match self.cost_boundaries(n, count, cost) {
+            Some(bounds) => self.run_dynamic(n, Boundaries::Explicit(&bounds), true, &kernel),
+            // All-zero costs carry no balance information: fall back to the
+            // uniform decomposition at the same grain.
+            None => self.run_dynamic(n, Boundaries::Uniform { grain, count }, true, &kernel),
+        }
+    }
+
+    /// The historical one-contiguous-chunk-per-worker mapping, plus the
+    /// per-worker balance measurement every pooled launch records.
+    fn run_static<F>(&self, n: usize, kernel: &F)
+    where
+        F: Fn(usize) + Sync,
+    {
         let workers = self.inner.num_workers;
         let chunk = n.div_ceil(workers);
+        self.reset_balance();
         self.run_on_pool(&|worker_id: usize| {
             let start = worker_id * chunk;
+            if start >= n {
+                return;
+            }
+            let began = Instant::now();
             let end = (start + chunk).min(n);
             for i in start..end {
                 kernel(i);
             }
+            let slot = &self.inner.balance[worker_id];
+            slot.claims.store(1, Ordering::Relaxed);
+            slot.busy_ns
+                .store(began.elapsed().as_nanos() as u64, Ordering::Relaxed);
         });
+        self.record_balance(false, false, n.div_ceil(chunk));
+    }
+
+    /// Dynamic morsel claiming: workers pull morsel indices from a shared
+    /// cursor until it runs past the (deterministic, worker-count
+    /// independent) decomposition. Kernels write disjoint index ranges, so
+    /// any claim order produces identical memory at the closing barrier.
+    fn run_dynamic<F>(&self, n: usize, boundaries: Boundaries<'_>, weighted: bool, kernel: &F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let count = boundaries.count();
+        let cursor = AtomicUsize::new(0);
+        self.reset_balance();
+        self.run_on_pool(&|worker_id: usize| {
+            let began = Instant::now();
+            let mut claims = 0u64;
+            loop {
+                let m = cursor.fetch_add(1, Ordering::Relaxed);
+                if m >= count {
+                    break;
+                }
+                claims += 1;
+                for i in boundaries.range(m, n) {
+                    kernel(i);
+                }
+            }
+            if claims > 0 {
+                let slot = &self.inner.balance[worker_id];
+                slot.claims.store(claims, Ordering::Relaxed);
+                slot.busy_ns
+                    .store(began.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            }
+        });
+        self.record_balance(true, weighted, count);
+    }
+
+    /// Clears the per-worker balance slots before a pooled launch (launches
+    /// never overlap, so the slots are safely reused).
+    fn reset_balance(&self) {
+        for slot in &self.inner.balance {
+            slot.claims.store(0, Ordering::Relaxed);
+            slot.busy_ns.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Aggregates the balance slots of the launch that just completed into
+    /// [`ScheduleStats`] and — when tracing — a `sched_balance` instant plus
+    /// a `sched_imbalance_x100` counter track.
+    fn record_balance(&self, dynamic: bool, weighted: bool, morsels: usize) {
+        let mut max_claims = 0u64;
+        let mut makespan = 0u64;
+        let mut busy_total = 0u64;
+        let mut engaged = 0u64;
+        for slot in &self.inner.balance {
+            let claims = slot.claims.load(Ordering::Relaxed);
+            if claims == 0 {
+                continue;
+            }
+            let busy = slot.busy_ns.load(Ordering::Relaxed);
+            max_claims = max_claims.max(claims);
+            makespan = makespan.max(busy);
+            busy_total += busy;
+            engaged += 1;
+        }
+        let mean = busy_total.checked_div(engaged).unwrap_or(0);
+        self.inner.sched_stats.record(
+            dynamic,
+            weighted,
+            morsels as u64,
+            max_claims,
+            makespan,
+            mean,
+        );
+        if self.inner.trace_on.load(Ordering::Relaxed) {
+            let tracer = self.inner.tracer.read().unwrap();
+            if tracer.is_enabled() {
+                tracer.instant(
+                    "sched_balance",
+                    &[
+                        ("morsels", morsels as i64),
+                        ("max_worker_morsels", max_claims as i64),
+                        ("makespan_ns", makespan as i64),
+                        ("mean_chunk_ns", mean as i64),
+                        ("dynamic", i64::from(dynamic)),
+                    ],
+                );
+                if let Some(imbalance) = makespan.saturating_mul(100).checked_div(mean) {
+                    tracer.counter("sched_imbalance_x100", imbalance as i64);
+                }
+            }
+        }
+    }
+
+    /// Cuts `morsels` boundaries over `0..n` at approximately equal summed
+    /// cost: boundary `k` is the smallest index whose inclusive cost prefix
+    /// reaches `k/morsels` of the total (exact integer rule — see
+    /// [`sched::emit_cost_crossings`]). Returns `None` when the costs sum
+    /// to zero. The result is a pure function of `(n, morsels, costs)`:
+    /// the sequential planner and the chunk-parallel planner (used past
+    /// [`WEIGHT_PLAN_PARALLEL_THRESHOLD`]) produce bit-identical cuts for
+    /// every worker count.
+    ///
+    /// The planner passes run through raw [`Executor::run_on_pool`]: they
+    /// are internal to the launch, so they record no stats, open no spans,
+    /// and never roll fault injection — `GMC_FAULTS` step counting is
+    /// identical under every schedule.
+    fn cost_boundaries<C>(&self, n: usize, morsels: usize, cost: &C) -> Option<Vec<usize>>
+    where
+        C: Fn(usize) -> u64 + Sync,
+    {
+        if morsels <= 1 {
+            return None;
+        }
+        if n < WEIGHT_PLAN_PARALLEL_THRESHOLD {
+            // Sequential planner: one summing pass, one crossing walk.
+            let mut total = 0u64;
+            for i in 0..n {
+                total = total.saturating_add(cost(i));
+            }
+            if total == 0 {
+                return None;
+            }
+            let mut bounds = vec![0usize; morsels + 1];
+            bounds[morsels] = n;
+            let total_wide = u128::from(total);
+            let mut prefix = 0u64;
+            let mut next_k = 1usize;
+            for i in 0..n {
+                let after = prefix.saturating_add(cost(i));
+                sched::emit_cost_crossings(
+                    morsels,
+                    total_wide,
+                    prefix,
+                    after,
+                    i,
+                    &mut next_k,
+                    |k, b| {
+                        bounds[k] = b;
+                    },
+                );
+                prefix = after;
+            }
+            return Some(bounds);
+        }
+        // Chunk-parallel planner (the executor's two-phase scan shape):
+        // per-chunk partial sums, a host exclusive scan over them, then a
+        // per-chunk crossing walk. Interior boundary `k` is written by
+        // exactly one chunk (the one whose prefix range straddles
+        // `k/morsels` of the total), so the writes are disjoint.
+        let workers = self.inner.num_workers;
+        let chunk = n.div_ceil(workers);
+        let chunks = n.div_ceil(chunk);
+        let mut partials = vec![0u64; chunks];
+        {
+            let shared = crate::SharedSlice::new(&mut partials);
+            self.run_on_pool(&|worker_id: usize| {
+                let start = worker_id * chunk;
+                if start >= n {
+                    return;
+                }
+                let end = (start + chunk).min(n);
+                let mut sum = 0u64;
+                for i in start..end {
+                    sum = sum.saturating_add(cost(i));
+                }
+                // SAFETY: each worker writes exactly its own chunk slot.
+                unsafe { shared.write(worker_id, sum) };
+            });
+        }
+        let mut chunk_prefix = vec![0u64; chunks];
+        let mut total = 0u64;
+        for (slot, partial) in chunk_prefix.iter_mut().zip(&partials) {
+            *slot = total;
+            total = total.saturating_add(*partial);
+        }
+        if total == 0 {
+            return None;
+        }
+        let mut bounds = vec![0usize; morsels + 1];
+        bounds[morsels] = n;
+        {
+            let shared = crate::SharedSlice::new(&mut bounds);
+            let total_wide = u128::from(total);
+            self.run_on_pool(&|worker_id: usize| {
+                let start = worker_id * chunk;
+                if start >= n {
+                    return;
+                }
+                let end = (start + chunk).min(n);
+                let mut prefix = chunk_prefix[worker_id];
+                let mut next_k = sched::first_crossing_k(morsels, total_wide, prefix);
+                for i in start..end {
+                    if next_k >= morsels {
+                        break;
+                    }
+                    let after = prefix.saturating_add(cost(i));
+                    sched::emit_cost_crossings(
+                        morsels,
+                        total_wide,
+                        prefix,
+                        after,
+                        i,
+                        &mut next_k,
+                        // SAFETY: crossing `k` straddles exactly one chunk's
+                        // prefix range, so each slot has a single writer.
+                        |k, b| unsafe { shared.write(k, b) },
+                    );
+                    prefix = after;
+                }
+            });
+        }
+        Some(bounds)
     }
 
     /// Partitions `0..n` into one contiguous range per worker and runs
@@ -488,7 +1031,7 @@ impl Executor {
         F: Fn(usize, std::ops::Range<usize>) + Sync,
     {
         self.inner.stats.record_launch(name, n);
-        let _span = self.launch_span(name, n);
+        let _span = self.launch_span(name, n, || self.num_chunks(n));
         self.pay_launch_overhead();
         if n == 0 {
             return;
@@ -956,6 +1499,236 @@ mod tests {
             exec.fault_injector().is_some(),
             "injector is still reachable"
         );
+    }
+
+    #[test]
+    fn schedule_round_trips_through_accessor() {
+        let exec = Executor::new(2);
+        for schedule in [
+            Schedule::Static,
+            Schedule::Morsel { grain: 512 },
+            Schedule::Morsel {
+                grain: sched::DEFAULT_MORSEL_GRAIN,
+            },
+            Schedule::Guided,
+            Schedule::Auto,
+        ] {
+            exec.set_schedule(schedule);
+            assert_eq!(exec.schedule(), schedule);
+        }
+        exec.set_schedule(Schedule::Auto);
+    }
+
+    #[test]
+    fn every_schedule_visits_every_index_once() {
+        let n = 100_000;
+        for workers in [1, 2, 8] {
+            let exec = Executor::new(workers);
+            for schedule in [
+                Schedule::Static,
+                Schedule::Morsel { grain: 777 },
+                Schedule::Guided,
+                Schedule::Auto,
+            ] {
+                exec.set_schedule(schedule);
+                let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+                exec.for_each_indexed(n, |i| {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                });
+                assert!(
+                    hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                    "workers {workers}, schedule {schedule}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_launches_visit_every_index_once_under_every_schedule() {
+        let n = 60_000;
+        // Adversarial skew: one stretch of indices carries almost all cost.
+        let cost = |i: usize| if i < 500 { 10_000u64 } else { 1 };
+        for workers in [1, 2, 8] {
+            let exec = Executor::new(workers);
+            for schedule in [
+                Schedule::Static,
+                Schedule::Morsel { grain: 1024 },
+                Schedule::Guided,
+                Schedule::Auto,
+            ] {
+                exec.set_schedule(schedule);
+                let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+                exec.for_each_weighted(n, cost, |i| {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                });
+                assert!(
+                    hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                    "workers {workers}, schedule {schedule}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_and_degenerate_cost_weighted_launches_cover_the_grid() {
+        let exec = Executor::new(4);
+        exec.set_schedule(Schedule::Morsel { grain: 512 });
+        for cost_fn in [
+            (|_| 0u64) as fn(usize) -> u64,
+            |_| u64::MAX,
+            |i| i as u64 % 3,
+        ] {
+            let n = 50_000;
+            let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+            exec.for_each_weighted(n, cost_fn, |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        }
+    }
+
+    #[test]
+    fn cost_boundaries_are_identical_across_worker_counts() {
+        // Both planner shapes (sequential below the threshold, chunked
+        // above) and every worker count must produce the same cut: the
+        // boundary rule is a pure function of `(n, morsels, costs)`.
+        let cost = |i: usize| ((i as u64).wrapping_mul(0x9E3779B97F4A7C15) >> 56) + 1;
+        for n in [10_000usize, WEIGHT_PLAN_PARALLEL_THRESHOLD + 12_345] {
+            let morsels = 64;
+            // Reference: the crossing rule evaluated naively.
+            let total: u128 = (0..n).map(|i| u128::from(cost(i))).sum();
+            let mut reference = vec![0usize; morsels + 1];
+            reference[morsels] = n;
+            let mut prefix: u128 = 0;
+            let mut k = 1;
+            for i in 0..n {
+                prefix += u128::from(cost(i));
+                while k < morsels && prefix * morsels as u128 >= k as u128 * total {
+                    reference[k] = i + 1;
+                    k += 1;
+                }
+            }
+            for workers in [2, 3, 8] {
+                let exec = Executor::new(workers);
+                let bounds = exec.cost_boundaries(n, morsels, &cost).unwrap();
+                assert_eq!(bounds, reference, "workers {workers}, n {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_schedules_take_the_inline_path_on_small_grids() {
+        let exec = Executor::new(8);
+        exec.set_schedule(Schedule::Morsel { grain: 16 });
+        let before = exec.schedule_stats();
+        let out = exec.map_indexed(DEFAULT_SEQUENTIAL_GRID_LIMIT, |i| i as u32);
+        assert_eq!(out[100], 100);
+        exec.for_each_weighted(64, |_| 1, |_| {});
+        let delta = exec.schedule_stats().since(&before);
+        assert_eq!(delta.pool_launches, 0, "small grids never touch the pool");
+        exec.set_schedule(Schedule::Auto);
+    }
+
+    #[test]
+    fn schedule_stats_classify_launches() {
+        let n = 100_000;
+        let exec = Executor::new(4);
+        exec.set_schedule(Schedule::Static);
+        let before = exec.schedule_stats();
+        exec.for_each_indexed(n, |_| {});
+        let after_static = exec.schedule_stats().since(&before);
+        assert_eq!(after_static.pool_launches, 1);
+        assert_eq!(after_static.dynamic_launches, 0);
+        assert_eq!(after_static.morsels, 4, "one chunk per worker");
+
+        exec.set_schedule(Schedule::Morsel { grain: 1024 });
+        let before = exec.schedule_stats();
+        exec.for_each_indexed(n, |_| {});
+        let dynamic = exec.schedule_stats().since(&before);
+        assert_eq!(dynamic.pool_launches, 1);
+        assert_eq!(dynamic.dynamic_launches, 1);
+        assert_eq!(dynamic.weighted_launches, 0);
+        assert_eq!(
+            dynamic.morsels, 98,
+            "100k at grain 1024, worker-independent"
+        );
+        assert!(dynamic.max_worker_morsels >= dynamic.morsels.div_ceil(4));
+        assert!(dynamic.makespan_ns >= dynamic.mean_chunk_ns);
+        assert!(dynamic.imbalance() >= 1.0);
+
+        let before = exec.schedule_stats();
+        exec.for_each_weighted(n, |i| i as u64, |_| {});
+        let weighted = exec.schedule_stats().since(&before);
+        assert_eq!(weighted.dynamic_launches, 1);
+        assert_eq!(weighted.weighted_launches, 1);
+        assert_eq!(weighted.morsels, 98, "cost cut keeps the uniform count");
+
+        exec.reset_stats();
+        assert_eq!(exec.schedule_stats(), ScheduleStats::default());
+        exec.set_schedule(Schedule::Auto);
+    }
+
+    #[test]
+    fn auto_schedule_is_static_for_unweighted_and_dynamic_for_weighted() {
+        let n = 100_000;
+        let exec = Executor::new(4);
+        assert_eq!(exec.schedule(), Schedule::Auto);
+        let before = exec.schedule_stats();
+        exec.for_each_indexed(n, |_| {});
+        exec.for_each_weighted(n, |_| 1, |_| {});
+        let delta = exec.schedule_stats().since(&before);
+        assert_eq!(delta.pool_launches, 2);
+        assert_eq!(delta.dynamic_launches, 1, "only the weighted launch claims");
+        assert_eq!(delta.weighted_launches, 1);
+    }
+
+    #[test]
+    fn armed_weighted_try_launches_roll_exactly_one_fault_step() {
+        let exec = Executor::new(2);
+        let plan: crate::fault::FaultPlan = "launch=1".parse().unwrap();
+        let injector = crate::fault::FaultInjector::new(plan);
+        exec.set_fault_injector(Some(injector.clone()));
+        let ran = AtomicU64::new(0);
+        let err = exec
+            .try_for_each_weighted_named(
+                "weighted_faulted",
+                100_000,
+                |_| 1,
+                |_| {
+                    ran.fetch_add(1, Ordering::Relaxed);
+                },
+            )
+            .unwrap_err();
+        assert_eq!(err.kernel, "weighted_faulted");
+        assert_eq!(ran.load(Ordering::Relaxed), 0, "kernel must not run");
+        assert_eq!(injector.stats().injected_launches, 1);
+        // The cost planner never rolls: an unarmed-rate injector sees the
+        // same step count whether the launch is weighted or not.
+        exec.set_fault_injector(None);
+        exec.try_for_each_weighted_named("weighted_ok", 100_000, |i| i as u64, |_| {})
+            .unwrap();
+        exec.try_for_each_segmented_cost_named("seg_ok", &[0, 4, 9, 9, 20], |_| {})
+            .unwrap();
+    }
+
+    #[test]
+    fn segmented_cost_launch_covers_all_segments() {
+        let exec = Executor::new(3);
+        exec.set_schedule(Schedule::Morsel { grain: 64 });
+        exec.set_sequential_grid_limit(0);
+        let n = 10_000usize;
+        // Skewed CSR-style offsets: segment i has length i % 17.
+        let mut offsets = vec![0usize; n + 1];
+        for i in 0..n {
+            offsets[i + 1] = offsets[i] + i % 17;
+        }
+        let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        exec.for_each_segmented_cost_named("segments", &offsets, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        exec.set_sequential_grid_limit(DEFAULT_SEQUENTIAL_GRID_LIMIT);
+        exec.set_schedule(Schedule::Auto);
     }
 
     #[test]

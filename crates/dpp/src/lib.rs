@@ -31,6 +31,11 @@
 //!   fails device-memory charges and `try_*` launches at a configured rate,
 //!   so the solver's recovery paths are continuously exercised
 //!   (`GMC_FAULTS`, chaos CI).
+//! * [`Schedule`] — cost-aware launch scheduling: dynamic morsel
+//!   work-claiming and weighted launches
+//!   ([`Executor::for_each_weighted`]) that cut morsel boundaries at equal
+//!   summed cost, so skewed grids no longer serialise on one worker
+//!   (`GMC_SCHED`, [`ScheduleStats`]).
 //!
 //! Determinism: every primitive in this crate returns byte-identical output
 //! for a given input regardless of how many workers the executor has; all
@@ -47,6 +52,7 @@ pub mod prop;
 mod rle;
 pub mod rng;
 mod scan;
+mod sched;
 mod segmented;
 mod select;
 mod shared;
@@ -63,6 +69,7 @@ pub use scan::{
     exclusive_scan, exclusive_scan_by, exclusive_scan_by_into, exclusive_scan_into, inclusive_scan,
     reduce, reduce_by, try_exclusive_scan, try_exclusive_scan_into,
 };
+pub use sched::{Schedule, DEFAULT_MORSEL_GRAIN, MAX_MORSELS};
 pub use segmented::{
     remove_empty_segments, segment_lengths, segmented_argmax_by_key, segmented_sum,
 };
@@ -71,7 +78,7 @@ pub use select::{
 };
 pub use shared::{SharedSlice, UninitSlice};
 pub use sort::{sort_pairs_u32, sort_u32, sort_u32_desc};
-pub use stats::{KernelStats, LaunchStats};
+pub use stats::{KernelStats, LaunchStats, ScheduleStats};
 
 // Re-exported so executor users can install tracers without naming the
 // trace crate (`exec.set_tracer(...)`, `memory.set_tracer(...)`).

@@ -69,7 +69,10 @@ impl BitMatrix {
         let mut bits = Vec::new();
         {
             let dst = UninitSlice::for_vec(&mut bits, n * words_per_row);
-            exec.for_each_indexed_named("bitmatrix_build_rows", n, |v| {
+            // Cost hint: a row streams its adjacency list plus the row's
+            // zero-fill, so degree skew maps straight onto launch skew.
+            let row_cost = |v: usize| (graph.degree(v as u32) + words_per_row) as u64;
+            exec.for_each_weighted_named("bitmatrix_build_rows", n, row_cost, |v| {
                 let row = v * words_per_row;
                 let mut word = 0u64;
                 let mut cur = 0usize;

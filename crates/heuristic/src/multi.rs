@@ -59,7 +59,9 @@ pub fn multi_run(
     {
         let neighbors_shared = SharedSlice::new(&mut neighbors);
         let thresholds_shared = SharedSlice::new(&mut nbr_thresholds);
-        exec.for_each_indexed_named("heuristic_neighbor_thresholds", h, |s| {
+        // Segment lengths are the seeds' degrees — exactly the skew a
+        // degree-sorted seed list maximises.
+        exec.for_each_segmented_cost_named("heuristic_neighbor_thresholds", &offsets, |s| {
             for (offset, &u) in graph.neighbors(seeds[s]).iter().enumerate() {
                 // SAFETY: segments are disjoint spans of the output arrays.
                 unsafe {
@@ -100,7 +102,7 @@ pub fn multi_run(
         let mut flags = vec![false; neighbors.len()];
         {
             let flags_shared = SharedSlice::new(&mut flags);
-            exec.for_each_indexed_named("heuristic_check_connections", num_segments, |s| {
+            exec.for_each_segmented_cost_named("heuristic_check_connections", &offsets, |s| {
                 let v = chosen[s];
                 for (i, &u) in neighbors[offsets[s]..offsets[s + 1]].iter().enumerate() {
                     // SAFETY: segments are disjoint spans.

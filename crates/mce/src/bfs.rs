@@ -407,26 +407,55 @@ fn grow_fused<O: EdgeOracle + ?Sized>(
                 let segs = &arena.segs;
                 let seg_of = &arena.seg_of;
                 let local_rows = &arena.local_rows;
-                exec.try_for_each_indexed_fused_named("bfs_count_cliques_local", len, |i| {
-                    let t = tails[i] as usize;
-                    let spill_base = if t > INLINE_BITS { spill_offsets[i] } else { 0 };
-                    let seg = &segs[seg_of[i] as usize];
-                    if seg.bitmap {
-                        let r = i - seg.start;
-                        let base = seg.rows_off + r * seg.words_per_row;
-                        let row = &local_rows[base..base + seg.words_per_row];
-                        bitmap_count_walk(
-                            row,
-                            r,
-                            i,
-                            t,
-                            need,
-                            spill_base,
-                            &counts_dst,
-                            &masks_dst,
-                            &spill_dst,
-                        );
-                    } else {
+                // Cost hint: the walk visits exactly the entry's tail.
+                let tail_cost = |i: usize| u64::from(tails[i]) + 1;
+                exec.try_for_each_weighted_fused_named(
+                    "bfs_count_cliques_local",
+                    len,
+                    tail_cost,
+                    |i| {
+                        let t = tails[i] as usize;
+                        let spill_base = if t > INLINE_BITS { spill_offsets[i] } else { 0 };
+                        let seg = &segs[seg_of[i] as usize];
+                        if seg.bitmap {
+                            let r = i - seg.start;
+                            let base = seg.rows_off + r * seg.words_per_row;
+                            let row = &local_rows[base..base + seg.words_per_row];
+                            bitmap_count_walk(
+                                row,
+                                r,
+                                i,
+                                t,
+                                need,
+                                spill_base,
+                                &counts_dst,
+                                &masks_dst,
+                                &spill_dst,
+                            );
+                        } else {
+                            scalar_count_walk(
+                                oracle,
+                                vertex_id,
+                                i,
+                                t,
+                                need,
+                                spill_base,
+                                &counts_dst,
+                                &masks_dst,
+                                &spill_dst,
+                            );
+                        }
+                    },
+                )?;
+            } else {
+                let tail_cost = |i: usize| u64::from(tails[i]) + 1;
+                exec.try_for_each_weighted_fused_named(
+                    "bfs_count_cliques_fused",
+                    len,
+                    tail_cost,
+                    |i| {
+                        let t = tails[i] as usize;
+                        let spill_base = if t > INLINE_BITS { spill_offsets[i] } else { 0 };
                         scalar_count_walk(
                             oracle,
                             vertex_id,
@@ -438,24 +467,8 @@ fn grow_fused<O: EdgeOracle + ?Sized>(
                             &masks_dst,
                             &spill_dst,
                         );
-                    }
-                })?;
-            } else {
-                exec.try_for_each_indexed_fused_named("bfs_count_cliques_fused", len, |i| {
-                    let t = tails[i] as usize;
-                    let spill_base = if t > INLINE_BITS { spill_offsets[i] } else { 0 };
-                    scalar_count_walk(
-                        oracle,
-                        vertex_id,
-                        i,
-                        t,
-                        need,
-                        spill_base,
-                        &counts_dst,
-                        &masks_dst,
-                        &spill_dst,
-                    );
-                })?;
+                    },
+                )?;
             }
             // SAFETY: the launch wrote every index of all three buffers
             // (spill spans tile 0..spill_total across entries with long
@@ -538,43 +551,50 @@ fn grow_fused<O: EdgeOracle + ?Sized>(
             let vertex_dst = UninitSlice::for_vec(&mut new_vertex, total);
             let sublist_dst = UninitSlice::for_vec(&mut new_sublist, total);
             let tails_dst = UninitSlice::for_vec(&mut arena.next_tails, total);
-            exec.try_for_each_indexed_fused_named("bfs_emit_cliques_fused", len, |i| {
-                if counts[i] == 0 {
-                    return;
-                }
-                let end = offsets[i] + counts[i];
-                let mut cursor = offsets[i];
-                let emit = |b: usize, cursor: usize| {
-                    // SAFETY: entry i owns offsets[i]..end; the spans tile
-                    // 0..total and each slot is written exactly once.
-                    unsafe {
-                        vertex_dst.write(cursor, vertex_id[i + 1 + b]);
-                        sublist_dst.write(cursor, i as u32);
-                        tails_dst.write(cursor, (end - 1 - cursor) as u32);
+            // Cost hint: an entry replays exactly `counts[i]` recorded bits.
+            let emit_cost = |i: usize| counts[i] as u64 + 1;
+            exec.try_for_each_weighted_fused_named(
+                "bfs_emit_cliques_fused",
+                len,
+                emit_cost,
+                |i| {
+                    if counts[i] == 0 {
+                        return;
                     }
-                };
-                // Inline bits replay in ascending order, matching the
-                // unfused walk byte for byte.
-                let mut m = masks[i];
-                while m != 0 {
-                    emit(m.trailing_zeros() as usize, cursor);
-                    m &= m - 1;
-                    cursor += 1;
-                }
-                let t = tails[i] as usize;
-                if t > INLINE_BITS {
-                    let base = spill_offsets[i];
-                    for w in 0..(t - INLINE_BITS).div_ceil(64) {
-                        let mut m = spill[base + w];
-                        while m != 0 {
-                            emit(INLINE_BITS + w * 64 + m.trailing_zeros() as usize, cursor);
-                            m &= m - 1;
-                            cursor += 1;
+                    let end = offsets[i] + counts[i];
+                    let mut cursor = offsets[i];
+                    let emit = |b: usize, cursor: usize| {
+                        // SAFETY: entry i owns offsets[i]..end; the spans tile
+                        // 0..total and each slot is written exactly once.
+                        unsafe {
+                            vertex_dst.write(cursor, vertex_id[i + 1 + b]);
+                            sublist_dst.write(cursor, i as u32);
+                            tails_dst.write(cursor, (end - 1 - cursor) as u32);
+                        }
+                    };
+                    // Inline bits replay in ascending order, matching the
+                    // unfused walk byte for byte.
+                    let mut m = masks[i];
+                    while m != 0 {
+                        emit(m.trailing_zeros() as usize, cursor);
+                        m &= m - 1;
+                        cursor += 1;
+                    }
+                    let t = tails[i] as usize;
+                    if t > INLINE_BITS {
+                        let base = spill_offsets[i];
+                        for w in 0..(t - INLINE_BITS).div_ceil(64) {
+                            let mut m = spill[base + w];
+                            while m != 0 {
+                                emit(INLINE_BITS + w * 64 + m.trailing_zeros() as usize, cursor);
+                                m &= m - 1;
+                                cursor += 1;
+                            }
                         }
                     }
-                }
-                debug_assert_eq!(cursor, end, "mask replay disagrees with count");
-            })?;
+                    debug_assert_eq!(cursor, end, "mask replay disagrees with count");
+                },
+            )?;
             // SAFETY: counts/offsets tile 0..total, so the launch wrote
             // every slot of all three buffers.
             unsafe {
@@ -721,7 +741,13 @@ fn build_local_bitmaps(
         let row_seg = &arena.row_seg;
         let members = &arena.members;
         let rows = SharedSlice::new(&mut arena.local_rows);
-        exec.try_for_each_indexed_named("bfs_local_build_rows", total_rows, |j| {
+        // Cost hint: row j's merge walks its member's adjacency list
+        // against the segment's members.
+        let row_cost = |j: usize| {
+            let seg = &segs[row_seg[j] as usize];
+            (graph.degree(vertex_id[seg.start + (j - seg.row0)]) + seg.len) as u64
+        };
+        exec.try_for_each_weighted_named("bfs_local_build_rows", total_rows, row_cost, |j| {
             let seg = &segs[row_seg[j] as usize];
             let r = j - seg.row0;
             let base = seg.rows_off + r * seg.words_per_row;
@@ -956,7 +982,15 @@ fn grow_unfused<O: EdgeOracle + ?Sized>(
         {
             let vertex_shared = SharedSlice::new(&mut new_vertex);
             let sublist_shared = SharedSlice::new(&mut new_sublist);
-            exec.try_for_each_indexed_named("bfs_output_new_cliques", len, |i| {
+            // Cost hint: an unpruned entry re-walks its whole sublist tail.
+            let emit_cost = |i: usize| {
+                if counts[i] == 0 {
+                    1
+                } else {
+                    u64::from(arena.tails[i]) + 1
+                }
+            };
+            exec.try_for_each_weighted_named("bfs_output_new_cliques", len, emit_cost, |i| {
                 if counts[i] == 0 {
                     return;
                 }

@@ -1,4 +1,4 @@
-use gmc_dpp::{FaultPlan, Tracer};
+use gmc_dpp::{FaultPlan, Schedule, Tracer};
 use gmc_heuristic::HeuristicKind;
 
 /// Which directed arc of each undirected edge survives orientation
@@ -268,6 +268,14 @@ pub struct SolverConfig {
     /// Sublist-local bitmap fast path inside the fused count kernel (no
     /// effect on the unfused pipeline). See [`LocalBitsMode`].
     pub local_bits: LocalBitsMode,
+    /// How the executor maps launches onto workers for the duration of the
+    /// solve: the solver installs this [`Schedule`] on the device executor
+    /// and restores the previous one afterwards. The clique set is
+    /// bit-identical under every schedule; dynamic modes only rebalance
+    /// skewed launches across workers. Defaults to `GMC_SCHED`
+    /// (`static`/`morsel[:grain]`/`guided`/`auto`) or [`Schedule::Auto`]
+    /// when unset.
+    pub schedule: Schedule,
     /// Recording handle for profiling: the solver installs it on the
     /// device's executor and memory accountant for the duration of each
     /// solve, and wraps every phase, BFS level and window in spans.
@@ -297,6 +305,7 @@ impl Default for SolverConfig {
             early_exit: true,
             fused: true,
             local_bits: LocalBitsMode::from_env(),
+            schedule: Schedule::from_env(),
             trace: Tracer::disabled(),
             faults: FaultPlan::from_env(),
         }
@@ -316,8 +325,9 @@ mod tests {
         assert!(cfg.early_exit);
         assert!(cfg.fused);
         // Default Auto unless the environment overrides it (CI ablation
-        // jobs may set GMC_LOCAL_BITS; respect whatever it says here).
+        // jobs may set GMC_LOCAL_BITS / GMC_SCHED; respect what they say).
         assert_eq!(cfg.local_bits, LocalBitsMode::from_env());
+        assert_eq!(cfg.schedule, Schedule::from_env());
         assert!(!cfg.trace.is_enabled());
     }
 

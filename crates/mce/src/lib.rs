@@ -37,7 +37,10 @@ pub use verify::{verify_result, VerifyError};
 pub use window::WindowStats;
 
 use gmc_cliquelist::CliqueLevel;
-use gmc_dpp::{Device, DeviceError, DeviceOom, FaultInjector, FaultStats, LaunchStats, Tracer};
+use gmc_dpp::{
+    Device, DeviceError, DeviceOom, FaultInjector, FaultStats, LaunchStats, Schedule,
+    ScheduleStats, Tracer,
+};
 use gmc_graph::{BitMatrix, Csr, EdgeOracle, HashAdjacency};
 use gmc_heuristic::{run_heuristic, HeuristicKind, HeuristicResult};
 use std::time::{Duration, Instant};
@@ -124,6 +127,11 @@ pub struct SolveStats {
     pub local_bits: LocalBitsStats,
     /// Virtual-GPU launch counters consumed by this solve.
     pub launches: LaunchStats,
+    /// Scheduling and load-balance counters consumed by this solve
+    /// ([`SolverConfig::schedule`]): which launches took the pool, how many
+    /// ran under dynamic morsel claiming / cost hints, and the
+    /// makespan-vs-mean imbalance signal.
+    pub sched: ScheduleStats,
     /// Window counters when the windowed variant ran.
     pub window: Option<WindowStats>,
     /// Exact fault-injection counters (all zero unless
@@ -265,6 +273,21 @@ impl MaxCliqueSolver {
         self
     }
 
+    /// Selects the launch schedule the solve installs on the device executor
+    /// (see [`SolverConfig::schedule`]): `Static`, `Morsel`, `Guided`, or
+    /// the `Auto` policy (the default, overridable via `GMC_SCHED`).
+    pub fn schedule(mut self, schedule: Schedule) -> Self {
+        self.config.schedule = schedule;
+        self
+    }
+
+    /// Arms (or disarms, with `None`) deterministic fault injection for the
+    /// next solve (see [`SolverConfig::faults`]).
+    pub fn faults(mut self, plan: Option<gmc_dpp::FaultPlan>) -> Self {
+        self.config.faults = plan;
+        self
+    }
+
     /// Enables local-search polishing of the heuristic witness.
     pub fn polish_witness(mut self, enabled: bool) -> Self {
         self.config.polish_witness = enabled;
@@ -301,7 +324,13 @@ impl MaxCliqueSolver {
             device.exec().set_tracer(self.config.trace.clone());
             device.memory().set_tracer(self.config.trace.clone());
         }
+        // Install the configured launch schedule for the duration of the
+        // solve; restore whatever the executor had before (the clique set
+        // is bit-identical either way — see `gmc_dpp::Schedule`).
+        let prev_schedule = device.exec().schedule();
+        device.exec().set_schedule(self.config.schedule);
         let result = self.solve_traced(graph);
+        device.exec().set_schedule(prev_schedule);
         if tracing {
             device.exec().set_tracer(Tracer::disabled());
             device.memory().set_tracer(Tracer::disabled());
@@ -323,6 +352,7 @@ impl MaxCliqueSolver {
         });
         let start = Instant::now();
         let launch_base = device.exec().stats();
+        let sched_base = device.exec().schedule_stats();
         device.memory().reset_peak();
 
         let mut stats = SolveStats {
@@ -439,6 +469,7 @@ impl MaxCliqueSolver {
             .peak()
             .max(stats.window.as_ref().map_or(0, |w| w.peak_window_bytes));
         stats.launches = device.exec().stats().since(&launch_base);
+        stats.sched = device.exec().schedule_stats().since(&sched_base);
         stats.total_time = start.elapsed();
         if let Some(span) = solve_span.as_mut() {
             span.arg("clique_number", i64::from(clique_number));

@@ -63,6 +63,18 @@ pub struct WindowStats {
     /// Windows split in half after repeated injected faults (the bounded
     /// geometric backoff of the recovery ladder).
     pub fault_shrinks: usize,
+    /// OS workers the concurrent window sweep ran with (largest sweep, when
+    /// the fault ladder retried); `0` when the sweep was never concurrent.
+    pub sweep_workers: usize,
+    /// Windows drained by the busiest sweep worker, summed over sweeps —
+    /// the window-level analogue of the launch-level
+    /// "morsels claimed per worker" skew signal in
+    /// [`gmc_dpp::ScheduleStats`].
+    pub sweep_drained_max: usize,
+    /// Total sweep-worker idle time: the gap between each worker's busy
+    /// span and the sweep's wall clock, summed over workers and sweeps.
+    /// Large values mean a few heavy windows serialised the sweep.
+    pub sweep_idle_ns: u64,
 }
 
 pub(crate) struct WindowOutcome {
@@ -668,15 +680,29 @@ fn parallel_window_sweep<O: EdgeOracle + ?Sized>(
     let cursor = std::sync::atomic::AtomicUsize::new(0);
     let workers = ctx.config.parallel_windows.min(ranges.len()).max(1);
     let first_error: Mutex<Option<DeviceError>> = Mutex::new(None);
+    // Per-worker balance slots (windows drained, busy nanoseconds): each
+    // worker writes only its own pair, read after the scope joins.
+    use std::sync::atomic::{AtomicU64, Ordering};
+    let drained: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(0)).collect();
+    let busy_ns: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(0)).collect();
+    let sweep_start = std::time::Instant::now();
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| {
+        for w in 0..workers {
+            let cursor = &cursor;
+            let ranges = &ranges;
+            let first_error = &first_error;
+            let drained = &drained;
+            let busy_ns = &busy_ns;
+            scope.spawn(move || {
+                let began = std::time::Instant::now();
+                let mut windows_drained = 0u64;
                 // Arenas are not shared across threads: each worker recycles
                 // its own scratch over the windows it drains.
                 let mut arena = LevelArena::new();
                 loop {
-                    let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
                     let Some(&(s, e)) = ranges.get(i) else { break };
+                    windows_drained += 1;
                     let outcome = process_window(
                         ctx,
                         &vertex_id[s..e],
@@ -703,9 +729,42 @@ fn parallel_window_sweep<O: EdgeOracle + ?Sized>(
                         break;
                     }
                 }
+                drained[w].store(windows_drained, Ordering::Relaxed);
+                busy_ns[w].store(began.elapsed().as_nanos() as u64, Ordering::Relaxed);
             });
         }
     });
+    // Window-level imbalance: the busiest worker's drain count and the gap
+    // between each worker's busy span and the sweep wall clock.
+    let wall_ns = sweep_start.elapsed().as_nanos() as u64;
+    let drained_max = drained
+        .iter()
+        .map(|d| d.load(Ordering::Relaxed))
+        .max()
+        .unwrap_or(0);
+    let idle_ns: u64 = busy_ns
+        .iter()
+        .map(|b| wall_ns.saturating_sub(b.load(Ordering::Relaxed)))
+        .sum();
+    {
+        let mut st = stats.lock().expect("stats lock poisoned");
+        st.sweep_workers = st.sweep_workers.max(workers);
+        st.sweep_drained_max += drained_max as usize;
+        st.sweep_idle_ns += idle_ns;
+    }
+    let tracer = ctx.device.exec().tracer();
+    if tracer.is_enabled() {
+        tracer.instant(
+            "window_sweep_balance",
+            &[
+                ("workers", workers as i64),
+                ("windows", ranges.len() as i64),
+                ("drained_max", drained_max as i64),
+                ("idle_ns", idle_ns as i64),
+            ],
+        );
+        tracer.counter("window_sweep_idle_ns", idle_ns as i64);
+    }
     match first_error.into_inner().expect("error lock poisoned") {
         Some(err) => Err(err),
         None => Ok(()),

@@ -154,9 +154,28 @@ impl ParallelBranchBound {
         let nodes = AtomicU64::new(0);
         let roots_pruned = AtomicU64::new(0);
 
-        // Roots in reverse degeneracy order: the densest part of the graph
-        // first, which tends to improve the incumbent early.
-        let roots: Vec<u32> = order.iter().rev().copied().collect();
+        // Cost-aware LPT ordering for the dynamic root cursor: a subtree's
+        // work scales with the forward neighborhood its branch starts from,
+        // so the heaviest roots are claimed first and the claim loop's tail
+        // stays short (the same decompose-by-cost idea behind gmc-dpp's
+        // weighted launches). The composite key is unique per vertex, so
+        // the ordering — the decomposition — is a pure function of the
+        // graph; only the thread-to-root assignment is dynamic. Ties fall
+        // back to reverse degeneracy order, keeping the densest region
+        // first to improve the incumbent early.
+        let forward_degree: Vec<u32> = (0..n as u32)
+            .map(|v| {
+                graph
+                    .neighbors(v)
+                    .iter()
+                    .filter(|&&u| rank[u as usize] > rank[v as usize])
+                    .count() as u32
+            })
+            .collect();
+        let mut roots: Vec<u32> = order.iter().rev().copied().collect();
+        roots.sort_unstable_by_key(|&v| {
+            std::cmp::Reverse((forward_degree[v as usize], rank[v as usize]))
+        });
 
         std::thread::scope(|scope| {
             for _ in 0..self.threads {

@@ -50,7 +50,7 @@ pub use gmc_trace as trace;
 
 /// Commonly used items in one import.
 pub mod prelude {
-    pub use gmc_dpp::{Device, DeviceMemory, Executor, FaultPlan, FaultStats};
+    pub use gmc_dpp::{Device, DeviceMemory, Executor, FaultPlan, FaultStats, Schedule};
     pub use gmc_graph::{Csr, EdgeOracle, GraphBuilder};
     pub use gmc_heuristic::HeuristicKind;
     pub use gmc_mce::{

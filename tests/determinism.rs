@@ -5,7 +5,21 @@ use gpu_max_clique::corpus::{corpus, Tier};
 use gpu_max_clique::graph::generators;
 use gpu_max_clique::heuristic::HeuristicKind;
 use gpu_max_clique::mce::{MaxCliqueSolver, WindowConfig};
-use gpu_max_clique::prelude::Device;
+use gpu_max_clique::prelude::{Device, FaultPlan, Schedule};
+
+/// Every launch schedule, including a deliberately tiny morsel grain that
+/// forces many claims per launch even on the smoke-sized grids.
+fn all_schedules() -> [Schedule; 5] {
+    [
+        Schedule::Static,
+        Schedule::Morsel { grain: 64 },
+        Schedule::Morsel {
+            grain: gpu_max_clique::dpp::DEFAULT_MORSEL_GRAIN,
+        },
+        Schedule::Guided,
+        Schedule::Auto,
+    ]
+}
 
 #[test]
 fn repeated_solves_are_identical() {
@@ -121,6 +135,84 @@ fn heuristics_are_deterministic_across_workers() {
         )
         .unwrap();
         assert_eq!(a.clique, b.clique, "{kind}");
+    }
+}
+
+#[test]
+fn schedules_do_not_change_results_across_worker_counts() {
+    // The dynamic schedules reassign morsels to workers at runtime, but the
+    // decomposition itself is worker-count independent, so every schedule ×
+    // worker-count × pipeline combination must produce bit-identical cliques
+    // and identical deterministic counters.
+    let graph = generators::barabasi_albert(350, 6, 7);
+    for fused in [false, true] {
+        let reference = MaxCliqueSolver::new(Device::new(1, usize::MAX))
+            .fused(fused)
+            .schedule(Schedule::Static)
+            .solve(&graph)
+            .unwrap();
+        for schedule in all_schedules() {
+            for workers in [1, 2, 8] {
+                let result = MaxCliqueSolver::new(Device::new(workers, usize::MAX))
+                    .fused(fused)
+                    .schedule(schedule)
+                    .solve(&graph)
+                    .unwrap();
+                let ctx = format!("schedule {schedule} workers {workers} fused {fused}");
+                assert_eq!(result.cliques, reference.cliques, "{ctx}");
+                assert_eq!(
+                    result.stats.oracle_queries, reference.stats.oracle_queries,
+                    "{ctx}: oracle query count changed"
+                );
+                assert_eq!(
+                    result.stats.local_bits, reference.stats.local_bits,
+                    "{ctx}: sublist-bitmap counters changed"
+                );
+                assert_eq!(
+                    result.stats.launches, reference.stats.launches,
+                    "{ctx}: launch counters changed"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn schedules_preserve_fault_step_semantics() {
+    // Fault rolls are keyed by a per-launch step counter; a schedule must
+    // neither add nor remove launches, so an armed plan injects the *exact*
+    // same fault sequence under every schedule and worker count — and the
+    // recovered output stays bit-identical to the fault-free reference.
+    let graph = generators::gnp(250, 0.25, 11);
+    let plan: FaultPlan = "seed=7,alloc=0.05,launch=0.02,retries=256"
+        .parse()
+        .expect("plan parses");
+    let clean = MaxCliqueSolver::new(Device::unlimited())
+        .solve(&graph)
+        .unwrap();
+    let reference = MaxCliqueSolver::new(Device::new(1, usize::MAX))
+        .schedule(Schedule::Static)
+        .faults(Some(plan))
+        .solve(&graph)
+        .unwrap();
+    assert_eq!(reference.cliques, clean.cliques);
+    assert!(
+        reference.stats.faults.injected() > 0,
+        "plan injected nothing — the test proves nothing"
+    );
+    for schedule in all_schedules() {
+        for workers in [1, 2, 8] {
+            let result = MaxCliqueSolver::new(Device::new(workers, usize::MAX))
+                .schedule(schedule)
+                .faults(Some(plan))
+                .solve(&graph)
+                .unwrap();
+            let ctx = format!("schedule {schedule} workers {workers}");
+            assert_eq!(result.cliques, clean.cliques, "{ctx}");
+            let f = result.stats.faults;
+            assert_eq!(f, reference.stats.faults, "{ctx}: fault counters changed");
+            assert_eq!(f.recovered(), f.injected(), "{ctx}: {f:?}");
+        }
     }
 }
 
