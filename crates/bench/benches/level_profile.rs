@@ -83,6 +83,9 @@ fn main() {
                 Err(err @ SolveError::FaultRetriesExhausted { .. }) => {
                     panic!("no fault plan is armed in this bench: {err}")
                 }
+                Err(err @ SolveError::Cancelled(_)) => {
+                    panic!("no cancel token is installed in this bench: {err}")
+                }
                 Err(SolveError::DeviceOom(_)) => rows.push(ProfileRow {
                     dataset: dataset.name().to_string(),
                     heuristic: kind.name().to_string(),

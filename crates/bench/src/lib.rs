@@ -304,6 +304,9 @@ pub fn run_solver(
         Ok(result) => Ok(RunOutcome::Solved(record_of(graph, &result))),
         Err(SolveError::DeviceOom(_)) => Ok(RunOutcome::Oom),
         Err(err @ SolveError::FaultRetriesExhausted { .. }) => Err(err),
+        // The harness never installs a cancel token; surface it if one
+        // leaks in from a misconfigured device.
+        Err(err @ SolveError::Cancelled(_)) => Err(err),
     }
 }
 

@@ -85,6 +85,7 @@ const SECTIONS: &[(&str, SectionRenderer)] = &[
     ("warp_divergence", render_divergence),
     ("local_bits", render_local_bits),
     ("schedule", render_schedule),
+    ("serve", render_serve),
 ];
 
 fn load(dir: &Path, name: &str) -> Option<Result<Json, String>> {
@@ -272,6 +273,38 @@ fn render_schedule(out: &mut String, value: &Json) {
     let _ = writeln!(out);
 }
 
+fn render_serve(out: &mut String, value: &Json) {
+    let _ = writeln!(out, "## Service — batched solves through `gmc-serve`\n");
+    let _ = writeln!(
+        out,
+        "Pool of {} slot(s), queue depth {}: {} jobs served, {} hits / {} misses \
+         (hit rate {:.1}%), {} cancelled at deadline, bit-identical: {}.\n",
+        value["pool"].as_u64().unwrap_or(0),
+        value["queue_depth"].as_u64().unwrap_or(0),
+        value["total_jobs"].as_u64().unwrap_or(0),
+        value["cache_hits"].as_u64().unwrap_or(0),
+        value["cache_misses"].as_u64().unwrap_or(0),
+        100.0 * value["hit_rate"].as_f64().unwrap_or(f64::NAN),
+        value["cancellations"].as_u64().unwrap_or(0),
+        value["bit_identical"].as_bool().unwrap_or(false),
+    );
+    let _ = writeln!(
+        out,
+        "| Queue wait p50 | Queue wait p99 | Launches | Oracle queries | Throughput |"
+    );
+    let _ = writeln!(out, "|---|---|---|---|---|");
+    let _ = writeln!(
+        out,
+        "| {:.1} µs | {:.1} µs | {} | {} | {:.0} jobs/s |",
+        value["queue_wait_p50_ns"].as_f64().unwrap_or(f64::NAN) / 1e3,
+        value["queue_wait_p99_ns"].as_f64().unwrap_or(f64::NAN) / 1e3,
+        value["launches"].as_u64().unwrap_or(0),
+        value["oracle_queries"].as_u64().unwrap_or(0),
+        value["throughput_jobs_per_s"].as_f64().unwrap_or(f64::NAN),
+    );
+    let _ = writeln!(out);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -314,6 +347,26 @@ mod tests {
         .unwrap();
         let report = render_report(&dir);
         assert!(report.contains("low-degree half: 0.98×"), "{report}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn renders_serve_section() {
+        let dir = temp_dir("serve");
+        std::fs::write(
+            dir.join("serve.json"),
+            r#"{"pool":2,"queue_depth":8,"total_jobs":14,"unique_jobs":4,"repeat_jobs":8,
+               "deadline_jobs":2,"cache_hits":8,"cache_misses":6,"hit_rate":0.5714,
+               "cancellations":2,"bit_identical":true,"launches":549,"oracle_queries":12475,
+               "queue_wait_p50_ns":8960,"queue_wait_p99_ns":698468,"wall_ms":6.58,
+               "throughput_jobs_per_s":2126.9}"#,
+        )
+        .unwrap();
+        let report = render_report(&dir);
+        assert!(report.contains("Service — batched solves"), "{report}");
+        assert!(report.contains("8 hits / 6 misses"), "{report}");
+        assert!(report.contains("hit rate 57.1%"), "{report}");
+        assert!(report.contains("| 549 | 12475 |"), "{report}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -1,11 +1,12 @@
 //! Counter-shape trend gate over the committed bench records.
 //!
-//! Re-parses `BENCH_fused.json`, `BENCH_localbits.json` and
-//! `BENCH_schedule.json` with the in-tree `gmc_bench::json` parser and
-//! re-runs the probe/query/decomposition counter measurements. The gate
-//! fails when a current counter *regresses* past a tolerance against its
-//! committed value — deterministic counters, not wall-clock, so the gate
-//! is stable on any CI machine. Run by the `bench-trend` CI step.
+//! Re-parses `BENCH_fused.json`, `BENCH_localbits.json`,
+//! `BENCH_schedule.json` and `BENCH_serve.json` with the in-tree
+//! `gmc_bench::json` parser and re-runs the probe/query/decomposition
+//! counter measurements. The gate fails when a current counter
+//! *regresses* past a tolerance against its committed value —
+//! deterministic counters, not wall-clock, so the gate is stable on any
+//! CI machine. Run by the `bench-trend` CI step.
 
 use gmc_bench::json::{self, Json};
 use gmc_corpus::{by_name, Tier};
@@ -260,6 +261,113 @@ fn committed_records_are_internally_consistent() {
             (on_q + on_avoided - scalar).abs() < 1e-6,
             "{}: on_queries + on_avoided must equal scalar_queries",
             row["dataset"].as_str().unwrap_or("?")
+        );
+    }
+}
+
+/// Workload constants mirrored from `benches/serve_load.rs` — the
+/// committed `BENCH_serve.json` was produced with exactly these.
+mod serve_workload {
+    pub const DATASETS: &[&str] = &[
+        "road-grid-02",
+        "ca-papers-03",
+        "socfb-campus-04",
+        "web-crawl-03",
+    ];
+    pub const REPEATS: usize = 8;
+    pub const DEADLINE_JOBS: usize = 2;
+    pub const SEED: u64 = 2024;
+}
+
+#[test]
+fn committed_serve_record_is_internally_consistent() {
+    let doc = committed("BENCH_serve.json");
+    let total = doc["total_jobs"].as_u64().expect("total_jobs");
+    let uniques = doc["unique_jobs"].as_u64().expect("unique_jobs");
+    let repeats = doc["repeat_jobs"].as_u64().expect("repeat_jobs");
+    let deadlines = doc["deadline_jobs"].as_u64().expect("deadline_jobs");
+    let hits = doc["cache_hits"].as_u64().expect("cache_hits");
+    let misses = doc["cache_misses"].as_u64().expect("cache_misses");
+    let hit_rate = doc["hit_rate"].as_f64().expect("hit_rate");
+
+    assert_eq!(uniques + repeats + deadlines, total);
+    assert_eq!(hits + misses, total, "every job is a hit or a miss");
+    assert_eq!(hits, repeats, "every replay draw hits the populated cache");
+    assert_eq!(
+        misses,
+        uniques + deadlines,
+        "uniques and sentinels all miss"
+    );
+    let derived = hits as f64 / (hits + misses) as f64;
+    assert!(
+        (hit_rate - derived).abs() < 1e-6,
+        "committed hit_rate {hit_rate} != derived {derived}"
+    );
+    assert!(
+        hit_rate >= 0.4,
+        "the ≥50%-repeat workload must sustain a hit rate ≥ 0.4, got {hit_rate}"
+    );
+    assert_eq!(
+        doc["cancellations"].as_u64().expect("cancellations"),
+        deadlines,
+        "every past-deadline sentinel cancels"
+    );
+    assert_eq!(
+        doc["bit_identical"].as_bool(),
+        Some(true),
+        "served results matched the standalone solve when recorded"
+    );
+    assert!(doc["launches"].as_u64().expect("launches") > 0);
+    assert!(doc["wall_ms"].as_f64().expect("wall_ms") > 0.0);
+}
+
+#[test]
+fn serve_counters_match_the_committed_record_at_a_different_pool_size() {
+    // The deterministic counters are a pure function of the workload, not
+    // of service sizing: re-run the committed workload on a *single-slot*
+    // pool (the committed record used two) and require exact equality.
+    use gmc_serve::{loadgen, ServeConfig, SolveService};
+    use std::sync::Arc;
+
+    let doc = committed("BENCH_serve.json");
+    let uniques: Vec<_> = serve_workload::DATASETS
+        .iter()
+        .map(|name| Arc::new(load(name)))
+        .collect();
+    let sentinels: Vec<_> = (0..serve_workload::DEADLINE_JOBS)
+        .map(|i| {
+            Arc::new(gmc_graph::generators::gnp(
+                150,
+                0.12,
+                serve_workload::SEED + i as u64,
+            ))
+        })
+        .collect();
+    let service = SolveService::start(ServeConfig::default().pool(1).queue_depth(4));
+    let report = loadgen::run_with_graphs(
+        &service,
+        &uniques,
+        &sentinels,
+        serve_workload::REPEATS,
+        serve_workload::SEED,
+    );
+    let stats = service.shutdown();
+
+    assert!(report.bit_identical, "served results must match solve()");
+    for (counter, current) in [
+        ("total_jobs", report.total_jobs),
+        ("cache_hits", report.cache_hits),
+        ("cache_misses", report.cache_misses),
+        ("cancellations", report.cancellations),
+        ("launches", stats.launches),
+        ("oracle_queries", stats.oracle_queries),
+    ] {
+        let expected = doc[counter]
+            .as_u64()
+            .unwrap_or_else(|| panic!("{counter} is not an integer"));
+        assert_eq!(
+            current, expected,
+            "{counter}: pool-size-independent counter diverged from the committed record"
         );
     }
 }

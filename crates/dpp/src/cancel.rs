@@ -1,0 +1,187 @@
+//! Cooperative cancellation for the virtual device.
+//!
+//! A real GPU cannot abort a kernel mid-flight, but a host-side service can
+//! stop *issuing* launches: cancellation is checked at launch boundaries
+//! (the bulk-synchronous points where the paper's pipeline returns to the
+//! host anyway), so a cancelled solve stops at the next boundary, unwinds
+//! through the same typed-error path as a device fault, and releases every
+//! arena and device-memory charge via the existing RAII guards.
+//!
+//! A [`CancelToken`] is shared between the requester (who calls
+//! [`CancelToken::cancel`] or constructs it with a deadline) and the
+//! executor (installed via `Executor::set_cancel_token`, polled via
+//! `Executor::check_cancelled`). Cost when no token is installed: one
+//! relaxed atomic load and a branch per poll, the same cached-flag pattern
+//! as tracing and fault injection.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+struct CancelCells {
+    /// Latched once the token is cancelled (explicitly or by deadline).
+    cancelled: AtomicBool,
+    /// Whether the latch was tripped by the deadline rather than an
+    /// explicit [`CancelToken::cancel`] call.
+    by_deadline: AtomicBool,
+    /// Optional wall-clock deadline; polling past it trips the latch.
+    deadline: Option<Instant>,
+}
+
+/// Shared cancellation flag with an optional deadline. Cloning shares the
+/// flag, so the copy installed on an executor and the copy held by the
+/// requester observe the same state.
+#[derive(Clone)]
+pub struct CancelToken {
+    cells: Arc<CancelCells>,
+}
+
+impl CancelToken {
+    /// A token that only cancels when [`CancelToken::cancel`] is called.
+    pub fn new() -> Self {
+        Self::build(None)
+    }
+
+    /// A token that additionally cancels itself at `deadline`: any poll at
+    /// or after that instant trips the latch and reports
+    /// [`Cancelled::deadline_exceeded`].
+    pub fn with_deadline(deadline: Instant) -> Self {
+        Self::build(Some(deadline))
+    }
+
+    fn build(deadline: Option<Instant>) -> Self {
+        Self {
+            cells: Arc::new(CancelCells {
+                cancelled: AtomicBool::new(false),
+                by_deadline: AtomicBool::new(false),
+                deadline,
+            }),
+        }
+    }
+
+    /// The configured deadline, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.cells.deadline
+    }
+
+    /// Trips the latch. Idempotent; every subsequent poll on any clone
+    /// fails with [`Cancelled`].
+    pub fn cancel(&self) {
+        self.cells.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the token has been cancelled (polls the deadline too).
+    pub fn is_cancelled(&self) -> bool {
+        self.check().is_err()
+    }
+
+    /// Polls the token: `Err` once cancelled or past the deadline. The
+    /// deadline latches on first observation so later polls agree on
+    /// [`Cancelled::deadline_exceeded`] without re-reading the clock.
+    pub fn check(&self) -> Result<(), Cancelled> {
+        if self.cells.cancelled.load(Ordering::Relaxed) {
+            return Err(Cancelled {
+                deadline_exceeded: self.cells.by_deadline.load(Ordering::Relaxed),
+            });
+        }
+        if let Some(deadline) = self.cells.deadline {
+            if Instant::now() >= deadline {
+                self.cells.by_deadline.store(true, Ordering::Relaxed);
+                self.cells.cancelled.store(true, Ordering::Relaxed);
+                return Err(Cancelled {
+                    deadline_exceeded: true,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for CancelToken {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CancelToken")
+            .field("cancelled", &self.cells.cancelled.load(Ordering::Relaxed))
+            .field("deadline", &self.cells.deadline)
+            .finish()
+    }
+}
+
+/// Typed cancellation outcome, carried by `DeviceError::Cancelled` through
+/// the same unwinding path as device faults. Never produced by the fault
+/// injector (`is_injected()` is false), so the recovery ladder propagates
+/// it instead of retrying.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cancelled {
+    /// True when the deadline tripped the token rather than an explicit
+    /// [`CancelToken::cancel`] call.
+    pub deadline_exceeded: bool,
+}
+
+impl std::fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.deadline_exceeded {
+            write!(f, "solve cancelled: deadline exceeded")
+        } else {
+            write!(f, "solve cancelled by request")
+        }
+    }
+}
+
+impl std::error::Error for Cancelled {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn explicit_cancel_latches_across_clones() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        assert!(token.check().is_ok());
+        assert!(!clone.is_cancelled());
+        token.cancel();
+        let err = clone.check().unwrap_err();
+        assert!(!err.deadline_exceeded);
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn past_deadline_trips_and_reports_deadline() {
+        let token = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        let err = token.check().unwrap_err();
+        assert!(err.deadline_exceeded);
+        // The latch holds on repeat polls.
+        assert!(token.check().unwrap_err().deadline_exceeded);
+    }
+
+    #[test]
+    fn future_deadline_does_not_cancel_yet() {
+        let token = CancelToken::with_deadline(Instant::now() + Duration::from_secs(3600));
+        assert!(token.check().is_ok());
+        token.cancel();
+        let err = token.check().unwrap_err();
+        assert!(
+            !err.deadline_exceeded,
+            "explicit cancel before the deadline is not a deadline trip"
+        );
+    }
+
+    #[test]
+    fn display_distinguishes_deadline_from_request() {
+        let by_request = Cancelled {
+            deadline_exceeded: false,
+        };
+        let by_deadline = Cancelled {
+            deadline_exceeded: true,
+        };
+        assert!(by_request.to_string().contains("request"));
+        assert!(by_deadline.to_string().contains("deadline"));
+    }
+}

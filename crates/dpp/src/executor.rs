@@ -1,3 +1,4 @@
+use crate::cancel::{CancelToken, Cancelled};
 use crate::fault::{FaultInjector, LaunchError};
 use crate::sched::{self, Schedule};
 use crate::stats::{LaunchStats, ScheduleCells, ScheduleStats, StatsCells};
@@ -173,6 +174,11 @@ struct ExecutorInner {
     /// path of the `try_*` wrappers is one relaxed load and a branch.
     fault: RwLock<Option<FaultInjector>>,
     fault_on: AtomicBool,
+    /// Installed cancellation token (see [`Executor::set_cancel_token`]);
+    /// `cancel_on` caches whether one is present so the uncancellable path
+    /// of [`Executor::check_cancelled`] is one relaxed load and a branch.
+    cancel: RwLock<Option<CancelToken>>,
+    cancel_on: AtomicBool,
 }
 
 /// Bulk-synchronous parallel executor: the reproduction's stand-in for a GPU.
@@ -230,6 +236,8 @@ impl Executor {
                 trace_on: AtomicBool::new(false),
                 fault: RwLock::new(None),
                 fault_on: AtomicBool::new(false),
+                cancel: RwLock::new(None),
+                cancel_on: AtomicBool::new(false),
             }),
         }
     }
@@ -338,6 +346,51 @@ impl Executor {
     #[inline]
     pub fn fault_armed(&self) -> bool {
         self.inner.fault_on.load(Ordering::Relaxed)
+    }
+
+    /// Installs (or with `None` removes) a cooperative cancellation token.
+    /// Pipelines poll it at launch boundaries via
+    /// [`Executor::check_cancelled`]; tripping the token makes the next
+    /// poll fail with [`Cancelled`], which callers surface as
+    /// `DeviceError::Cancelled` and unwind through the same RAII release
+    /// path as device faults. With no token installed the poll is one
+    /// relaxed load and a branch.
+    pub fn set_cancel_token(&self, token: Option<CancelToken>) {
+        let on = token.is_some();
+        *self.inner.cancel.write().unwrap() = token;
+        self.inner.cancel_on.store(on, Ordering::Relaxed);
+    }
+
+    /// The installed cancellation token, if any.
+    pub fn cancel_token(&self) -> Option<CancelToken> {
+        if !self.inner.cancel_on.load(Ordering::Relaxed) {
+            return None;
+        }
+        self.inner.cancel.read().unwrap().clone()
+    }
+
+    /// Polls the installed cancellation token; `Err` means the caller must
+    /// stop issuing launches and unwind. Pipelines call this at level and
+    /// window boundaries — the bulk-synchronous points where control
+    /// returns to the host — not inside kernels, mirroring how a host
+    /// process can only stop *between* GPU launches.
+    #[inline]
+    pub fn check_cancelled(&self) -> Result<(), Cancelled> {
+        if !self.inner.cancel_on.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        self.poll_cancel_token()
+    }
+
+    /// Token-installed slow path, out of line so the uncancellable poll
+    /// stays one relaxed load and a branch.
+    #[cold]
+    fn poll_cancel_token(&self) -> Result<(), Cancelled> {
+        let guard = self.inner.cancel.read().unwrap();
+        match guard.as_ref() {
+            Some(token) => token.check(),
+            None => Ok(()),
+        }
     }
 
     /// Rolls one launch fault for `name`; `Err` means the launch must not

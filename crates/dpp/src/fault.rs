@@ -19,6 +19,7 @@
 //! per allocation/launch — gated below 1% of a pooled 10k scan by the
 //! `GMC_PERF_GATE=1` micro bench.
 
+use crate::cancel::Cancelled;
 use crate::memory::DeviceOom;
 use crate::rng::Rng;
 use std::str::FromStr;
@@ -246,6 +247,9 @@ impl FaultInjector {
         match error {
             DeviceError::Oom(_) => &self.cells.alloc_recoveries,
             DeviceError::Launch(_) => &self.cells.launch_recoveries,
+            // Cancellation is never injected and never retried, so there is
+            // nothing to recover from.
+            DeviceError::Cancelled(_) => return,
         }
         .fetch_add(1, Ordering::Relaxed);
     }
@@ -309,24 +313,30 @@ impl std::fmt::Display for LaunchError {
 impl std::error::Error for LaunchError {}
 
 /// Any device-side failure: an allocation that did not fit (or was failed
-/// by injection) or a launch the injector failed.
+/// by injection), a launch the injector failed, or a cooperative
+/// cancellation observed at a launch boundary.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DeviceError {
     /// A device-memory charge failed.
     Oom(DeviceOom),
     /// A kernel launch failed.
     Launch(LaunchError),
+    /// The installed [`CancelToken`](crate::CancelToken) was tripped; the
+    /// solve must unwind without retrying.
+    Cancelled(Cancelled),
 }
 
 impl DeviceError {
     /// Whether this failure was produced by the fault injector (as opposed
     /// to a genuine capacity exhaustion). Injected faults are retryable;
     /// real OOM is not — retrying the same allocation against the same
-    /// budget fails the same way.
+    /// budget fails the same way — and cancellation must propagate, not
+    /// retry.
     pub fn is_injected(&self) -> bool {
         match self {
             DeviceError::Oom(oom) => oom.injected,
             DeviceError::Launch(_) => true,
+            DeviceError::Cancelled(_) => false,
         }
     }
 }
@@ -336,6 +346,7 @@ impl std::fmt::Display for DeviceError {
         match self {
             DeviceError::Oom(oom) => oom.fmt(f),
             DeviceError::Launch(launch) => launch.fmt(f),
+            DeviceError::Cancelled(cancelled) => cancelled.fmt(f),
         }
     }
 }
@@ -351,6 +362,12 @@ impl From<DeviceOom> for DeviceError {
 impl From<LaunchError> for DeviceError {
     fn from(launch: LaunchError) -> Self {
         DeviceError::Launch(launch)
+    }
+}
+
+impl From<Cancelled> for DeviceError {
+    fn from(cancelled: Cancelled) -> Self {
+        DeviceError::Cancelled(cancelled)
     }
 }
 
@@ -390,6 +407,19 @@ mod tests {
         assert!("seed".parse::<FaultPlan>().is_err());
         assert!("seed=x".parse::<FaultPlan>().is_err());
         assert!("retries=-1".parse::<FaultPlan>().is_err());
+    }
+
+    #[test]
+    fn cancelled_is_not_injected_and_not_a_recovery() {
+        let plan: FaultPlan = "alloc=1".parse().unwrap();
+        let inj = FaultInjector::new(plan);
+        let err = DeviceError::Cancelled(Cancelled {
+            deadline_exceeded: true,
+        });
+        assert!(!err.is_injected(), "cancellation must not be retryable");
+        inj.note_recovery(&err);
+        assert_eq!(inj.stats().recovered(), 0);
+        assert!(err.to_string().contains("deadline"));
     }
 
     #[test]

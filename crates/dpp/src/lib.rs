@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub mod bits;
+mod cancel;
 mod executor;
 pub mod fault;
 mod histogram;
@@ -59,6 +60,7 @@ mod shared;
 mod sort;
 mod stats;
 
+pub use cancel::{CancelToken, Cancelled};
 pub use executor::{Executor, DEFAULT_KERNEL_NAME, DEFAULT_SEQUENTIAL_GRID_LIMIT};
 pub use fault::{DeviceError, FaultInjector, FaultPlan, FaultStats, LaunchError};
 pub use histogram::histogram_u32;
@@ -118,6 +120,13 @@ impl Device {
         }
     }
 
+    /// Assembles a device from an existing executor and memory accountant —
+    /// how a service builds its pool: one executor plus one
+    /// [`DeviceMemory::partition`] share per pool slot.
+    pub fn from_parts(exec: Executor, memory: DeviceMemory) -> Self {
+        Self { exec, memory }
+    }
+
     /// The bulk-synchronous executor.
     pub fn exec(&self) -> &Executor {
         &self.exec
@@ -135,6 +144,14 @@ impl Device {
     pub fn set_fault_injector(&self, injector: Option<FaultInjector>) {
         self.memory.set_fault_injector(injector.clone());
         self.exec.set_fault_injector(injector);
+    }
+
+    /// Installs (or with `None` removes) a cooperative cancellation token
+    /// on the executor (see [`Executor::set_cancel_token`]). Pipelines poll
+    /// it at launch boundaries; a tripped token unwinds the solve with
+    /// `DeviceError::Cancelled`, releasing every charge via RAII.
+    pub fn set_cancel_token(&self, token: Option<CancelToken>) {
+        self.exec.set_cancel_token(token);
     }
 }
 

@@ -111,6 +111,23 @@ impl DeviceMemory {
         self.cells.capacity
     }
 
+    /// Splits the budget into `parts` *independent* accountants of
+    /// `capacity / parts` bytes each (unlimited stays unlimited). The
+    /// partitions do not share live/peak counters with `self` or each
+    /// other — the model is a device whose RAM is statically divided
+    /// between tenants, so one tenant's allocations can never fail
+    /// another's. Tracers and fault injectors are not inherited; install
+    /// them per partition.
+    pub fn partition(&self, parts: usize) -> Vec<DeviceMemory> {
+        let parts = parts.max(1);
+        let per_part = if self.cells.capacity == usize::MAX {
+            usize::MAX
+        } else {
+            self.cells.capacity / parts
+        };
+        (0..parts).map(|_| DeviceMemory::new(per_part)).collect()
+    }
+
     /// Bytes currently charged.
     pub fn live(&self) -> usize {
         self.cells.live.load(Ordering::Relaxed)
@@ -380,6 +397,25 @@ mod tests {
         let mem = DeviceMemory::unlimited();
         let _g = mem.try_charge(1 << 40).unwrap();
         assert!(mem.try_charge(1 << 40).is_ok());
+    }
+
+    #[test]
+    fn partitions_are_independent_equal_shares() {
+        let mem = DeviceMemory::new(1000);
+        let parts = mem.partition(4);
+        assert_eq!(parts.len(), 4);
+        for part in &parts {
+            assert_eq!(part.capacity(), 250);
+        }
+        let _g = parts[0].try_charge(250).unwrap();
+        assert!(parts[0].try_charge(1).is_err(), "partition budget is hard");
+        assert_eq!(parts[1].live(), 0, "siblings are unaffected");
+        assert!(parts[1].try_charge(250).is_ok());
+        assert_eq!(mem.live(), 0, "the parent accountant is untouched");
+
+        let unlimited = DeviceMemory::unlimited().partition(3);
+        assert!(unlimited.iter().all(|p| p.capacity() == usize::MAX));
+        assert_eq!(DeviceMemory::new(100).partition(0).len(), 1);
     }
 
     #[test]

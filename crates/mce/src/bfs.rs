@@ -320,6 +320,10 @@ fn grow_fused<O: EdgeOracle + ?Sized>(
     let injector = exec.fault_injector();
     arena.set_tails_from_sublists(list.head().expect("list is non-empty").sublist_ids());
     loop {
+        // Level boundaries are the launch boundaries of the pipeline:
+        // cancellation observed here unwinds through `expand`'s error path,
+        // which recycles the list and releases every arena charge.
+        exec.check_cancelled()?;
         let head = list.head().expect("list is non-empty");
         let k = list.clique_size_at(list.num_levels() - 1); // entries are k-cliques
         let len = head.len();
@@ -922,6 +926,8 @@ fn grow_unfused<O: EdgeOracle + ?Sized>(
     let exec = device.exec();
     let tracer = exec.tracer();
     loop {
+        // Same per-level cancellation poll as the fused loop.
+        exec.check_cancelled()?;
         let head = list.head().expect("list is non-empty");
         let k = list.clique_size_at(list.num_levels() - 1); // entries are k-cliques
         let len = head.len();

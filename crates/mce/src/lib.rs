@@ -38,7 +38,7 @@ pub use window::WindowStats;
 
 use gmc_cliquelist::CliqueLevel;
 use gmc_dpp::{
-    Device, DeviceError, DeviceOom, FaultInjector, FaultStats, LaunchStats, Schedule,
+    Cancelled, Device, DeviceError, DeviceOom, FaultInjector, FaultStats, LaunchStats, Schedule,
     ScheduleStats, Tracer,
 };
 use gmc_graph::{BitMatrix, Csr, EdgeOracle, HashAdjacency};
@@ -60,6 +60,10 @@ pub enum SolveError {
         /// Expansion attempts made before giving up (`max_retries + 1`).
         attempts: u32,
     },
+    /// The device's [`CancelToken`](gmc_dpp::CancelToken) was tripped (by
+    /// request or deadline) and the solve unwound at the next launch
+    /// boundary, releasing every device and arena charge on the way out.
+    Cancelled(Cancelled),
 }
 
 impl std::fmt::Display for SolveError {
@@ -70,6 +74,7 @@ impl std::fmt::Display for SolveError {
                 f,
                 "injected faults exhausted the expansion retry cap after {attempts} attempts"
             ),
+            SolveError::Cancelled(cancelled) => cancelled.fmt(f),
         }
     }
 }
@@ -79,6 +84,12 @@ impl std::error::Error for SolveError {}
 impl From<DeviceOom> for SolveError {
     fn from(oom: DeviceOom) -> Self {
         SolveError::DeviceOom(oom)
+    }
+}
+
+impl From<Cancelled> for SolveError {
+    fn from(cancelled: Cancelled) -> Self {
+        SolveError::Cancelled(cancelled)
     }
 }
 
@@ -382,7 +393,10 @@ impl MaxCliqueSolver {
         }
 
         // Phase 1: heuristic lower bound (optionally polished by local
-        // search).
+        // search). Cancellation is polled at every phase boundary (and
+        // inside the expansion's level/window loops); a tripped token
+        // unwinds here with everything already released by RAII.
+        device.exec().check_cancelled()?;
         let mut heuristic_span = tracer.is_enabled().then(|| tracer.span("heuristic"));
         let mut heuristic = run_heuristic(
             device,
@@ -408,6 +422,7 @@ impl MaxCliqueSolver {
         device.memory().reset_peak();
 
         // Phase 2: setup (orientation + pruning + 2-clique list).
+        device.exec().check_cancelled()?;
         let setup_start = Instant::now();
         let mut setup_span = tracer.is_enabled().then(|| tracer.span("setup"));
         let thresholds = self.pruning_thresholds(graph, &heuristic);
@@ -432,6 +447,7 @@ impl MaxCliqueSolver {
         // Phase 3: expansion, through the configured edge oracle. The
         // dispatch happens once here so the per-edge-check hot loops are
         // monomorphised over the concrete oracle type.
+        device.exec().check_cancelled()?;
         let expansion_start = Instant::now();
         let min_target = heuristic.lower_bound().max(2);
         let mut expansion_span = tracer
@@ -515,6 +531,7 @@ impl MaxCliqueSolver {
                 .expand_once(graph, oracle, setup, heuristic, min_target, stats, None)
                 .map_err(|err| match err {
                     DeviceError::Oom(oom) => SolveError::DeviceOom(oom),
+                    DeviceError::Cancelled(cancelled) => SolveError::Cancelled(cancelled),
                     DeviceError::Launch(launch) => {
                         unreachable!("launch fault without an injector: {launch}")
                     }
@@ -555,6 +572,9 @@ impl MaxCliqueSolver {
                     }
                 }
                 Err(DeviceError::Oom(oom)) => break Err(SolveError::DeviceOom(oom)),
+                Err(DeviceError::Cancelled(cancelled)) => {
+                    break Err(SolveError::Cancelled(cancelled))
+                }
                 Err(DeviceError::Launch(launch)) => {
                     unreachable!("non-injected launch fault: {launch}")
                 }

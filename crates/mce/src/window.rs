@@ -423,6 +423,9 @@ fn process_window<O: EdgeOracle + ?Sized>(
     if vertex_id.is_empty() {
         return Ok(());
     }
+    // Window boundaries are launch boundaries: a tripped token stops the
+    // sweep here before the window charges anything.
+    ctx.device.exec().check_cancelled()?;
     // Entries of this window extend `prefix`, so the local pruning target
     // shrinks by the committed chain length. (Concurrent windows may read a
     // slightly stale target; staleness only weakens pruning, never
@@ -571,6 +574,11 @@ fn process_window<O: EdgeOracle + ?Sized>(
         }
     };
 
+    // Cancellation propagates as-is: splitting a cancelled window would
+    // only spawn halves that cancel at their own first poll.
+    if matches!(err, DeviceError::Cancelled(_)) {
+        return Err(err);
+    }
     // The paper's windowing propagates OOM; the recursive extension keeps
     // subdividing while depth remains.
     if ctx.config.max_depth <= 1 {

@@ -1,0 +1,147 @@
+//! Admission control: decide per job whether its solve can fit the
+//! executor slot's memory partition before any device bytes are charged.
+//!
+//! The estimate reuses the repo's structural bounds: the 2-clique list
+//! costs 8 bytes per oriented edge (two `u32` arrays), and the k-core
+//! degeneracy `d` bounds how many further levels the breadth-first
+//! expansion can populate (a clique has at most `d + 1` vertices). The
+//! coarse worst-case model charges the 2-clique list once per potential
+//! level. Jobs whose full-BFS estimate exceeds the partition are
+//! *down-windowed* instead of rejected whenever a single auto-sized window
+//! fits — with `enumerate_all` kept on, so the windowed result is
+//! bit-identical to the full solve it replaces. Only jobs whose bare
+//! 2-clique list cannot fit a window are rejected outright.
+
+use gmc_graph::{kcore, Csr};
+use gmc_mce::{SolverConfig, WindowConfig};
+
+/// Bytes per 2-clique entry: one `u32` vertex id + one `u32` sublist id.
+const ENTRY_BYTES: usize = 8;
+
+/// The auto window sizer budgets a quarter of the device capacity per
+/// window (see `gmc_mce`'s windowed search), so a down-windowed job needs
+/// its largest working set to fit within that fraction.
+const WINDOW_FRACTION: usize = 4;
+
+/// The admission verdict for one job against one memory partition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Admission {
+    /// The solve is estimated to fit as configured.
+    Accept,
+    /// The full breadth-first solve is estimated not to fit, but an
+    /// auto-sized windowed solve does; run with this window configuration
+    /// instead. `enumerate_all` is set, so the result is bit-identical to
+    /// the configured full solve.
+    DownWindow(WindowConfig),
+    /// Even a single window cannot fit the partition; the job is refused
+    /// without charging any device memory.
+    Reject {
+        /// Estimated bytes of the smallest viable working set.
+        estimated_bytes: usize,
+        /// The slot's partition capacity.
+        partition_bytes: usize,
+    },
+}
+
+/// Estimated bytes of the 2-clique list (the floor any solve pays).
+pub fn two_clique_bytes(graph: &Csr) -> usize {
+    graph.num_edges().saturating_mul(ENTRY_BYTES)
+}
+
+/// Coarse worst-case estimate for the full breadth-first solve: the
+/// 2-clique list once per level the degeneracy admits.
+pub fn full_solve_estimate(graph: &Csr, degeneracy: u32) -> usize {
+    let levels = (degeneracy as usize).saturating_sub(1).max(1);
+    two_clique_bytes(graph).saturating_mul(levels)
+}
+
+/// Decides whether `graph` × `config` is admitted to a slot with
+/// `partition_bytes` of device memory.
+pub fn admit(graph: &Csr, config: &SolverConfig, partition_bytes: usize) -> Admission {
+    if partition_bytes == usize::MAX {
+        return Admission::Accept;
+    }
+    // An explicitly windowed job already sizes its working set to the
+    // budget; window-level OOM handling (split/recurse) takes it from
+    // there.
+    if config.window.is_some() {
+        return Admission::Accept;
+    }
+    let degeneracy = kcore::degeneracy(graph);
+    if full_solve_estimate(graph, degeneracy) <= partition_bytes {
+        return Admission::Accept;
+    }
+    let floor = two_clique_bytes(graph);
+    if floor.saturating_mul(WINDOW_FRACTION) <= partition_bytes {
+        // Auto window sizing against the partition, ties kept so the
+        // union of window results is exactly the full enumeration, and
+        // one level of recursive splitting in reserve for a window whose
+        // subtree still outgrows the estimate.
+        let mut window = WindowConfig::auto().recursive(2);
+        window.enumerate_all = true;
+        return Admission::DownWindow(window);
+    }
+    Admission::Reject {
+        estimated_bytes: floor.saturating_mul(WINDOW_FRACTION),
+        partition_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmc_graph::generators;
+
+    #[test]
+    fn small_graph_is_accepted_outright() {
+        let graph = generators::gnp(100, 0.1, 3);
+        let config = SolverConfig::default();
+        assert_eq!(admit(&graph, &config, 64 << 20), Admission::Accept);
+        assert_eq!(admit(&graph, &config, usize::MAX), Admission::Accept);
+    }
+
+    #[test]
+    fn tight_partition_down_windows_with_enumeration_preserved() {
+        let graph = generators::gnp(400, 0.3, 5);
+        let config = SolverConfig::default();
+        let floor = two_clique_bytes(&graph);
+        let degeneracy = kcore::degeneracy(&graph);
+        // Big enough for a window, too small for the full estimate.
+        let partition = floor * WINDOW_FRACTION + 1024;
+        assert!(full_solve_estimate(&graph, degeneracy) > partition);
+        match admit(&graph, &config, partition) {
+            Admission::DownWindow(w) => {
+                assert!(w.enumerate_all, "down-windowing must keep enumeration");
+                assert_eq!(w.size, 0, "auto-sized against the partition");
+                assert!(w.max_depth > 1, "recursive split held in reserve");
+            }
+            other => panic!("expected DownWindow, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hopeless_partition_rejects_without_charging() {
+        let graph = generators::gnp(400, 0.3, 5);
+        let config = SolverConfig::default();
+        match admit(&graph, &config, 4096) {
+            Admission::Reject {
+                estimated_bytes,
+                partition_bytes,
+            } => {
+                assert!(estimated_bytes > partition_bytes);
+                assert_eq!(partition_bytes, 4096);
+            }
+            other => panic!("expected Reject, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn explicitly_windowed_jobs_bypass_the_estimate() {
+        let graph = generators::gnp(400, 0.3, 5);
+        let config = SolverConfig {
+            window: Some(WindowConfig::auto()),
+            ..SolverConfig::default()
+        };
+        assert_eq!(admit(&graph, &config, 1 << 16), Admission::Accept);
+    }
+}

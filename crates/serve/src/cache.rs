@@ -1,0 +1,188 @@
+//! Exact result cache keyed by (graph fingerprint × config fingerprint)
+//! with LRU-by-bytes eviction.
+//!
+//! The cache is *exact*, not approximate: solves are bit-deterministic
+//! across worker counts, schedules and fault injection, so a hit returns
+//! the same clique set a fresh solve would produce bit for bit (the serve
+//! test suite asserts hit≡miss identity). Entries are shared out as `Arc`s
+//! — a hit never copies the clique set.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// A cached solve outcome: everything a served response needs, decoupled
+/// from the transient per-solve stats.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CachedSolve {
+    /// The clique number ω(G).
+    pub clique_number: u32,
+    /// The cliques, in the solver's canonical order.
+    pub cliques: Vec<Vec<u32>>,
+    /// Whether `cliques` enumerates every maximum clique.
+    pub complete_enumeration: bool,
+}
+
+impl CachedSolve {
+    /// Approximate heap footprint, the unit the LRU budget is charged in.
+    pub fn byte_size(&self) -> usize {
+        let clique_bytes: usize = self
+            .cliques
+            .iter()
+            .map(|c| c.len() * std::mem::size_of::<u32>() + std::mem::size_of::<Vec<u32>>())
+            .sum();
+        clique_bytes + std::mem::size_of::<Self>()
+    }
+}
+
+struct Entry {
+    value: Arc<CachedSolve>,
+    bytes: usize,
+    last_used: u64,
+}
+
+struct CacheState {
+    map: HashMap<(u64, u64), Entry>,
+    live_bytes: usize,
+    /// Logical clock bumped on every touch; drives LRU eviction.
+    tick: u64,
+}
+
+/// LRU-by-bytes cache over `(graph_fp, config_fp)` keys.
+pub struct ResultCache {
+    budget_bytes: usize,
+    state: Mutex<CacheState>,
+}
+
+impl ResultCache {
+    /// A cache evicting past `budget_bytes` of cached cliques (a zero
+    /// budget caches nothing).
+    pub fn new(budget_bytes: usize) -> Self {
+        Self {
+            budget_bytes,
+            state: Mutex::new(CacheState {
+                map: HashMap::new(),
+                live_bytes: 0,
+                tick: 0,
+            }),
+        }
+    }
+
+    /// Configured byte budget.
+    pub fn budget_bytes(&self) -> usize {
+        self.budget_bytes
+    }
+
+    /// Bytes currently cached.
+    pub fn live_bytes(&self) -> usize {
+        self.state.lock().expect("cache lock poisoned").live_bytes
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("cache lock poisoned").map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Looks up a key, refreshing its LRU position on a hit.
+    pub fn get(&self, key: (u64, u64)) -> Option<Arc<CachedSolve>> {
+        let mut state = self.state.lock().expect("cache lock poisoned");
+        state.tick += 1;
+        let tick = state.tick;
+        let entry = state.map.get_mut(&key)?;
+        entry.last_used = tick;
+        Some(Arc::clone(&entry.value))
+    }
+
+    /// Inserts (or replaces) a key, then evicts least-recently-used
+    /// entries until the budget holds. An entry larger than the whole
+    /// budget is not cached at all.
+    pub fn insert(&self, key: (u64, u64), value: Arc<CachedSolve>) {
+        let bytes = value.byte_size();
+        if bytes > self.budget_bytes {
+            return;
+        }
+        let mut state = self.state.lock().expect("cache lock poisoned");
+        state.tick += 1;
+        let tick = state.tick;
+        if let Some(old) = state.map.insert(
+            key,
+            Entry {
+                value,
+                bytes,
+                last_used: tick,
+            },
+        ) {
+            state.live_bytes -= old.bytes;
+        }
+        state.live_bytes += bytes;
+        while state.live_bytes > self.budget_bytes {
+            let oldest = state
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(&k, _)| k)
+                .expect("over budget implies at least one entry");
+            let evicted = state.map.remove(&oldest).expect("key just found");
+            state.live_bytes -= evicted.bytes;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solve_of(n: u32) -> Arc<CachedSolve> {
+        Arc::new(CachedSolve {
+            clique_number: n,
+            cliques: vec![(0..n).collect()],
+            complete_enumeration: true,
+        })
+    }
+
+    #[test]
+    fn hit_returns_the_inserted_value() {
+        let cache = ResultCache::new(1 << 20);
+        let v = solve_of(5);
+        cache.insert((1, 2), Arc::clone(&v));
+        assert_eq!(cache.get((1, 2)).unwrap(), v);
+        assert!(cache.get((1, 3)).is_none(), "config fp is part of the key");
+        assert!(cache.get((2, 2)).is_none(), "graph fp is part of the key");
+    }
+
+    #[test]
+    fn evicts_least_recently_used_by_bytes() {
+        let unit = solve_of(8).byte_size();
+        let cache = ResultCache::new(unit * 2);
+        cache.insert((1, 0), solve_of(8));
+        cache.insert((2, 0), solve_of(8));
+        // Touch (1, 0) so (2, 0) becomes the LRU victim.
+        assert!(cache.get((1, 0)).is_some());
+        cache.insert((3, 0), solve_of(8));
+        assert!(cache.get((1, 0)).is_some(), "recently used survives");
+        assert!(cache.get((2, 0)).is_none(), "LRU entry evicted");
+        assert!(cache.get((3, 0)).is_some());
+        assert!(cache.live_bytes() <= cache.budget_bytes());
+    }
+
+    #[test]
+    fn oversized_and_replaced_entries_account_correctly() {
+        let unit = solve_of(4).byte_size();
+        let cache = ResultCache::new(unit);
+        let huge = Arc::new(CachedSolve {
+            clique_number: 4,
+            cliques: (0..100).map(|_| vec![0, 1, 2, 3]).collect(),
+            complete_enumeration: true,
+        });
+        cache.insert((9, 9), huge);
+        assert!(cache.is_empty(), "entry larger than the budget is skipped");
+        cache.insert((1, 1), solve_of(4));
+        cache.insert((1, 1), solve_of(4));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.live_bytes(), unit, "replacement releases old bytes");
+    }
+}

@@ -1,0 +1,44 @@
+//! `gmc_serve`: a batched maximum-clique solve service.
+//!
+//! The service accepts [`SolveJob`]s — a graph, a full `SolverConfig`, a
+//! priority and an optional deadline — through a bounded priority queue
+//! and dispatches them across a pool of executor slots, each owning one
+//! `Executor` and one equal share of a partitioned `DeviceMemory` budget.
+//! Layered on the dispatch path:
+//!
+//! - **Admission control** ([`admission`]) estimates the solve's working
+//!   set from structural bounds (2-clique list size × degeneracy levels)
+//!   and, when the full solve cannot fit a slot's partition, rewrites the
+//!   job to an auto-sized *enumerate-all* windowed solve — bit-identical
+//!   to the full solve — or rejects it before any device bytes charge.
+//! - **Result cache** ([`cache`]) keyed by graph × config fingerprints
+//!   ([`fingerprint`]) with LRU-by-bytes eviction. The cache is exact
+//!   because solves are bit-deterministic across worker counts, schedules
+//!   and fault injection; fingerprints deliberately exclude those knobs.
+//! - **Deadline cancellation**: jobs with a deadline run under a
+//!   cooperative `CancelToken` polled at launch boundaries, surfacing as
+//!   a typed `SolveError::Cancelled` with every device byte released.
+//! - **Statistics** ([`stats`]) aggregating per-job solver stats and
+//!   queue-wait percentiles across the pool.
+//!
+//! The [`loadgen`] module drives a service with a deterministic two-phase
+//! workload whose counters are independent of pool interleaving — the
+//! basis for `BENCH_serve.json` and the CI smoke run.
+
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod cache;
+pub mod fingerprint;
+pub mod loadgen;
+pub mod queue;
+pub mod service;
+pub mod stats;
+
+pub use admission::{admit, full_solve_estimate, two_clique_bytes, Admission};
+pub use cache::{CachedSolve, ResultCache};
+pub use fingerprint::{config_fingerprint, graph_fingerprint};
+pub use loadgen::{run_with_graphs, LoadConfig, LoadReport};
+pub use queue::{JobQueue, QueueError};
+pub use service::{JobHandle, ServeConfig, ServeError, ServedSolve, SolveJob, SolveService};
+pub use stats::ServeStats;

@@ -1,0 +1,221 @@
+//! Deterministic closed-loop load generator for the solve service.
+//!
+//! Two phases make the counters order-independent no matter how the pool
+//! interleaves work:
+//!
+//! 1. **Populate** — every unique job is submitted once and awaited before
+//!    the next, so each is a guaranteed cache miss and the cache holds all
+//!    unique keys afterwards. Each result is checked bit-for-bit against a
+//!    standalone `solve()` on an unconstrained device.
+//! 2. **Replay** — a seeded [`Rng`] draws repeat jobs over the phase-1
+//!    keys (guaranteed hits, submitted concurrently so backpressure and
+//!    the pool are exercised) plus past-deadline sentinel jobs on fresh
+//!    graphs (guaranteed cancellations).
+//!
+//! With the default mix (`repeats ≥ unique`), the measured hit rate is
+//! `repeats / (unique + repeats + deadline_jobs)` exactly — a fixed
+//! number, not a race outcome.
+
+use crate::cache::CachedSolve;
+use crate::service::{ServeError, SolveJob, SolveService};
+use gmc_dpp::{Device, Rng};
+use gmc_graph::{generators, Csr};
+use gmc_mce::{MaxCliqueSolver, SolveError, SolverConfig};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Workload shape for one load-generator run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadConfig {
+    /// Distinct (graph, config) jobs submitted in the populate phase.
+    pub unique: usize,
+    /// Seeded repeat draws over the unique jobs (all cache hits).
+    pub repeats: usize,
+    /// Past-deadline sentinel jobs on fresh graphs (all cancelled).
+    pub deadline_jobs: usize,
+    /// Vertices per generated G(n, p) graph.
+    pub vertices: usize,
+    /// Edge probability of the generated graphs.
+    pub edge_probability: f64,
+    /// Master seed; graphs and the replay draw derive from it.
+    pub seed: u64,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        Self {
+            unique: 6,
+            repeats: 10,
+            deadline_jobs: 2,
+            vertices: 120,
+            edge_probability: 0.15,
+            seed: 42,
+        }
+    }
+}
+
+/// Deterministic outcome of one load-generator run. Every field is a
+/// function of [`LoadConfig`] alone — none depends on pool interleaving
+/// or wall-clock timing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadReport {
+    /// Jobs submitted in total across both phases.
+    pub total_jobs: u64,
+    /// Populate-phase jobs (each a cache miss).
+    pub unique_jobs: u64,
+    /// Replay-phase repeat jobs (each a cache hit).
+    pub repeat_jobs: u64,
+    /// Sentinel jobs that ran into their (already-past) deadline.
+    pub deadline_jobs: u64,
+    /// Hits observed via `ServedSolve::cache_hit`.
+    pub cache_hits: u64,
+    /// Misses observed via `ServedSolve::cache_hit`.
+    pub cache_misses: u64,
+    /// Jobs that surfaced `SolveError::Cancelled` with the deadline flag.
+    pub cancellations: u64,
+    /// Whether every served result — hit and miss — matched the
+    /// standalone solve bit for bit.
+    pub bit_identical: bool,
+    /// Clique number per unique graph, in submission order.
+    pub clique_numbers: Vec<u32>,
+}
+
+impl LoadReport {
+    /// Hit rate over served lookups, mirroring `ServeStats::hit_rate`.
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.cache_hits + self.cache_misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / lookups as f64
+        }
+    }
+}
+
+fn unique_graph(cfg: &LoadConfig, index: usize) -> Arc<Csr> {
+    // Graph seeds derive from the master seed; index 0.. are the unique
+    // jobs, indices past `unique` are reserved for deadline sentinels.
+    Arc::new(generators::gnp(
+        cfg.vertices,
+        cfg.edge_probability,
+        cfg.seed.wrapping_add(index as u64),
+    ))
+}
+
+fn matches_reference(served: &CachedSolve, reference: &CachedSolve) -> bool {
+    served == reference
+}
+
+/// Drives `service` with the configured generated workload and returns
+/// the deterministic report.
+pub fn run(service: &SolveService, cfg: &LoadConfig) -> LoadReport {
+    let uniques: Vec<_> = (0..cfg.unique).map(|i| unique_graph(cfg, i)).collect();
+    let sentinels: Vec<_> = (0..cfg.deadline_jobs)
+        .map(|i| unique_graph(cfg, cfg.unique + i))
+        .collect();
+    run_with_graphs(service, &uniques, &sentinels, cfg.repeats, cfg.seed)
+}
+
+/// Drives `service` with caller-supplied graphs (e.g. the smoke corpus):
+/// each graph in `uniques` is one populate-phase job, `repeats` seeded
+/// draws replay them, and each graph in `sentinels` is submitted with an
+/// already-past deadline. Sentinel graphs must be distinct from the unique
+/// graphs, or the cache would answer them before the deadline is checked.
+/// Panics if the service refuses a job the workload expects admissible.
+pub fn run_with_graphs(
+    service: &SolveService,
+    uniques: &[Arc<Csr>],
+    sentinels: &[Arc<Csr>],
+    repeats: usize,
+    seed: u64,
+) -> LoadReport {
+    let config = SolverConfig::default();
+    let mut report = LoadReport {
+        total_jobs: 0,
+        unique_jobs: uniques.len() as u64,
+        repeat_jobs: repeats as u64,
+        deadline_jobs: sentinels.len() as u64,
+        cache_hits: 0,
+        cache_misses: 0,
+        cancellations: 0,
+        bit_identical: true,
+        clique_numbers: Vec::with_capacity(uniques.len()),
+    };
+
+    // Phase 1: populate. Closed loop — each unique job completes before
+    // the next is submitted, so each is a guaranteed miss.
+    let mut graphs = Vec::with_capacity(uniques.len());
+    let mut references = Vec::with_capacity(uniques.len());
+    for graph in uniques {
+        let graph = Arc::clone(graph);
+        let reference = MaxCliqueSolver::with_config(Device::unlimited(), config.clone())
+            .solve(&graph)
+            .expect("reference solve on an unlimited device cannot fail");
+        let reference = CachedSolve {
+            clique_number: reference.clique_number,
+            cliques: reference.cliques,
+            complete_enumeration: reference.complete_enumeration,
+        };
+        let handle = service
+            .submit(SolveJob::new(Arc::clone(&graph)).config(config.clone()))
+            .expect("populate submit failed");
+        let served = handle.wait().expect("populate solve failed");
+        report.total_jobs += 1;
+        if served.cache_hit {
+            report.cache_hits += 1;
+        } else {
+            report.cache_misses += 1;
+        }
+        report.bit_identical &= !served.cache_hit;
+        report.bit_identical &= matches_reference(&served.solve, &reference);
+        report.clique_numbers.push(reference.clique_number);
+        graphs.push(graph);
+        references.push(reference);
+    }
+
+    // Phase 2: replay. Every key is cached, so each draw is a guaranteed
+    // hit; submissions overlap to exercise the queue and pool.
+    let mut rng = Rng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let mut pending = Vec::with_capacity(repeats);
+    for _ in 0..repeats {
+        let pick = (rng.next_u64() % graphs.len().max(1) as u64) as usize;
+        let handle = service
+            .submit(SolveJob::new(Arc::clone(&graphs[pick])).config(config.clone()))
+            .expect("replay submit failed");
+        pending.push((pick, handle));
+    }
+    for (pick, handle) in pending {
+        let served = handle.wait().expect("replay solve failed");
+        report.total_jobs += 1;
+        if served.cache_hit {
+            report.cache_hits += 1;
+        } else {
+            report.cache_misses += 1;
+        }
+        report.bit_identical &= served.cache_hit;
+        report.bit_identical &= matches_reference(&served.solve, &references[pick]);
+    }
+
+    // Deadline sentinels: fresh graphs (no cache short-circuit) with a
+    // deadline already in the past, so the solve cancels at its first
+    // launch boundary.
+    for graph in sentinels {
+        let handle = service
+            .submit(
+                SolveJob::new(Arc::clone(graph))
+                    .config(config.clone())
+                    .deadline(Instant::now()),
+            )
+            .expect("sentinel submit failed");
+        report.total_jobs += 1;
+        match handle.wait() {
+            Err(ServeError::Solve(SolveError::Cancelled(cancelled))) => {
+                report.cache_misses += 1;
+                report.cancellations += u64::from(cancelled.deadline_exceeded);
+            }
+            other => panic!("sentinel job should cancel at its deadline, got {other:?}"),
+        }
+    }
+
+    report
+}

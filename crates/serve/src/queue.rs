@@ -1,0 +1,236 @@
+//! Bounded priority queue between submitters and the executor pool.
+//!
+//! Capacity is fixed at construction: [`JobQueue::submit`] blocks the
+//! submitting thread while the queue is full (backpressure — the service
+//! never buffers unboundedly) and [`JobQueue::try_submit`] fails fast
+//! instead. Workers block in [`JobQueue::pop`] until a job or shutdown
+//! arrives. Ordering is highest priority first, FIFO within a priority
+//! (a submission sequence number breaks ties), so equal-priority traffic
+//! is served in arrival order.
+
+use std::collections::BinaryHeap;
+use std::sync::{Condvar, Mutex};
+
+/// A queued item with its priority and arrival sequence.
+struct Slot<T> {
+    priority: u8,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for Slot<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.priority == other.priority && self.seq == other.seq
+    }
+}
+
+impl<T> Eq for Slot<T> {}
+
+impl<T> Ord for Slot<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap: higher priority wins; earlier arrival wins within one.
+        self.priority
+            .cmp(&other.priority)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<T> PartialOrd for Slot<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+struct QueueState<T> {
+    heap: BinaryHeap<Slot<T>>,
+    next_seq: u64,
+    closed: bool,
+}
+
+/// Bounded blocking priority queue. Cloneable handles are not needed — the
+/// service shares it behind an `Arc`.
+pub struct JobQueue<T> {
+    capacity: usize,
+    state: Mutex<QueueState<T>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+}
+
+/// Error from [`JobQueue::try_submit`] / [`JobQueue::submit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueError {
+    /// The queue is at capacity (non-blocking submission only).
+    Full,
+    /// The queue was closed for shutdown; no further jobs are accepted.
+    Closed,
+}
+
+impl std::fmt::Display for QueueError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueueError::Full => write!(f, "job queue is full"),
+            QueueError::Closed => write!(f, "job queue is closed"),
+        }
+    }
+}
+
+impl std::error::Error for QueueError {}
+
+impl<T> JobQueue<T> {
+    /// A queue holding at most `capacity` jobs (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            state: Mutex::new(QueueState {
+                heap: BinaryHeap::new(),
+                next_seq: 0,
+                closed: false,
+            }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+        }
+    }
+
+    /// Maximum number of queued jobs.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Jobs currently queued.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue lock poisoned").heap.len()
+    }
+
+    /// Whether no jobs are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueues `item`, blocking while the queue is full — the
+    /// backpressure edge of the service. Fails only once the queue is
+    /// closed.
+    pub fn submit(&self, priority: u8, item: T) -> Result<(), QueueError> {
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        loop {
+            if state.closed {
+                return Err(QueueError::Closed);
+            }
+            if state.heap.len() < self.capacity {
+                break;
+            }
+            state = self.not_full.wait(state).expect("queue lock poisoned");
+        }
+        let seq = state.next_seq;
+        state.next_seq += 1;
+        state.heap.push(Slot {
+            priority,
+            seq,
+            item,
+        });
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Enqueues `item` without blocking; [`QueueError::Full`] when at
+    /// capacity.
+    pub fn try_submit(&self, priority: u8, item: T) -> Result<(), QueueError> {
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        if state.closed {
+            return Err(QueueError::Closed);
+        }
+        if state.heap.len() >= self.capacity {
+            return Err(QueueError::Full);
+        }
+        let seq = state.next_seq;
+        state.next_seq += 1;
+        state.heap.push(Slot {
+            priority,
+            seq,
+            item,
+        });
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues the highest-priority job, blocking until one arrives.
+    /// `None` means the queue was closed *and* drained — the worker's
+    /// signal to exit.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        loop {
+            if let Some(slot) = state.heap.pop() {
+                drop(state);
+                self.not_full.notify_one();
+                return Some(slot.item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).expect("queue lock poisoned");
+        }
+    }
+
+    /// Closes the queue: queued jobs still drain, new submissions fail,
+    /// and blocked submitters/workers wake.
+    pub fn close(&self) {
+        self.state.lock().expect("queue lock poisoned").closed = true;
+        self.not_full.notify_all();
+        self.not_empty.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn orders_by_priority_then_fifo() {
+        let q = JobQueue::new(8);
+        q.submit(1, "low-a").unwrap();
+        q.submit(5, "high-a").unwrap();
+        q.submit(1, "low-b").unwrap();
+        q.submit(5, "high-b").unwrap();
+        assert_eq!(q.pop(), Some("high-a"));
+        assert_eq!(q.pop(), Some("high-b"));
+        assert_eq!(q.pop(), Some("low-a"));
+        assert_eq!(q.pop(), Some("low-b"));
+    }
+
+    #[test]
+    fn try_submit_fails_fast_when_full() {
+        let q = JobQueue::new(2);
+        q.try_submit(0, 1).unwrap();
+        q.try_submit(0, 2).unwrap();
+        assert_eq!(q.try_submit(0, 3), Err(QueueError::Full));
+        assert_eq!(q.pop(), Some(1));
+        q.try_submit(0, 3).unwrap();
+    }
+
+    #[test]
+    fn submit_blocks_until_space_and_close_drains() {
+        let q = Arc::new(JobQueue::new(1));
+        q.submit(0, 0u32).unwrap();
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                // Blocks until the consumer pops the first item.
+                for i in 1..=4u32 {
+                    q.submit(0, i).unwrap();
+                }
+            })
+        };
+        let mut seen = Vec::new();
+        for _ in 0..5 {
+            seen.push(q.pop().unwrap());
+        }
+        producer.join().unwrap();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+        q.close();
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.submit(0, 9), Err(QueueError::Closed));
+    }
+}

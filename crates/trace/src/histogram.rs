@@ -90,6 +90,23 @@ impl LogHistogram {
         self.max
     }
 
+    /// Folds `other`'s samples into `self`, bucket by bucket — how per-worker
+    /// histograms (e.g. a solve service's queue-wait tracks) are combined
+    /// into one distribution without re-recording samples. Equivalent to
+    /// having recorded every sample into `self` directly.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        if other.total == 0 {
+            return;
+        }
+        for (dst, src) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *dst += src;
+        }
+        self.total += other.total;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
     /// The estimated `q`-quantile (`q` in `[0, 1]`), within one log bucket
     /// (~6% relative error). Exact `min`/`max` are substituted at the
     /// extremes so the reported range never exceeds the observed one.
@@ -156,6 +173,32 @@ mod tests {
         assert_eq!(h.max(), 10_000);
         assert!(h.quantile(0.0) >= 1);
         assert!(h.quantile(1.0) <= 10_000);
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let mut merged = LogHistogram::new();
+        let mut reference = LogHistogram::new();
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        for v in 1..=500u64 {
+            a.record(v * 7);
+            reference.record(v * 7);
+        }
+        for v in 1..=300u64 {
+            b.record(v * 31);
+            reference.record(v * 31);
+        }
+        merged.merge(&a);
+        merged.merge(&b);
+        merged.merge(&LogHistogram::new()); // empty merge is a no-op
+        assert_eq!(merged.count(), reference.count());
+        assert_eq!(merged.sum(), reference.sum());
+        assert_eq!(merged.min(), reference.min());
+        assert_eq!(merged.max(), reference.max());
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(merged.quantile(q), reference.quantile(q), "q={q}");
+        }
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! gmc solve <graph-file> [options]   enumerate maximum cliques
 //! gmc info <graph-file>              print graph statistics
 //! gmc generate <family> [options]    write a synthetic graph to a file
+//! gmc serve [options]                drive the batched solve service
 //! ```
 //!
 //! Run `gmc help` for the full option list. Graph files may be MatrixMarket
@@ -27,6 +28,7 @@ USAGE:
     gmc solve <file> [options]
     gmc info <file>
     gmc generate <family> --out <file> [--param key=value ...]
+    gmc serve [options]
     gmc help
 
 SOLVE OPTIONS:
@@ -49,6 +51,18 @@ SOLVE OPTIONS:
     --verify             independently re-check every reported clique
     --json               machine-readable output
 
+SERVE OPTIONS (deterministic closed-loop load generator):
+    --pool <N>           executor slots (default GMC_SERVE_POOL or 2)
+    --queue <N>          bounded queue depth (default GMC_SERVE_QUEUE or 16)
+    --cache-mb <N>       result-cache budget (default GMC_SERVE_CACHE_MB or 64)
+    --budget-mb <N>      device budget split across the pool (default unlimited)
+    --jobs <N>           unique jobs in the populate phase (default 6)
+    --repeats <N>        seeded repeat jobs, all cache hits (default 10)
+    --deadline-jobs <N>  past-deadline sentinel jobs, all cancelled (default 2)
+    --vertices <N>       vertices per generated G(n,p) graph (default 120)
+    --seed <S>           master workload seed (default 42)
+    --json               machine-readable output
+
 GENERATE FAMILIES (with --param defaults):
     gnp        n=1000 p=0.01 seed=1
     ba         n=1000 m=3 seed=1
@@ -63,6 +77,7 @@ fn main() -> ExitCode {
         Some("solve") => cmd_solve(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
         Some("generate") => cmd_generate(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{HELP}");
             ExitCode::SUCCESS
@@ -272,6 +287,10 @@ fn cmd_solve(args: &[String]) -> ExitCode {
                 "injected faults exhausted the retry cap after {attempts} attempts\n\
                  hint: lower the --faults rates or raise retries= in the spec"
             );
+            return ExitCode::FAILURE;
+        }
+        Err(SolveError::Cancelled(cancelled)) => {
+            eprintln!("solve cancelled: {cancelled}");
             return ExitCode::FAILURE;
         }
     };
@@ -547,5 +566,120 @@ fn cmd_generate(args: &[String]) -> ExitCode {
         graph.num_vertices(),
         graph.num_edges()
     );
+    ExitCode::SUCCESS
+}
+
+fn cmd_serve(args: &[String]) -> ExitCode {
+    use gpu_max_clique::serve::{loadgen, LoadConfig, ServeConfig, SolveService};
+
+    let opts = match Options::parse(args) {
+        Ok(o) => o,
+        Err(e) => return fail(e),
+    };
+
+    // Environment knobs (GMC_SERVE_POOL / _QUEUE / _CACHE_MB) are the
+    // baseline; explicit flags override them.
+    let mut config = ServeConfig::from_env();
+    match opts.get_parsed::<usize>("pool") {
+        Ok(Some(pool)) => config = config.pool(pool),
+        Ok(None) => {}
+        Err(e) => return fail(e),
+    }
+    match opts.get_parsed::<usize>("queue") {
+        Ok(Some(depth)) => config = config.queue_depth(depth),
+        Ok(None) => {}
+        Err(e) => return fail(e),
+    }
+    match opts.get_parsed::<usize>("cache-mb") {
+        Ok(Some(mb)) => config = config.cache_bytes(mb << 20),
+        Ok(None) => {}
+        Err(e) => return fail(e),
+    }
+    match opts.get_parsed::<usize>("budget-mb") {
+        Ok(Some(mb)) => config = config.device_bytes(mb << 20),
+        Ok(None) => {}
+        Err(e) => return fail(e),
+    }
+
+    let mut load = LoadConfig::default();
+    let parse = |name: &str, slot: &mut usize| -> Result<(), String> {
+        if let Some(v) = opts.get_parsed::<usize>(name)? {
+            *slot = v;
+        }
+        Ok(())
+    };
+    if let Err(e) = parse("jobs", &mut load.unique)
+        .and_then(|()| parse("repeats", &mut load.repeats))
+        .and_then(|()| parse("deadline-jobs", &mut load.deadline_jobs))
+        .and_then(|()| parse("vertices", &mut load.vertices))
+    {
+        return fail(e);
+    }
+    match opts.get_parsed::<u64>("seed") {
+        Ok(Some(seed)) => load.seed = seed,
+        Ok(None) => {}
+        Err(e) => return fail(e),
+    }
+
+    let service = SolveService::start(config);
+    let started = std::time::Instant::now();
+    let report = loadgen::run(&service, &load);
+    let wall = started.elapsed();
+    let stats = service.shutdown();
+
+    if !report.bit_identical {
+        eprintln!("FAILED: a served result diverged from the standalone solve");
+        return ExitCode::FAILURE;
+    }
+
+    if opts.has("json") {
+        println!(
+            "{{\"total_jobs\":{},\"unique_jobs\":{},\"repeat_jobs\":{},\"deadline_jobs\":{},\
+             \"cache_hits\":{},\"cache_misses\":{},\"hit_rate\":{:.4},\"cancellations\":{},\
+             \"bit_identical\":{},\"launches\":{},\"oracle_queries\":{},\
+             \"queue_wait_p50_ns\":{},\"queue_wait_p99_ns\":{},\"throughput_jobs_per_s\":{:.2}}}",
+            report.total_jobs,
+            report.unique_jobs,
+            report.repeat_jobs,
+            report.deadline_jobs,
+            report.cache_hits,
+            report.cache_misses,
+            report.hit_rate(),
+            report.cancellations,
+            report.bit_identical,
+            stats.launches,
+            stats.oracle_queries,
+            stats.queue_wait_ns(0.5),
+            stats.queue_wait_ns(0.99),
+            stats.throughput(wall),
+        );
+    } else {
+        println!(
+            "served {} jobs in {:.1} ms ({:.1} jobs/s): {} hits / {} misses \
+             (hit rate {:.0}%), {} cancelled at deadline",
+            report.total_jobs,
+            wall.as_secs_f64() * 1e3,
+            stats.throughput(wall),
+            report.cache_hits,
+            report.cache_misses,
+            100.0 * report.hit_rate(),
+            report.cancellations,
+        );
+        println!(
+            "every served result matched the standalone solve bit for bit \
+             (clique numbers: {:?})",
+            report.clique_numbers
+        );
+        println!(
+            "queue wait p50 {:.1} µs, p99 {:.1} µs; {} launches, {} oracle queries; \
+             cache holds {} entries / {:.1} KiB",
+            stats.queue_wait_ns(0.5) as f64 / 1e3,
+            stats.queue_wait_ns(0.99) as f64 / 1e3,
+            stats.launches,
+            stats.oracle_queries,
+            stats.cache_entries,
+            stats.cache_bytes as f64 / 1024.0,
+        );
+    }
     ExitCode::SUCCESS
 }

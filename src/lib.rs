@@ -17,6 +17,8 @@
 //! * [`heuristic`] — greedy lower-bound heuristics (§IV-A, Algorithm 1).
 //! * [`mce`] — the breadth-first solver and windowed search (§IV-C..E).
 //! * [`pmc`] — depth-first branch-and-bound baseline and exact oracle.
+//! * [`serve`] — batched solve service: executor pool, admission control,
+//!   exact result cache, deadline cancellation.
 //! * [`corpus`] — the synthetic 58-dataset evaluation corpus.
 //!
 //! # Quickstart
@@ -46,6 +48,7 @@ pub use gmc_graph as graph;
 pub use gmc_heuristic as heuristic;
 pub use gmc_mce as mce;
 pub use gmc_pmc as pmc;
+pub use gmc_serve as serve;
 pub use gmc_trace as trace;
 
 /// Commonly used items in one import.
@@ -58,5 +61,6 @@ pub mod prelude {
         SolverConfig, WindowConfig, WindowOrdering,
     };
     pub use gmc_pmc::{MaximalCliques, ParallelBranchBound, ReferenceEnumerator};
+    pub use gmc_serve::{ServeConfig, ServeError, SolveJob, SolveService};
     pub use gmc_trace::{TraceSession, Tracer};
 }
