@@ -265,6 +265,139 @@ fn committed_records_are_internally_consistent() {
     }
 }
 
+#[test]
+fn auto_cost_model_is_not_miscalibrated_per_category() {
+    // Satellite gate for the Auto tier's cost model: if an entire corpus
+    // category ran scalar under Auto (`auto_avoided == 0` on every row)
+    // while the forced bitmap tier eliminated ≥80% of its probes, the
+    // model is leaving proven wins on the table and the gate fails.
+    let doc = committed("BENCH_localbits.json");
+    let mut by_cat: std::collections::BTreeMap<String, (u64, u64, u64)> =
+        std::collections::BTreeMap::new();
+    for row in doc.as_array().expect("array") {
+        let cat = row["category"].as_str().expect("category").to_string();
+        let entry = by_cat.entry(cat).or_default();
+        entry.0 += row["auto_avoided"].as_u64().expect("auto_avoided");
+        entry.1 += row["scalar_queries"].as_u64().expect("scalar_queries");
+        entry.2 += row["on_queries"].as_u64().expect("on_queries");
+    }
+    let mut failures = Vec::new();
+    for (cat, (auto_avoided, scalar, on)) in &by_cat {
+        let on_reduction_pct = if *scalar == 0 {
+            0.0
+        } else {
+            100.0 * (1.0 - *on as f64 / *scalar as f64)
+        };
+        if *auto_avoided == 0 && on_reduction_pct >= 80.0 {
+            failures.push(format!(
+                "{cat}: Auto stayed scalar across the whole category while the \
+                 forced bitmap tier saved {on_reduction_pct:.1}% of {scalar} probes"
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "auto cost model miscalibrated:\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn committed_core_bits_record_is_internally_consistent() {
+    // The persistent tier's exact accounting: every scalar probe is either
+    // performed or answered by the core bitmap, the committed elimination
+    // percentage re-derives from its inputs, and nothing was rebuilt after
+    // the one-time build. The socfb aggregate must clear the ≥95% bar the
+    // perf gate enforces.
+    let doc = committed("BENCH_corebits.json");
+    let (mut socfb_per, mut socfb_scalar) = (0u64, 0u64);
+    for row in doc.as_array().expect("array") {
+        let name = row["dataset"].as_str().unwrap_or("?");
+        let scalar = row["scalar_queries"].as_u64().expect("scalar_queries");
+        let per_q = row["persistent_queries"]
+            .as_u64()
+            .expect("persistent_queries");
+        let per_probes = row["persistent_probes"]
+            .as_u64()
+            .expect("persistent_probes");
+        assert_eq!(
+            per_q + per_probes,
+            scalar,
+            "{name}: persistent_queries + persistent_probes must equal scalar_queries"
+        );
+        assert_eq!(
+            row["rebuilds"].as_u64().expect("rebuilds"),
+            0,
+            "{name}: the persistent tier must never rebuild per-level rows"
+        );
+        let pct = row["elimination_pct"].as_f64().expect("elimination_pct");
+        let derived = if scalar == 0 {
+            100.0
+        } else {
+            100.0 * (1.0 - per_q as f64 / scalar as f64)
+        };
+        assert!(
+            (pct - derived).abs() < 1e-6,
+            "{name}: committed elimination {pct} != derived {derived}"
+        );
+        if row["category"].as_str() == Some("socfb") {
+            socfb_per += per_q;
+            socfb_scalar += scalar;
+        }
+    }
+    assert!(socfb_scalar > 0, "socfb rows must be present");
+    assert!(
+        socfb_per * 20 <= socfb_scalar,
+        "socfb probe elimination fell below 95%: {socfb_per} of {socfb_scalar} remain"
+    );
+}
+
+#[test]
+fn persistent_probe_counters_have_not_regressed() {
+    let doc = committed("BENCH_corebits.json");
+    let mut failures = Vec::new();
+    for dataset in CHECKED {
+        let expected = row(&doc, dataset);
+        let graph = load(dataset);
+        let per = MaxCliqueSolver::new(Device::unlimited())
+            .fused(true)
+            .local_bits(LocalBitsMode::Persistent)
+            .solve(&graph)
+            .expect("unlimited device");
+        assert_eq!(
+            per.stats.local_bits.rows_built, 0,
+            "{dataset}: persistent tier rebuilt per-level rows"
+        );
+        let committed_value = expected["persistent_queries"]
+            .as_u64()
+            .unwrap_or_else(|| panic!("{dataset}: persistent_queries is not an integer"));
+        if let Err(e) = check_counter(
+            dataset,
+            "persistent oracle queries",
+            per.stats.oracle_queries,
+            committed_value,
+        ) {
+            failures.push(e);
+        }
+        // The bitmap must keep answering the walk: at least 90% of the
+        // committed probe count.
+        let committed_probes = expected["persistent_probes"]
+            .as_u64()
+            .expect("persistent_probes");
+        let current_probes = per.stats.local_bits.persistent_probes;
+        if (current_probes as f64) < (committed_probes as f64) / TOLERANCE {
+            failures.push(format!(
+                "{dataset}: persistent_probes fell to {current_probes} vs committed {committed_probes}"
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "bench trend gate failed:\n{}",
+        failures.join("\n")
+    );
+}
+
 /// Workload constants mirrored from `benches/serve_load.rs` — the
 /// committed `BENCH_serve.json` was produced with exactly these.
 mod serve_workload {

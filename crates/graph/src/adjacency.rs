@@ -23,7 +23,7 @@
 //! popcounts without ever materialising the `n²` matrix.
 
 use crate::Csr;
-use gmc_dpp::{Executor, UninitSlice};
+use gmc_dpp::{DeviceError, Executor, SharedSlice, UninitSlice};
 
 /// Edge-membership oracle: the single operation the expansion kernels need.
 pub trait EdgeOracle: Sync {
@@ -137,6 +137,136 @@ impl EdgeOracle for BitMatrix {
 
     fn footprint_bytes(&self) -> usize {
         self.bits.len() * std::mem::size_of::<u64>()
+    }
+}
+
+/// Sentinel in [`CoreBitmap`]'s renumber table for a vertex removed by the
+/// setup phase's core pruning.
+const PRUNED: u32 = u32::MAX;
+
+/// A *persistent* core-graph adjacency bitmap: the dense bitset matrix of
+/// the subgraph induced by the vertices that survive k-core pruning,
+/// renumbered into a degeneracy-ordered dense ID space.
+///
+/// The GPU clique literature (Almasri et al.) materialises a binary-encoded
+/// induced subgraph once after preprocessing and probes it for the rest of
+/// the search. This is the same move: core pruning typically discards the
+/// long sparse tail of a power-law graph, so `n_core² / 8` bytes is often
+/// affordable where `n² / 8` is not, and every successor-adjacency probe
+/// for the rest of the solve becomes a single word test — no per-level
+/// rebuild, no [`EdgeOracle`] binary search on the hot path.
+///
+/// Probes take *original* vertex ids and translate through the renumber
+/// table; both endpoints must have survived pruning (the solver's 2-clique
+/// list only carries survivors, so this holds on the hot path by
+/// construction).
+pub struct CoreBitmap {
+    /// `new_of_old[old_id]` — dense degeneracy-ordered id, or [`PRUNED`].
+    new_of_old: Vec<u32>,
+    /// `n_core × n_core` adjacency over the dense id space.
+    matrix: BitMatrix,
+}
+
+impl CoreBitmap {
+    /// Device footprint of a bitmap over `n_core` surviving vertices of an
+    /// `n_total`-vertex graph, computable *before* building: the dense
+    /// matrix plus the `u32` renumber table.
+    pub fn footprint_for(n_core: usize, n_total: usize) -> usize {
+        BitMatrix::footprint_for(n_core) + n_total * std::mem::size_of::<u32>()
+    }
+
+    /// Builds the bitmap for the vertices with `keep[v] == true`, as two
+    /// executor launches: a renumber scatter (one virtual thread per
+    /// survivor) and a weighted row build (one virtual thread per row,
+    /// cost-hinted by degree). Both are `try_` launches, so injected
+    /// faults and deadline cancellation surface here instead of aborting —
+    /// the caller degrades to per-level bitmaps or unwinds its charge.
+    pub fn try_build(exec: &Executor, graph: &Csr, keep: &[bool]) -> Result<Self, DeviceError> {
+        assert_eq!(keep.len(), graph.num_vertices(), "keep mask length");
+        exec.check_cancelled()?;
+        // Degeneracy order over the full graph, filtered to the survivors:
+        // the dense ID space inherits the orientation the search uses.
+        let (order, _) = crate::kcore::degeneracy_order(graph);
+        let old_of_new: Vec<u32> = order.into_iter().filter(|&v| keep[v as usize]).collect();
+        let n_core = old_of_new.len();
+        let mut new_of_old = vec![PRUNED; graph.num_vertices()];
+        {
+            let dst = SharedSlice::new(&mut new_of_old);
+            let ids = &old_of_new;
+            exec.try_for_each_indexed_named("corebits_renumber", n_core, |i| {
+                // SAFETY: `old_of_new` entries are distinct, so each slot
+                // has exactly one writer.
+                unsafe { dst.write(ids[i] as usize, i as u32) };
+            })?;
+        }
+        let words_per_row = n_core.div_ceil(64);
+        let mut bits = vec![0u64; n_core * words_per_row];
+        {
+            let dst = SharedSlice::new(&mut bits);
+            let remap = &new_of_old;
+            let ids = &old_of_new;
+            let row_cost = |r: usize| (graph.degree(ids[r]) + words_per_row) as u64;
+            exec.try_for_each_weighted_named("corebits_build_rows", n_core, row_cost, |r| {
+                let row = r * words_per_row;
+                for &u in graph.neighbors(ids[r]) {
+                    let c = remap[u as usize];
+                    if c != PRUNED {
+                        let slot = row + (c as usize >> 6);
+                        // SAFETY: row `r` owns words `row..row +
+                        // words_per_row`; read-modify-write by the
+                        // exclusive owner is allowed by the contract.
+                        unsafe { dst.write(slot, dst.read(slot) | 1 << (c & 63)) };
+                    }
+                }
+            })?;
+        }
+        Ok(Self {
+            new_of_old,
+            matrix: BitMatrix {
+                n: n_core,
+                words_per_row,
+                bits,
+            },
+        })
+    }
+
+    /// Number of vertices that survived pruning (matrix dimension).
+    pub fn num_core_vertices(&self) -> usize {
+        self.matrix.n
+    }
+
+    /// Whether original-id vertex `v` survived pruning (i.e. is probeable).
+    pub fn covers(&self, v: u32) -> bool {
+        self.new_of_old[v as usize] != PRUNED
+    }
+
+    /// The dense matrix over the renumbered id space.
+    pub fn matrix(&self) -> &BitMatrix {
+        &self.matrix
+    }
+
+    /// Whether original-id vertices `u` and `v` are adjacent: two table
+    /// reads and one word test. Both endpoints must have survived pruning.
+    #[inline]
+    pub fn probe(&self, u: u32, v: u32) -> bool {
+        let nu = self.new_of_old[u as usize];
+        let nv = self.new_of_old[v as usize];
+        debug_assert!(
+            nu != PRUNED && nv != PRUNED,
+            "persistent probe on a pruned vertex ({u}, {v})"
+        );
+        self.matrix.connected(nu, nv)
+    }
+}
+
+impl EdgeOracle for CoreBitmap {
+    #[inline]
+    fn connected(&self, u: u32, v: u32) -> bool {
+        self.probe(u, v)
+    }
+
+    fn footprint_bytes(&self) -> usize {
+        self.matrix.footprint_bytes() + std::mem::size_of_val(self.new_of_old.as_slice())
     }
 }
 
@@ -518,6 +648,77 @@ mod tests {
         for c in 1..1500 {
             assert_eq!(local.bit(3, c), g.has_edge(3, c as u32), "(3,{c})");
         }
+    }
+
+    #[test]
+    fn core_bitmap_agrees_with_graph_on_kept_pairs() {
+        let g = generators::gnp(120, 0.12, 17);
+        // Keep roughly two thirds of the vertices, scattered.
+        let keep: Vec<bool> = (0..g.num_vertices()).map(|v| v % 3 != 1).collect();
+        let core = CoreBitmap::try_build(&exec(), &g, &keep).expect("fault-free build");
+        let kept: Vec<u32> = (0..g.num_vertices() as u32)
+            .filter(|&v| keep[v as usize])
+            .collect();
+        assert_eq!(core.num_core_vertices(), kept.len());
+        for &v in &kept {
+            assert!(core.covers(v));
+        }
+        assert!(!core.covers(1));
+        for &u in &kept {
+            for &v in &kept {
+                assert_eq!(core.probe(u, v), g.has_edge(u, v), "({u},{v})");
+                assert_eq!(core.connected(u, v), g.has_edge(u, v), "({u},{v})");
+            }
+        }
+        // Footprint formula matches what building would charge.
+        assert_eq!(
+            CoreBitmap::footprint_for(kept.len(), g.num_vertices()),
+            core.footprint_bytes()
+        );
+    }
+
+    #[test]
+    fn core_bitmap_is_worker_count_invariant_and_handles_edges_to_pruned() {
+        // A hub star plus a triangle; prune the hub so rows must skip
+        // neighbors that map to the sentinel.
+        let mut edges: Vec<(u32, u32)> = (1..40u32).map(|v| (0, v)).collect();
+        edges.push((1, 2));
+        edges.push((2, 3));
+        edges.push((1, 3));
+        let g = Csr::from_edges(40, &edges);
+        let mut keep = vec![true; 40];
+        keep[0] = false;
+        let reference = CoreBitmap::try_build(&Executor::new(1), &g, &keep).unwrap();
+        assert!(reference.probe(1, 2) && reference.probe(2, 3) && reference.probe(1, 3));
+        assert!(!reference.probe(4, 5));
+        for workers in [2, 8] {
+            let core = CoreBitmap::try_build(&Executor::new(workers), &g, &keep).unwrap();
+            assert_eq!(
+                core.matrix().bits,
+                reference.matrix().bits,
+                "workers {workers}"
+            );
+            assert_eq!(core.new_of_old, reference.new_of_old, "workers {workers}");
+        }
+        // Empty keep mask: a zero-dimension matrix, nothing covered.
+        let none = CoreBitmap::try_build(&exec(), &g, &[false; 40]).unwrap();
+        assert_eq!(none.num_core_vertices(), 0);
+        assert!(!none.covers(0));
+    }
+
+    #[test]
+    fn core_bitmap_observes_cancellation() {
+        let g = generators::gnp(30, 0.2, 3);
+        let exec = exec();
+        let token = gmc_dpp::CancelToken::new();
+        exec.set_cancel_token(Some(token.clone()));
+        token.cancel();
+        let err = match CoreBitmap::try_build(&exec, &g, &[true; 30]) {
+            Err(err) => err,
+            Ok(_) => panic!("cancelled build must not succeed"),
+        };
+        assert!(matches!(err, DeviceError::Cancelled(_)));
+        exec.set_cancel_token(None);
     }
 
     #[test]

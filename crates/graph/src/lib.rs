@@ -34,7 +34,7 @@ pub mod io;
 pub mod kcore;
 
 pub use adjacency::{
-    local_row_intersect, member_pos, member_vertex, pack_member, BitMatrix, EdgeOracle,
+    local_row_intersect, member_pos, member_vertex, pack_member, BitMatrix, CoreBitmap, EdgeOracle,
     HashAdjacency, LocalBitmap,
 };
 pub use builder::GraphBuilder;

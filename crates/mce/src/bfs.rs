@@ -74,7 +74,7 @@ use crate::arena::{LevelArena, LocalSeg};
 use crate::config::LocalBitsMode;
 use gmc_cliquelist::{CliqueLevel, CliqueList};
 use gmc_dpp::{bits, Device, DeviceError, SharedSlice, UninitSlice};
-use gmc_graph::{local_row_intersect, pack_member, Csr, EdgeOracle};
+use gmc_graph::{local_row_intersect, pack_member, CoreBitmap, Csr, EdgeOracle};
 
 /// Result of expanding one clique list to exhaustion.
 #[derive(Debug)]
@@ -97,23 +97,34 @@ pub(crate) struct ExpansionOutcome {
     pub local_bits: LocalBitsStats,
 }
 
-/// Counters for the sublist-local bitmap fast path (fused pipeline only).
+/// Counters for the adjacency-bitmap fast paths (fused pipeline only):
+/// the per-level sublist-local tier and the persistent core-bitmap tier.
 ///
-/// All three are exact, not sampled: `probes_avoided` is reconstructed from
-/// the bitmap rows with the same walk-length rule the scalar tally uses, so
-/// for any expansion `oracle_queries(bitmaps on) + probes_avoided ==
-/// oracle_queries(bitmaps off)`.
+/// All counters are exact, not sampled: `probes_avoided` is reconstructed
+/// with the same walk-length rule the scalar tally uses (from the bitmap
+/// rows per-level, or from the walk the persistent probe path actually
+/// performed), so for any expansion `oracle_queries(bitmaps on) +
+/// probes_avoided == oracle_queries(bitmaps off)`.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LocalBitsStats {
-    /// Bitmap rows built across all levels — one per member of each
-    /// bitmap-covered sublist.
+    /// Per-level bitmap rows built across all levels — one per member of
+    /// each bitmap-covered sublist. Stays zero under the persistent tier:
+    /// the core bitmap is built once, outside the level loop.
     pub rows_built: u64,
     /// Row words the count kernel scanned; each replaces up to 64 scalar
     /// oracle probes with one shift/AND/popcount.
     pub words_anded: u64,
-    /// Scalar `EdgeOracle::connected` probes the bitmap path made
+    /// Scalar `EdgeOracle::connected` probes the bitmap paths made
     /// unnecessary (what the scalar walk would have cost on those entries).
     pub probes_avoided: u64,
+    /// The subset of `probes_avoided` answered by the *persistent* core
+    /// bitmap: each was a single word test instead of a scalar oracle
+    /// probe, with zero per-level rebuild cost.
+    pub persistent_probes: u64,
+    /// Device bytes charged for the persistent core bitmap, zero when the
+    /// persistent tier never fired. A capacity, not a flow: folding takes
+    /// the max so window-level tallies do not double-count the one bitmap.
+    pub persistent_bytes: u64,
 }
 
 impl LocalBitsStats {
@@ -122,6 +133,8 @@ impl LocalBitsStats {
         self.rows_built += other.rows_built;
         self.words_anded += other.words_anded;
         self.probes_avoided += other.probes_avoided;
+        self.persistent_probes += other.persistent_probes;
+        self.persistent_bytes = self.persistent_bytes.max(other.persistent_bytes);
     }
 }
 
@@ -171,9 +184,14 @@ fn min_walk_lower_bound(m: usize, need: usize) -> usize {
 /// at least this size are cut. For full enumeration pass `ω̄` (ties kept);
 /// for find-one-better pass `best + 1`. `fused` selects the pipeline and
 /// `local_bits` the sublist-bitmap fast path within it (see the module
-/// docs); `arena` supplies recycled scratch and absorbs the retired levels'
-/// buffers on return, including the error path. The graph backs the bitmap
-/// builds — all scalar connectivity goes through the oracle.
+/// docs); `persistent` supplies the solve-lifetime core bitmap when the
+/// persistent tier fired — the fused count kernel then answers every probe
+/// from it (single word tests, tallied into
+/// [`LocalBitsStats::persistent_probes`]) and skips per-level planning and
+/// builds entirely; the unfused pipeline ignores it. `arena` supplies
+/// recycled scratch and absorbs the retired levels' buffers on return,
+/// including the error path. The graph backs the bitmap builds — all scalar
+/// connectivity goes through the oracle.
 ///
 /// Failures — genuine OOM or injected allocation/launch faults — surface as
 /// [`DeviceError`] with the arena released, so the caller can retry (fault
@@ -190,6 +208,7 @@ pub(crate) fn expand<O: EdgeOracle + ?Sized>(
     early_exit_enabled: bool,
     fused: bool,
     local_bits: LocalBitsMode,
+    persistent: Option<&CoreBitmap>,
     arena: &mut LevelArena,
 ) -> Result<ExpansionOutcome, DeviceError> {
     let mut list = CliqueList::new();
@@ -218,6 +237,7 @@ pub(crate) fn expand<O: EdgeOracle + ?Sized>(
             min_target,
             early_exit_enabled,
             local_bits,
+            persistent,
             arena,
             &mut queries,
             &mut local_stats,
@@ -311,6 +331,7 @@ fn grow_fused<O: EdgeOracle + ?Sized>(
     min_target: u32,
     early_exit_enabled: bool,
     local_bits: LocalBitsMode,
+    persistent: Option<&CoreBitmap>,
     arena: &mut LevelArena,
     queries: &mut u64,
     local_stats: &mut LocalBitsStats,
@@ -369,8 +390,15 @@ fn grow_fused<O: EdgeOracle + ?Sized>(
         // Segment the head level by sublist and plan which sublists get a
         // local adjacency bitmap (see the module docs). An empty plan —
         // mode off, or every sublist rejected — keeps the level on the
-        // plain scalar kernel with zero dispatch overhead.
-        let local_words = plan_local_segments(graph, vertex_id, arena, local_bits, need);
+        // plain scalar kernel with zero dispatch overhead. The persistent
+        // tier answers every probe from the solve-lifetime core bitmap, so
+        // per-level planning and builds are skipped outright (zero
+        // rebuilds after the one up-front build).
+        let local_words = if persistent.is_some() {
+            0
+        } else {
+            plan_local_segments(graph, vertex_id, arena, local_bits, need)
+        };
         let mut local_active = local_words > 0;
         if local_active {
             if let Err(err) = build_local_bitmaps(device, graph, vertex_id, arena, local_words) {
@@ -407,7 +435,34 @@ fn grow_fused<O: EdgeOracle + ?Sized>(
             let counts_dst = UninitSlice::for_vec(&mut arena.counts, len);
             let masks_dst = UninitSlice::for_vec(&mut arena.masks, len);
             let spill_dst = UninitSlice::for_vec(&mut arena.spill, spill_total);
-            if local_active {
+            if let Some(core) = persistent {
+                // Persistent tier: the identical bound-directed record walk,
+                // but every adjacency answer is a single word test against
+                // the core bitmap — same masks, same spill layout, same
+                // truncation rule, so the output is bit-identical to the
+                // scalar walk while the edge oracle is never touched.
+                let tail_cost = |i: usize| u64::from(tails[i]) + 1;
+                exec.try_for_each_weighted_fused_named(
+                    "bfs_count_cliques_persistent",
+                    len,
+                    tail_cost,
+                    |i| {
+                        let t = tails[i] as usize;
+                        let spill_base = if t > INLINE_BITS { spill_offsets[i] } else { 0 };
+                        scalar_count_walk(
+                            core,
+                            vertex_id,
+                            i,
+                            t,
+                            need,
+                            spill_base,
+                            &counts_dst,
+                            &masks_dst,
+                            &spill_dst,
+                        );
+                    },
+                )?;
+            } else if local_active {
                 let segs = &arena.segs;
                 let seg_of = &arena.seg_of;
                 let local_rows = &arena.local_rows;
@@ -490,7 +545,22 @@ fn grow_fused<O: EdgeOracle + ?Sized>(
         // no oracle calls — the same rule reconstructs the probes the
         // scalar walk would have made, which feed the avoided counter.
         let mut level_local = LocalBitsStats::default();
-        if local_active {
+        if persistent.is_some() {
+            // The persistent walk probed the core bitmap exactly where the
+            // scalar walk would have probed the oracle, so the same rule
+            // tallies those word tests — into the avoided/persistent
+            // counters, never into `queries`.
+            let avoided = arena
+                .counts
+                .iter()
+                .zip(&arena.tails)
+                .zip(&arena.masks)
+                .map(|((&c, &t), &m)| if c > 0 { u64::from(t) } else { m })
+                .sum::<u64>();
+            level_local.probes_avoided = avoided;
+            level_local.persistent_probes = avoided;
+            local_stats.accumulate(level_local);
+        } else if local_active {
             for seg in &arena.segs {
                 let would_walk = |i: usize| {
                     if arena.counts[i] > 0 {
@@ -531,7 +601,9 @@ fn grow_fused<O: EdgeOracle + ?Sized>(
                 arena.counts.iter().filter(|&&c| c == 0).count() as i64,
             );
             span.arg("oracle_queries", (*queries - queries_before) as i64);
-            if local_active {
+            if persistent.is_some() {
+                span.arg("persistent_probes", level_local.persistent_probes as i64);
+            } else if local_active {
                 span.arg("bitmap_rows", level_local.rows_built as i64);
                 span.arg("probes_avoided", level_local.probes_avoided as i64);
             }
@@ -614,7 +686,19 @@ fn grow_fused<O: EdgeOracle + ?Sized>(
         list.push_level(new_level);
 
         if early_exit_enabled {
-            if let Some(clique) = try_early_exit(oracle, list, min_target, queries) {
+            // Under the persistent tier the mutual-adjacency check probes
+            // the core bitmap too; its word tests feed the same avoided
+            // tally so the on/off query invariant keeps holding exactly.
+            let clique = if let Some(core) = persistent {
+                let mut word_tests = 0u64;
+                let clique = try_early_exit(core, list, min_target, &mut word_tests);
+                local_stats.probes_avoided += word_tests;
+                local_stats.persistent_probes += word_tests;
+                clique
+            } else {
+                try_early_exit(oracle, list, min_target, queries)
+            };
+            if let Some(clique) = clique {
                 return Ok(Some(clique));
             }
         }
@@ -628,7 +712,8 @@ fn grow_fused<O: EdgeOracle + ?Sized>(
 /// of at least [`LOCAL_BITS_AUTO_MIN`] members where the scalar walk the
 /// bitmap replaces provably outweighs the CSR build — the
 /// [`min_walk_lower_bound`] at this level's `need`, weighted by
-/// [`LOCAL_BITS_PROBE_WEIGHT`], must cover `Σ deg(member) + m²`. Returns
+/// [`LOCAL_BITS_PROBE_WEIGHT`] and amortised over the `need` expected
+/// remaining levels, must cover `Σ deg(member) + m²`. Returns
 /// the total bitmap words to build; zero means the level runs the plain
 /// scalar kernel.
 fn plan_local_segments(
@@ -652,11 +737,20 @@ fn plan_local_segments(
         let m = arena.tails[start] as usize + 1;
         let bitmap = match mode {
             LocalBitsMode::Off => unreachable!("handled above"),
-            LocalBitsMode::On => m >= LOCAL_BITS_FORCED_MIN,
+            // `Persistent` reaching the per-level planner means the core
+            // bitmap could not be built (degrade ladder) — behave as the
+            // forced per-level tier so the solve keeps its bitmap coverage.
+            LocalBitsMode::On | LocalBitsMode::Persistent => m >= LOCAL_BITS_FORCED_MIN,
             LocalBitsMode::Auto => {
-                // The degree sum only lowers the budget, so reject on the
-                // O(1) `m²` term alone before walking member degrees.
-                let budget = LOCAL_BITS_PROBE_WEIGHT * min_walk_lower_bound(m, need);
+                // A sublist worth covering now keeps paying off as its
+                // descendants walk toward the bound, so the build cost is
+                // amortised over the expected remaining levels (`need`,
+                // the ω̂-derived distance to the target) instead of being
+                // charged to this level alone. The degree sum only lowers
+                // the budget, so reject on the O(1) `m²` term alone before
+                // walking member degrees.
+                let levels = need.max(1);
+                let budget = LOCAL_BITS_PROBE_WEIGHT * min_walk_lower_bound(m, need) * levels;
                 m >= LOCAL_BITS_AUTO_MIN && budget >= m * m && {
                     let deg: usize = vertex_id[start..start + m]
                         .iter()
@@ -1106,6 +1200,7 @@ mod tests {
             early_exit,
             fused,
             local,
+            None,
             &mut arena,
         )
         .unwrap()
@@ -1253,6 +1348,7 @@ mod tests {
             false,
             true,
             LocalBitsMode::Auto,
+            None,
             &mut arena,
         )
         .unwrap();
@@ -1287,6 +1383,7 @@ mod tests {
                 false,
                 fused,
                 LocalBitsMode::Auto,
+                None,
                 &mut arena,
             );
             assert!(err.is_err(), "expected OOM (fused={fused})");
@@ -1316,7 +1413,14 @@ mod tests {
             let g = generators::gnp(50, 0.18, seed);
             for early_exit in [false, true] {
                 let unfused = run_with(&g, 0, early_exit, false, LocalBitsMode::Off);
-                for local in [LocalBitsMode::Off, LocalBitsMode::Auto, LocalBitsMode::On] {
+                // `Persistent` here runs without a core bitmap handle (the
+                // degrade path), which must behave as forced-on bitmaps.
+                for local in [
+                    LocalBitsMode::Off,
+                    LocalBitsMode::Auto,
+                    LocalBitsMode::On,
+                    LocalBitsMode::Persistent,
+                ] {
                     let fused = run_with(&g, 0, early_exit, true, local);
                     let tag = format!("seed {seed} early_exit {early_exit} local {local}");
                     assert_eq!(fused.clique_size, unfused.clique_size, "{tag}");
@@ -1371,10 +1475,122 @@ mod tests {
         };
         let mut arena = LevelArena::new();
         let out = expand(
-            &device, graph, &oracle, level0, 2, false, fused, local, &mut arena,
+            &device, graph, &oracle, level0, 2, false, fused, local, None, &mut arena,
         )
         .unwrap();
         (out, oracle.calls.load(Ordering::Relaxed))
+    }
+
+    #[test]
+    fn persistent_bitmap_matches_scalar_and_never_rebuilds() {
+        for (tag, g, early_exit) in [
+            ("gnp-dense", generators::gnp(60, 0.3, 2), true),
+            ("gnp-sparse", generators::gnp(90, 0.06, 5), false),
+            ("complete", generators::complete(12), true),
+        ] {
+            let device = Device::unlimited();
+            let keep = vec![true; g.num_vertices()];
+            let core = CoreBitmap::try_build(device.exec(), &g, &keep).unwrap();
+            let run = |persistent: Option<&CoreBitmap>, local: LocalBitsMode| {
+                let setup = build_two_clique_list(
+                    device.exec(),
+                    &g,
+                    0,
+                    &g.degrees(),
+                    crate::config::OrientationRule::Degree,
+                    CandidateOrder::DegreeAscending,
+                    crate::config::SublistBound::Length,
+                );
+                let level0 =
+                    CliqueLevel::from_vecs(device.memory(), setup.vertex_id, setup.sublist_id)
+                        .unwrap();
+                let oracle = CountingOracle {
+                    inner: &g,
+                    calls: AtomicU64::new(0),
+                };
+                let mut arena = LevelArena::new();
+                let out = expand(
+                    &device, &g, &oracle, level0, 2, early_exit, true, local, persistent,
+                    &mut arena,
+                )
+                .unwrap();
+                (out, oracle.calls.load(Ordering::Relaxed))
+            };
+            let (off, _) = run(None, LocalBitsMode::Off);
+            let (per, actual) = run(Some(&core), LocalBitsMode::Persistent);
+            assert_eq!(per.cliques, off.cliques, "{tag}");
+            assert_eq!(per.level_entries, off.level_entries, "{tag}");
+            assert_eq!(per.early_exit, off.early_exit, "{tag}");
+            // The edge oracle is never touched on the persistent path...
+            assert_eq!(actual, 0, "{tag}");
+            assert_eq!(per.oracle_queries, actual, "{tag}");
+            // ...every probe it would have made is a tallied word test...
+            assert_eq!(
+                per.oracle_queries + per.local_bits.probes_avoided,
+                off.oracle_queries,
+                "{tag}"
+            );
+            assert_eq!(
+                per.local_bits.persistent_probes, per.local_bits.probes_avoided,
+                "{tag}"
+            );
+            // ...and nothing is ever rebuilt per level.
+            assert_eq!(per.local_bits.rows_built, 0, "{tag}");
+            assert_eq!(per.local_bits.words_anded, 0, "{tag}");
+        }
+    }
+
+    #[test]
+    fn persistent_bitmap_covers_spill_tails_and_pruned_vertices() {
+        // A hub with 70 successors (tails cross the inline/spill seam) and
+        // a pruned appendix vertex, so the core bitmap is built over a
+        // strict subset of the graph.
+        let mut edges: Vec<(u32, u32)> = (1..=70).map(|v| (0u32, v)).collect();
+        edges.extend([(1, 2), (1, 3), (2, 3), (70, 71)]);
+        let g = Csr::from_edges(72, &edges);
+        let device = Device::unlimited();
+        let mut keep = vec![true; 72];
+        keep[71] = false; // the appendix is pruned, rows must skip it
+        let core = CoreBitmap::try_build(device.exec(), &g, &keep).unwrap();
+        let mut arena = LevelArena::new();
+        let level0 = |device: &Device| {
+            CliqueLevel::from_vecs(device.memory(), (1..=70).collect(), vec![0; 70]).unwrap()
+        };
+        let off = expand(
+            &device,
+            &g,
+            &g,
+            level0(&device),
+            2,
+            false,
+            true,
+            LocalBitsMode::Off,
+            None,
+            &mut arena,
+        )
+        .unwrap();
+        let per = expand(
+            &device,
+            &g,
+            &g,
+            level0(&device),
+            2,
+            false,
+            true,
+            LocalBitsMode::Persistent,
+            Some(&core),
+            &mut arena,
+        )
+        .unwrap();
+        assert_eq!(per.cliques, vec![vec![0, 1, 2, 3]]);
+        assert_eq!(per.cliques, off.cliques);
+        assert_eq!(per.level_entries, off.level_entries);
+        assert_eq!(
+            per.oracle_queries + per.local_bits.probes_avoided,
+            off.oracle_queries
+        );
+        assert_eq!(per.local_bits.rows_built, 0);
+        assert_eq!(device.memory().live(), 0);
     }
 
     #[test]
@@ -1466,7 +1682,7 @@ mod tests {
             };
             let mut arena = LevelArena::new();
             let out = expand(
-                &device, &g, &oracle, level0, 2, false, true, local, &mut arena,
+                &device, &g, &oracle, level0, 2, false, true, local, None, &mut arena,
             )
             .unwrap();
             (out, oracle.calls.load(Ordering::Relaxed))
@@ -1506,6 +1722,7 @@ mod tests {
             false,
             false,
             LocalBitsMode::Off,
+            None,
             &mut arena,
         )
         .unwrap();
@@ -1522,6 +1739,7 @@ mod tests {
                 false,
                 true,
                 local,
+                None,
                 &mut arena,
             )
             .unwrap();
@@ -1570,6 +1788,7 @@ mod tests {
                 false,
                 true,
                 LocalBitsMode::Off,
+                None,
                 &mut arena,
             )
             .unwrap();
@@ -1582,6 +1801,7 @@ mod tests {
                 false,
                 true,
                 LocalBitsMode::On,
+                None,
                 &mut arena,
             )
             .unwrap();
@@ -1629,6 +1849,7 @@ mod tests {
                 false,
                 true,
                 LocalBitsMode::On,
+                None,
                 &mut arena,
             );
             if let Ok(out) = out {
@@ -1687,6 +1908,7 @@ mod tests {
             false,
             fused,
             LocalBitsMode::Auto,
+            None,
             &mut arena,
         )
         .unwrap()
@@ -1723,6 +1945,7 @@ mod tests {
                     false,
                     true,
                     LocalBitsMode::On,
+                    None,
                     &mut arena,
                 )
                 .unwrap();

@@ -37,32 +37,54 @@ pub enum EdgeIndexKind {
     Auto,
 }
 
-/// Whether the fused count kernel may take the *sublist-local bitmap* fast
-/// path: per BFS level, sublists are segmented and each long-enough sublist
-/// gets an m×m adjacency bitmap built straight from the CSR (no
-/// [`EdgeOracle`] probes), so the tail intersection becomes word-wise
-/// shift + popcount, 64 candidates per operation.
+/// The adjacency-bitmap policy of the fused count kernel — a three-tier
+/// ladder from most to least memory-hungry:
 ///
-/// Settable from the environment via `GMC_LOCAL_BITS=on|off|auto`
-/// (picked up by [`SolverConfig::default`]).
+/// 1. **Persistent** — one `n_core × n_core` core-graph bitmap
+///    ([`gmc_graph::CoreBitmap`]) built right after setup pruning and
+///    probed for the *entire* solve: every successor-adjacency test is a
+///    single word test, zero per-level rebuilds. Fires when forced, or
+///    under [`Auto`] when the bitmap fits the device budget.
+/// 2. **Per-level local** — per BFS level, sublists are segmented and each
+///    long-enough sublist gets an m×m bitmap built straight from the CSR
+///    (no [`EdgeOracle`] probes), so the tail intersection becomes
+///    word-wise shift + popcount, 64 candidates per operation.
+/// 3. **Scalar** — every tail walks the bound-directed scalar
+///    record-and-replay path against the edge oracle.
 ///
+/// Settable from the environment via
+/// `GMC_LOCAL_BITS=persistent|on|off|auto` (picked up by
+/// [`SolverConfig::default`]).
+///
+/// [`Auto`]: LocalBitsMode::Auto
 /// [`EdgeOracle`]: gmc_graph::EdgeOracle
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum LocalBitsMode {
-    /// Build a bitmap for every sublist with at least two members —
-    /// mainly for ablation and equivalence testing; tiny sublists pay the
-    /// build overhead without amortising it.
+    /// Force the persistent core-graph bitmap tier: build the
+    /// `n_core × n_core` bitmap once after setup pruning and answer every
+    /// probe from it. Degrades to per-level [`On`](LocalBitsMode::On)
+    /// behaviour if the bitmap cannot be built (device OOM or an injected
+    /// fault during the build) — never aborts the solve.
+    Persistent,
+    /// Build a per-level bitmap for every sublist with at least two
+    /// members — mainly for ablation and equivalence testing; tiny
+    /// sublists pay the build overhead without amortising it.
     On,
-    /// Never build sublist bitmaps: every tail walks the scalar
+    /// Never build adjacency bitmaps: every tail walks the scalar
     /// record-and-replay path (the PR 2 fused pipeline, bit for bit).
     Off,
-    /// Per-sublist heuristic (the default): bitmap when the sublist has at
-    /// least `LOCAL_BITS_AUTO_MIN` members *and* a lower bound on the
+    /// Budget-directed policy (the default). The persistent tier fires
+    /// when the core bitmap's `n_core²/8 + 4·n` bytes fit comfortably
+    /// (≤ 16 MiB and within a quarter of the device budget — the same
+    /// gate as [`EdgeIndexKind::Auto`]). Otherwise falls back to the
+    /// per-sublist heuristic: bitmap when the sublist has at least
+    /// `LOCAL_BITS_AUTO_MIN` members *and* a lower bound on the
     /// bound-directed scalar walk it would replace — weighted by the
-    /// measured probe-vs-merge-step cost ratio — covers the
-    /// `Σ deg(member) + m²` build work. Short sublists, degree-heavy
-    /// sublists and tight-bound levels (where the scalar walk stops almost
-    /// immediately) keep the scalar walk.
+    /// measured probe-vs-merge-step cost ratio and amortised over the
+    /// expected remaining levels — covers the `Σ deg(member) + m²` build
+    /// work. Short sublists, degree-heavy sublists and tight-bound levels
+    /// (where the scalar walk stops almost immediately) keep the scalar
+    /// walk.
     #[default]
     Auto,
 }
@@ -72,6 +94,7 @@ impl std::str::FromStr for LocalBitsMode {
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         match s.to_ascii_lowercase().as_str() {
+            "persistent" => Ok(LocalBitsMode::Persistent),
             "on" | "1" | "true" => Ok(LocalBitsMode::On),
             "off" | "0" | "false" => Ok(LocalBitsMode::Off),
             "auto" => Ok(LocalBitsMode::Auto),
@@ -83,6 +106,7 @@ impl std::str::FromStr for LocalBitsMode {
 impl std::fmt::Display for LocalBitsMode {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(match self {
+            LocalBitsMode::Persistent => "persistent",
             LocalBitsMode::On => "on",
             LocalBitsMode::Off => "off",
             LocalBitsMode::Auto => "auto",
@@ -91,9 +115,9 @@ impl std::fmt::Display for LocalBitsMode {
 }
 
 impl LocalBitsMode {
-    /// Reads `GMC_LOCAL_BITS` (`on`/`off`/`auto`), defaulting to [`Auto`]
-    /// when unset and panicking loudly on a typo (fail-loud policy of
-    /// `gmc_trace::env`).
+    /// Reads `GMC_LOCAL_BITS` (`persistent`/`on`/`off`/`auto`), defaulting
+    /// to [`Auto`] when unset and panicking loudly on a typo (fail-loud
+    /// policy of `gmc_trace::env`).
     ///
     /// [`Auto`]: LocalBitsMode::Auto
     pub fn from_env() -> Self {
@@ -341,6 +365,8 @@ mod tests {
             ("off", LocalBitsMode::Off),
             ("0", LocalBitsMode::Off),
             ("auto", LocalBitsMode::Auto),
+            ("persistent", LocalBitsMode::Persistent),
+            ("PERSISTENT", LocalBitsMode::Persistent),
         ] {
             assert_eq!(LocalBitsMode::from_str(raw), Ok(want), "{raw}");
             // Display round-trips through FromStr.

@@ -41,7 +41,7 @@ use gmc_dpp::{
     Cancelled, Device, DeviceError, DeviceOom, FaultInjector, FaultStats, LaunchStats, Schedule,
     ScheduleStats, Tracer,
 };
-use gmc_graph::{BitMatrix, Csr, EdgeOracle, HashAdjacency};
+use gmc_graph::{BitMatrix, CoreBitmap, Csr, EdgeOracle, HashAdjacency};
 use gmc_heuristic::{run_heuristic, HeuristicKind, HeuristicResult};
 use std::time::{Duration, Instant};
 
@@ -132,9 +132,11 @@ pub struct SolveStats {
     /// the unfused baseline by replaying recorded adjacency bits instead of
     /// re-walking sublists.
     pub oracle_queries: u64,
-    /// Sublist-local bitmap fast-path counters (see
-    /// [`SolverConfig::local_bits`]): rows built, row words scanned, and the
-    /// exact number of scalar oracle probes the bitmaps made unnecessary.
+    /// Adjacency-bitmap fast-path counters (see
+    /// [`SolverConfig::local_bits`]): per-level rows built, row words
+    /// scanned, the exact number of scalar oracle probes the bitmaps made
+    /// unnecessary, and — when the persistent core-bitmap tier fired — the
+    /// word-test probe count and the bitmap's charged bytes.
     pub local_bits: LocalBitsStats,
     /// Virtual-GPU launch counters consumed by this solve.
     pub launches: LaunchStats,
@@ -276,9 +278,9 @@ impl MaxCliqueSolver {
         self
     }
 
-    /// Selects the sublist-local bitmap fast path inside the fused pipeline
-    /// (see [`SolverConfig::local_bits`]): `On`, `Off`, or the `Auto`
-    /// heuristic (the default, overridable via `GMC_LOCAL_BITS`).
+    /// Selects the adjacency-bitmap policy inside the fused pipeline
+    /// (see [`SolverConfig::local_bits`]): `Persistent`, `On`, `Off`, or
+    /// the `Auto` policy (the default, overridable via `GMC_LOCAL_BITS`).
     pub fn local_bits(mut self, mode: LocalBitsMode) -> Self {
         self.config.local_bits = mode;
         self
@@ -549,6 +551,7 @@ impl MaxCliqueSolver {
             let attempt_setup = setup::SetupOutput {
                 vertex_id: setup.vertex_id.clone(),
                 sublist_id: setup.sublist_id.clone(),
+                keep: setup.keep.clone(),
                 stats: setup.stats,
             };
             match self.expand_once(
@@ -607,7 +610,15 @@ impl MaxCliqueSolver {
         injector: Option<&FaultInjector>,
     ) -> Result<(Vec<Vec<u32>>, u32, bool), DeviceError> {
         let device = &self.device;
-        Ok(match &self.config.window {
+        // Resolve the adjacency-bitmap tier for this attempt. Building the
+        // persistent core bitmap here — inside the armed region, once per
+        // attempt — means a fault-ladder retry releases and rebuilds it
+        // from scratch like every other expansion structure, and the
+        // attempt-scoped guard keeps its bytes charged for the whole
+        // expansion (windowed or not).
+        let (core, local_bits) = self.build_core_bitmap(graph, &setup.keep, injector)?;
+        let persistent = core.as_ref().map(|(bitmap, _)| bitmap);
+        let found = match &self.config.window {
             None => {
                 let level0 =
                     CliqueLevel::from_vecs(device.memory(), setup.vertex_id, setup.sublist_id)?;
@@ -620,7 +631,8 @@ impl MaxCliqueSolver {
                     min_target,
                     self.config.early_exit,
                     self.config.fused,
-                    self.config.local_bits,
+                    local_bits,
+                    persistent,
                     &mut arena,
                 )?;
                 stats.level_entries = outcome.level_entries;
@@ -634,7 +646,7 @@ impl MaxCliqueSolver {
                 (outcome.cliques, outcome.clique_size as u32, true)
             }
             Some(window_config) => {
-                let outcome = window::windowed_search(
+                let mut outcome = window::windowed_search(
                     device,
                     graph,
                     oracle,
@@ -644,9 +656,13 @@ impl MaxCliqueSolver {
                     min_target,
                     self.config.early_exit,
                     self.config.fused,
-                    self.config.local_bits,
+                    local_bits,
+                    persistent,
                     injector,
                 )?;
+                if let Some((_, guard)) = &core {
+                    outcome.stats.local_bits.persistent_bytes = guard.bytes() as u64;
+                }
                 stats.oracle_queries = outcome.stats.oracle_queries;
                 stats.local_bits = outcome.stats.local_bits;
                 stats.window = Some(outcome.stats);
@@ -656,7 +672,87 @@ impl MaxCliqueSolver {
                     outcome.complete,
                 )
             }
-        })
+        };
+        if let Some((_, guard)) = &core {
+            stats.local_bits.persistent_bytes = guard.bytes() as u64;
+        }
+        Ok(found)
+    }
+
+    /// Resolves the persistent core-bitmap tier for one expansion attempt.
+    ///
+    /// Returns the built bitmap with its memory guard (bytes stay charged
+    /// while the expansion runs) plus the effective per-level mode the
+    /// pipeline should fall back to for any window the bitmap does not
+    /// serve. Tier policy: `Persistent` always tries to build; `Auto`
+    /// builds when the footprint clears the same fits-comfortably gate as
+    /// the bitset edge oracle (≤ 16 MiB and ≤ a quarter of the device
+    /// budget); `On`/`Off` and the unfused pipeline never build.
+    ///
+    /// Any build failure except cancellation — genuine OOM on the charge,
+    /// or an injected alloc/launch fault — degrades to the per-level tier
+    /// (`Persistent` → `On`, `Auto` stays `Auto`) instead of aborting the
+    /// solve; cancellation unwinds as usual with the charge released.
+    fn build_core_bitmap(
+        &self,
+        graph: &Csr,
+        keep: &[bool],
+        injector: Option<&FaultInjector>,
+    ) -> Result<(Option<(CoreBitmap, gmc_dpp::MemoryGuard)>, LocalBitsMode), DeviceError> {
+        let device = &self.device;
+        let mode = self.config.local_bits;
+        let demoted = match mode {
+            LocalBitsMode::Persistent => LocalBitsMode::On,
+            other => other,
+        };
+        if !self.config.fused {
+            return Ok((None, mode));
+        }
+        let n_core = keep.iter().filter(|&&kept| kept).count();
+        let wanted = n_core > 0
+            && match mode {
+                LocalBitsMode::Persistent => true,
+                LocalBitsMode::Auto => {
+                    let footprint = CoreBitmap::footprint_for(n_core, graph.num_vertices());
+                    let budget = device.memory().capacity();
+                    footprint <= (16 << 20).min(budget / 4)
+                }
+                LocalBitsMode::On | LocalBitsMode::Off => false,
+            };
+        if !wanted {
+            // A forced-persistent solve with nothing surviving setup still
+            // degrades to the per-level tier so the (empty) search stays
+            // well-defined.
+            return Ok((None, if n_core == 0 { demoted } else { mode }));
+        }
+        let footprint = CoreBitmap::footprint_for(n_core, graph.num_vertices());
+        let built = device
+            .memory()
+            .try_charge(footprint)
+            .map_err(DeviceError::from)
+            .and_then(|guard| Ok((CoreBitmap::try_build(device.exec(), graph, keep)?, guard)));
+        match built {
+            Ok((bitmap, guard)) => Ok((Some((bitmap, guard)), mode)),
+            Err(DeviceError::Cancelled(cancelled)) => Err(DeviceError::Cancelled(cancelled)),
+            Err(err) => {
+                // Recovery ladder, rung zero: a fault (or real OOM) while
+                // building the solve-lifetime bitmap drops the whole solve
+                // to the per-level tier — bit-identical output, only the
+                // probe tally moves from `persistent_probes` back to
+                // per-level bitmaps or scalar queries.
+                if err.is_injected() {
+                    if let Some(injector) = injector {
+                        injector.note_bitmap_fallback(&err);
+                    }
+                    let tracer = device.exec().tracer();
+                    if tracer.is_enabled() {
+                        tracer
+                            .instant("fault_core_bitmap_fallback", &[("bytes", footprint as i64)]);
+                    }
+                }
+                Ok((None, demoted))
+            }
+        }
     }
 
     /// Builds the configured edge-membership oracle, charging any extra
@@ -915,7 +1011,10 @@ mod tests {
         assert!(s.lower_bound >= 2);
         assert!(s.peak_device_bytes > 0);
         assert!(!s.level_entries.is_empty());
-        assert!(s.oracle_queries > 0);
+        // Default Auto mode resolves to the persistent core bitmap on a
+        // graph this small, so the walk probes show up as avoided word
+        // tests rather than oracle calls.
+        assert!(s.oracle_queries + s.local_bits.probes_avoided > 0);
         assert!(s.launches.launches > 0);
         assert!(s.total_time >= s.expansion_time);
         assert_eq!(s.setup.total_oriented_edges, g.num_edges());
@@ -1014,12 +1113,14 @@ mod tests {
         assert_eq!(fused.clique_number, unfused.clique_number);
         assert_eq!(fused.cliques, unfused.cliques);
         assert_eq!(fused.stats.level_entries, unfused.stats.level_entries);
-        // The fused pipeline replays recorded bits instead of re-walking.
-        assert!(fused.stats.oracle_queries > 0);
+        // The fused pipeline replays recorded bits instead of re-walking;
+        // with the default Auto mode the walk itself runs against the
+        // persistent core bitmap, so its probes land in `probes_avoided`.
+        let fused_probes = fused.stats.oracle_queries + fused.stats.local_bits.probes_avoided;
+        assert!(fused_probes > 0);
         assert!(
-            fused.stats.oracle_queries < unfused.stats.oracle_queries,
-            "fused {} vs unfused {}",
-            fused.stats.oracle_queries,
+            fused_probes < unfused.stats.oracle_queries,
+            "fused {fused_probes} vs unfused {}",
             unfused.stats.oracle_queries
         );
         assert!(fused.stats.launches.fused_launches > 0);
@@ -1045,9 +1146,10 @@ mod tests {
             wu.stats.window.unwrap().oracle_queries,
         );
         assert_eq!(wf.stats.oracle_queries, wfq);
+        let wf_probes = wfq + wf.stats.local_bits.probes_avoided;
         assert!(
-            wfq > 0 && wfq < wuq,
-            "windowed fused {wfq} vs unfused {wuq}"
+            wf_probes > 0 && wf_probes < wuq,
+            "windowed fused {wf_probes} vs unfused {wuq}"
         );
     }
 
@@ -1089,6 +1191,63 @@ mod tests {
         );
         assert_eq!(
             won.stats.oracle_queries + won.stats.local_bits.probes_avoided,
+            woff.stats.oracle_queries
+        );
+    }
+
+    #[test]
+    fn persistent_ablation_agrees_and_reconciles() {
+        let g = generators::gnp(90, 0.25, 43);
+        let per = solver()
+            .local_bits(LocalBitsMode::Persistent)
+            .solve(&g)
+            .unwrap();
+        let off = solver().local_bits(LocalBitsMode::Off).solve(&g).unwrap();
+        assert_eq!(per.cliques, off.cliques);
+        assert_eq!(per.stats.level_entries, off.stats.level_entries);
+        // One bitmap for the whole solve: zero per-level builds, every
+        // scalar probe answered by a word test, exact reconciliation.
+        let lb = per.stats.local_bits;
+        assert_eq!(lb.rows_built, 0);
+        assert_eq!(lb.words_anded, 0);
+        assert!(lb.persistent_bytes > 0);
+        assert_eq!(lb.persistent_probes, lb.probes_avoided);
+        assert_eq!(
+            per.stats.oracle_queries + lb.probes_avoided,
+            off.stats.oracle_queries
+        );
+
+        // The same tier through the windowed search path, including the
+        // recursive child-level builds that would otherwise hit the oracle.
+        let windowed = |mode: LocalBitsMode| {
+            solver()
+                .local_bits(mode)
+                .windowed(WindowConfig {
+                    size: 16,
+                    enumerate_all: true,
+                    max_depth: 4,
+                    ..WindowConfig::default()
+                })
+                .solve(&g)
+                .unwrap()
+        };
+        let (wper, woff) = (
+            windowed(LocalBitsMode::Persistent),
+            windowed(LocalBitsMode::Off),
+        );
+        assert_eq!(wper.cliques, per.cliques);
+        assert_eq!(woff.cliques, per.cliques);
+        let wlb = wper.stats.local_bits;
+        assert_eq!(wlb.rows_built, 0);
+        assert!(wlb.persistent_bytes > 0);
+        assert_eq!(wlb.persistent_probes, wlb.probes_avoided);
+        assert_eq!(
+            wper.stats.local_bits,
+            wper.stats.window.unwrap().local_bits,
+            "solver stats mirror the window tally"
+        );
+        assert_eq!(
+            wper.stats.oracle_queries + wlb.probes_avoided,
             woff.stats.oracle_queries
         );
     }

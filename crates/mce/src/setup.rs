@@ -36,6 +36,10 @@ pub struct SetupStats {
 pub(crate) struct SetupOutput {
     pub vertex_id: Vec<u32>,
     pub sublist_id: Vec<u32>,
+    /// Per-vertex survival mask from core pruning: every id in `vertex_id`
+    /// / `sublist_id` has `keep == true`, so a persistent core bitmap built
+    /// over the survivors covers the whole search.
+    pub keep: Vec<bool>,
     pub stats: SetupStats,
 }
 
@@ -155,6 +159,7 @@ pub(crate) fn build_two_clique_list(
     SetupOutput {
         vertex_id,
         sublist_id,
+        keep,
         stats: SetupStats {
             total_oriented_edges: graph.num_edges(),
             initial_entries: total,

@@ -30,7 +30,7 @@ use crate::config::{LocalBitsMode, WindowConfig, WindowOrdering};
 use crate::setup::SetupOutput;
 use gmc_cliquelist::CliqueLevel;
 use gmc_dpp::{Device, DeviceError, FaultInjector, LaunchError, SharedSlice};
-use gmc_graph::{Csr, EdgeOracle};
+use gmc_graph::{CoreBitmap, Csr, EdgeOracle};
 use std::sync::Mutex;
 
 /// Counters from a windowed run, reported in [`SolveStats`].
@@ -155,6 +155,10 @@ struct SearchCtx<'a, O: EdgeOracle + ?Sized> {
     early_exit: bool,
     fused: bool,
     local_bits: LocalBitsMode,
+    /// Solve-lifetime core adjacency bitmap (the persistent tier, built
+    /// once by the solver before the sweep); every window and recursive
+    /// child-level build probes it instead of the edge oracle.
+    persistent: Option<&'a CoreBitmap>,
     /// Armed injector (shares counters with the device's copy); `None` in
     /// fault-free runs.
     injector: Option<FaultInjector>,
@@ -247,6 +251,7 @@ pub(crate) fn windowed_search<O: EdgeOracle + ?Sized>(
     early_exit: bool,
     fused: bool,
     local_bits: LocalBitsMode,
+    persistent: Option<&CoreBitmap>,
     injector: Option<&FaultInjector>,
 ) -> Result<WindowOutcome, DeviceError> {
     let tracer = device.exec().tracer();
@@ -288,6 +293,7 @@ pub(crate) fn windowed_search<O: EdgeOracle + ?Sized>(
         early_exit,
         fused,
         local_bits,
+        persistent,
         injector: injector.cloned(),
         max_retries: injector.map_or(0, |inj| inj.plan().max_retries),
     };
@@ -465,6 +471,7 @@ fn process_window<O: EdgeOracle + ?Sized>(
                         ctx.early_exit,
                         ctx.fused,
                         ctx.local_bits,
+                        ctx.persistent,
                         arena,
                     )
                 });
@@ -644,9 +651,19 @@ fn process_window<O: EdgeOracle + ?Sized>(
 
     let (child_vertex, child_sublist) = build_child_level(ctx, vertex_id)?;
     // Both child-level kernels walk every ordered candidate pair: exactly
-    // len·(len−1) oracle queries.
-    stats.lock().expect("stats lock poisoned").oracle_queries +=
-        (vertex_id.len() * (vertex_id.len() - 1)) as u64;
+    // len·(len−1) adjacency probes. With the persistent bitmap those are
+    // word tests, not oracle calls, so the tally moves to the avoided
+    // columns and the `queries + avoided == scalar` invariant still holds.
+    {
+        let pair_probes = (vertex_id.len() * (vertex_id.len() - 1)) as u64;
+        let mut stats = stats.lock().expect("stats lock poisoned");
+        if ctx.persistent.is_some() {
+            stats.local_bits.probes_avoided += pair_probes;
+            stats.local_bits.persistent_probes += pair_probes;
+        } else {
+            stats.oracle_queries += pair_probes;
+        }
+    }
     let mut child_prefix = prefix.to_vec();
     child_prefix.push(source);
     search_slice(
@@ -790,10 +807,16 @@ fn build_child_level<O: EdgeOracle + ?Sized>(
     let exec = ctx.device.exec();
     let len = candidates.len();
     let oracle = ctx.oracle;
+    // Every candidate descends from the setup list, so each survives core
+    // pruning and the persistent bitmap (when built) covers all pairs.
+    let adjacent = |a: u32, b: u32| match ctx.persistent {
+        Some(core) => core.probe(a, b),
+        None => oracle.connected(a, b),
+    };
     let counts: Vec<usize> = exec.try_map_indexed_named("window_count_sublists", len, |i| {
         candidates[i + 1..]
             .iter()
-            .filter(|&&c| oracle.connected(candidates[i], c))
+            .filter(|&&c| adjacent(candidates[i], c))
             .count()
     })?;
     let (offsets, total) = gmc_dpp::try_exclusive_scan(exec, &counts)?;
@@ -805,7 +828,7 @@ fn build_child_level<O: EdgeOracle + ?Sized>(
         exec.try_for_each_indexed_named("window_expand_sublists", len, |i| {
             let mut cursor = offsets[i];
             for &c in &candidates[i + 1..] {
-                if oracle.connected(candidates[i], c) {
+                if adjacent(candidates[i], c) {
                     // SAFETY: each source writes its own disjoint span.
                     unsafe {
                         vertex_shared.write(cursor, c);
@@ -859,6 +882,7 @@ mod tests {
             true,
             LocalBitsMode::Auto,
             None,
+            None,
         )
     }
 
@@ -882,6 +906,7 @@ mod tests {
             false,
             false,
             LocalBitsMode::Off,
+            None,
             &mut arena,
         )
         .unwrap()
@@ -1038,6 +1063,7 @@ mod tests {
             false,
             true,
             LocalBitsMode::Auto,
+            None,
             &mut LevelArena::new(),
         )
         .unwrap();

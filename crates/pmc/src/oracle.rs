@@ -1,6 +1,6 @@
 //! Sequential exact maximum clique enumeration — the correctness oracle.
 
-use gmc_graph::Csr;
+use gmc_graph::{Csr, EdgeOracle};
 
 /// Exhaustive enumerator of all maximum cliques.
 ///
@@ -17,6 +17,14 @@ impl ReferenceEnumerator {
     /// and the cliques in canonical order (each sorted ascending, the list
     /// sorted lexicographically).
     pub fn enumerate(graph: &Csr) -> (u32, Vec<Vec<u32>>) {
+        Self::enumerate_with(graph, graph)
+    }
+
+    /// Like [`ReferenceEnumerator::enumerate`], but answers every adjacency
+    /// test through `oracle` instead of the CSR — e.g. a persistent
+    /// [`gmc_graph::CoreBitmap`] covering the whole graph, so the oracle
+    /// path itself can be cross-checked bit for bit.
+    pub fn enumerate_with<O: EdgeOracle + ?Sized>(graph: &Csr, oracle: &O) -> (u32, Vec<Vec<u32>>) {
         let n = graph.num_vertices();
         if n == 0 {
             return (0, Vec::new());
@@ -28,7 +36,7 @@ impl ReferenceEnumerator {
         let mut found: Vec<Vec<u32>> = Vec::new();
         let mut current: Vec<u32> = Vec::new();
         let candidates: Vec<u32> = (0..n as u32).collect();
-        Self::branch(graph, &mut current, &candidates, &mut best, &mut found);
+        Self::branch(oracle, &mut current, &candidates, &mut best, &mut found);
         for clique in &mut found {
             clique.sort_unstable();
         }
@@ -41,8 +49,8 @@ impl ReferenceEnumerator {
         Self::enumerate(graph).0
     }
 
-    fn branch(
-        graph: &Csr,
+    fn branch<O: EdgeOracle + ?Sized>(
+        oracle: &O,
         current: &mut Vec<u32>,
         candidates: &[u32],
         best: &mut usize,
@@ -73,9 +81,9 @@ impl ReferenceEnumerator {
             let next: Vec<u32> = candidates[i + 1..]
                 .iter()
                 .copied()
-                .filter(|&u| graph.has_edge(u, v))
+                .filter(|&u| oracle.connected(u, v))
                 .collect();
-            Self::branch(graph, current, &next, best, found);
+            Self::branch(oracle, current, &next, best, found);
             current.pop();
         }
         // A node whose forward candidates all fail to extend is handled by
@@ -127,6 +135,21 @@ mod tests {
         let (omega, cliques) = ReferenceEnumerator::enumerate(&Csr::empty(3));
         assert_eq!(omega, 1);
         assert_eq!(cliques.len(), 3);
+    }
+
+    #[test]
+    fn enumerate_with_core_bitmap_matches_csr_path() {
+        // An all-kept persistent core bitmap must drive the enumerator to
+        // the identical clique set the CSR adjacency produces.
+        let g = generators::gnp(60, 0.2, 91);
+        let exec = gmc_dpp::Executor::new(2);
+        let keep = vec![true; g.num_vertices()];
+        let core = gmc_graph::CoreBitmap::try_build(&exec, &g, &keep)
+            .unwrap_or_else(|_| panic!("building the core bitmap on a fault-free executor"));
+        assert_eq!(
+            ReferenceEnumerator::enumerate_with(&g, &core),
+            ReferenceEnumerator::enumerate(&g)
+        );
     }
 
     #[test]

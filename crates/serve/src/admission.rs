@@ -12,8 +12,8 @@
 //! bit-identical to the full solve it replaces. Only jobs whose bare
 //! 2-clique list cannot fit a window are rejected outright.
 
-use gmc_graph::{kcore, Csr};
-use gmc_mce::{SolverConfig, WindowConfig};
+use gmc_graph::{kcore, CoreBitmap, Csr};
+use gmc_mce::{LocalBitsMode, SolverConfig, WindowConfig};
 
 /// Bytes per 2-clique entry: one `u32` vertex id + one `u32` sublist id.
 const ENTRY_BYTES: usize = 8;
@@ -33,6 +33,10 @@ pub enum Admission {
     /// instead. `enumerate_all` is set, so the result is bit-identical to
     /// the configured full solve.
     DownWindow(WindowConfig),
+    /// The solve itself fits, but adding the persistent core bitmap's
+    /// pre-charge would not: run with the per-level bitmap tier instead of
+    /// rejecting. Output is bit-identical — only probe accounting changes.
+    DemotePersistentBits,
     /// Even a single window cannot fit the partition; the job is refused
     /// without charging any device memory.
     Reject {
@@ -55,6 +59,27 @@ pub fn full_solve_estimate(graph: &Csr, degeneracy: u32) -> usize {
     two_clique_bytes(graph).saturating_mul(levels)
 }
 
+/// Bytes the persistent core-bitmap tier would pre-charge on this
+/// partition, or 0 when the tier would not fire. Admission runs before
+/// setup pruning, so the core size is bounded conservatively by the whole
+/// vertex set (`n_core = n`): `n²/8` matrix bytes plus `4n` for the
+/// renumber table. The `Auto` tier mirrors the solver's own gate — the
+/// footprint must fit within the smaller of 16 MiB and a quarter of the
+/// partition — so admission never charges for a bitmap the solver would
+/// decline to build.
+pub fn core_bitmap_bytes(graph: &Csr, config: &SolverConfig, partition_bytes: usize) -> usize {
+    if !config.fused {
+        return 0;
+    }
+    let n = graph.num_vertices();
+    let footprint = CoreBitmap::footprint_for(n, n);
+    match config.local_bits {
+        LocalBitsMode::Persistent => footprint,
+        LocalBitsMode::Auto if footprint <= (16 << 20).min(partition_bytes / 4) => footprint,
+        _ => 0,
+    }
+}
+
 /// Decides whether `graph` × `config` is admitted to a slot with
 /// `partition_bytes` of device memory.
 pub fn admit(graph: &Csr, config: &SolverConfig, partition_bytes: usize) -> Admission {
@@ -63,13 +88,27 @@ pub fn admit(graph: &Csr, config: &SolverConfig, partition_bytes: usize) -> Admi
     }
     // An explicitly windowed job already sizes its working set to the
     // budget; window-level OOM handling (split/recurse) takes it from
-    // there.
+    // there. If the persistent bitmap then oversizes the window budget,
+    // the solver's own degrade ladder drops it to the per-level tier.
     if config.window.is_some() {
         return Admission::Accept;
     }
     let degeneracy = kcore::degeneracy(graph);
-    if full_solve_estimate(graph, degeneracy) <= partition_bytes {
+    let full = full_solve_estimate(graph, degeneracy);
+    let bitmap = core_bitmap_bytes(graph, config, partition_bytes);
+    if full.saturating_add(bitmap) <= partition_bytes {
         return Admission::Accept;
+    }
+    if bitmap > 0 && full <= partition_bytes {
+        // Only the bitmap's pre-charge oversizes the partition. A
+        // `Persistent` job is demoted to the per-level tier up front so the
+        // solve never risks the build-then-degrade round trip; an `Auto`
+        // job is simply accepted — its runtime gate and fault ladder
+        // self-heal to the per-level tier on their own.
+        return match config.local_bits {
+            LocalBitsMode::Persistent => Admission::DemotePersistentBits,
+            _ => Admission::Accept,
+        };
     }
     let floor = two_clique_bytes(graph);
     if floor.saturating_mul(WINDOW_FRACTION) <= partition_bytes {
@@ -133,6 +172,42 @@ mod tests {
             }
             other => panic!("expected Reject, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn persistent_bitmap_oversize_demotes_instead_of_rejecting() {
+        let graph = generators::gnp(400, 0.3, 5);
+        let degeneracy = kcore::degeneracy(&graph);
+        let full = full_solve_estimate(&graph, degeneracy);
+        let persistent = SolverConfig {
+            local_bits: LocalBitsMode::Persistent,
+            ..SolverConfig::default()
+        };
+        let bitmap = core_bitmap_bytes(&graph, &persistent, usize::MAX - 1);
+        assert!(bitmap > 0, "persistent tier always charges the bitmap");
+        // The solve fits on its own but not together with the bitmap.
+        let partition = full + bitmap / 2;
+        assert_eq!(
+            admit(&graph, &persistent, partition),
+            Admission::DemotePersistentBits
+        );
+        // With headroom for both, the job is accepted as configured.
+        assert_eq!(admit(&graph, &persistent, full + bitmap), Admission::Accept);
+        // An `Auto` job on the same tight partition is accepted outright:
+        // the solver's own gate and degrade ladder handle the shortfall.
+        let auto = SolverConfig::default();
+        assert_eq!(admit(&graph, &auto, partition), Admission::Accept);
+    }
+
+    #[test]
+    fn unfused_jobs_never_charge_a_bitmap() {
+        let graph = generators::gnp(400, 0.3, 5);
+        let config = SolverConfig {
+            fused: false,
+            local_bits: LocalBitsMode::Persistent,
+            ..SolverConfig::default()
+        };
+        assert_eq!(core_bitmap_bytes(&graph, &config, 64 << 20), 0);
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub mod queue;
 pub mod service;
 pub mod stats;
 
-pub use admission::{admit, full_solve_estimate, two_clique_bytes, Admission};
+pub use admission::{admit, core_bitmap_bytes, full_solve_estimate, two_clique_bytes, Admission};
 pub use cache::{CachedSolve, ResultCache};
 pub use fingerprint::{config_fingerprint, graph_fingerprint};
 pub use loadgen::{run_with_graphs, LoadConfig, LoadReport};

@@ -15,7 +15,7 @@ use crate::queue::{JobQueue, QueueError};
 use crate::stats::ServeStats;
 use gmc_dpp::{CancelToken, Device, DeviceMemory, Executor};
 use gmc_graph::Csr;
-use gmc_mce::{MaxCliqueSolver, SolveError, SolverConfig};
+use gmc_mce::{LocalBitsMode, MaxCliqueSolver, SolveError, SolverConfig};
 use gmc_trace::LogHistogram;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -246,6 +246,7 @@ struct Counters {
     cache_misses: AtomicU64,
     rejections: AtomicU64,
     down_windows: AtomicU64,
+    bitmap_demotions: AtomicU64,
     cancellations: AtomicU64,
     queue_full: AtomicU64,
     launches: AtomicU64,
@@ -383,6 +384,7 @@ impl SolveService {
             cache_misses: c.cache_misses.load(Ordering::Relaxed),
             rejections: c.rejections.load(Ordering::Relaxed),
             down_windows: c.down_windows.load(Ordering::Relaxed),
+            bitmap_demotions: c.bitmap_demotions.load(Ordering::Relaxed),
             cancellations: c.cancellations.load(Ordering::Relaxed),
             queue_full: c.queue_full.load(Ordering::Relaxed),
             queue_wait,
@@ -468,6 +470,13 @@ fn serve_one(inner: &ServiceInner, device: &Device, queued: QueuedJob, wait: Dur
             config.window = Some(window);
             down_windowed = true;
             c.down_windows.fetch_add(1, Ordering::Relaxed);
+        }
+        Admission::DemotePersistentBits => {
+            // The solve fits but the persistent bitmap's pre-charge does
+            // not; the per-level tier produces the identical clique set,
+            // so the cache key stays the job's submitted fingerprint.
+            config.local_bits = LocalBitsMode::On;
+            c.bitmap_demotions.fetch_add(1, Ordering::Relaxed);
         }
         Admission::Reject {
             estimated_bytes,

@@ -20,6 +20,10 @@ pub struct ServeStats {
     pub rejections: u64,
     /// Jobs admission rewrote to an auto-sized windowed solve.
     pub down_windows: u64,
+    /// Jobs admission demoted from the persistent core-bitmap tier to the
+    /// per-level tier because only the bitmap's pre-charge oversized the
+    /// partition.
+    pub bitmap_demotions: u64,
     /// Jobs that ended in `SolveError::Cancelled` (deadline or explicit).
     pub cancellations: u64,
     /// Non-blocking submissions refused because the queue was full.
@@ -81,6 +85,7 @@ impl std::fmt::Debug for ServeStats {
             .field("cache_misses", &self.cache_misses)
             .field("rejections", &self.rejections)
             .field("down_windows", &self.down_windows)
+            .field("bitmap_demotions", &self.bitmap_demotions)
             .field("cancellations", &self.cancellations)
             .field("queue_full", &self.queue_full)
             .field("queue_wait_p50_ns", &self.queue_wait.quantile(0.5))

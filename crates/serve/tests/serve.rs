@@ -325,3 +325,42 @@ fn admission_rejects_and_down_windows_through_the_service() {
     assert_eq!(stats.down_windows, 1);
     assert_eq!(stats.cache_hits, 1);
 }
+
+#[test]
+fn persistent_bitmap_oversize_is_demoted_not_rejected_through_the_service() {
+    let graph = Arc::new(generators::gnp(200, 0.3, 5));
+    let mut config = pinned_config();
+    config.local_bits = LocalBitsMode::Persistent;
+
+    // Size the partition so the full solve fits but the persistent
+    // bitmap's pre-charge pushes past it: admission must demote to the
+    // per-level tier instead of rejecting.
+    let degeneracy = gmc_graph::kcore::degeneracy(&graph);
+    let full = gmc_serve::full_solve_estimate(&graph, degeneracy);
+    let bitmap = gmc_serve::core_bitmap_bytes(&graph, &config, usize::MAX - 1);
+    assert!(bitmap > 0, "persistent jobs always charge the bitmap");
+
+    let service = SolveService::start(
+        ServeConfig::default()
+            .pool(1)
+            .device_bytes(full + bitmap / 2),
+    );
+    let handle = service
+        .submit(SolveJob::new(Arc::clone(&graph)).config(config.clone()))
+        .unwrap();
+    let served = handle.wait().expect("demoted solve must succeed");
+    assert!(!served.down_windowed, "demotion is not a window rewrite");
+
+    // The per-level tier is bit-identical to an unconstrained persistent
+    // solve.
+    let reference = MaxCliqueSolver::with_config(Device::unlimited(), config)
+        .solve(&graph)
+        .unwrap();
+    assert_eq!(served.solve.clique_number, reference.clique_number);
+    assert_eq!(served.solve.cliques, reference.cliques);
+
+    let stats = service.shutdown();
+    assert_eq!(stats.bitmap_demotions, 1);
+    assert_eq!(stats.rejections, 0);
+    assert_eq!(stats.down_windows, 0);
+}

@@ -10,7 +10,9 @@
 //! nothing.
 
 use gpu_max_clique::corpus::{corpus, Tier};
-use gpu_max_clique::mce::{MaxCliqueSolver, SolverConfig, WindowConfig};
+use gpu_max_clique::dpp::{CancelToken, DeviceError};
+use gpu_max_clique::graph::{generators, CoreBitmap};
+use gpu_max_clique::mce::{LocalBitsMode, MaxCliqueSolver, SolveError, SolverConfig, WindowConfig};
 use gpu_max_clique::prelude::{Device, FaultPlan};
 
 /// Plans used when `GMC_FAULTS` is unset. Rates are chosen so the smoke
@@ -208,4 +210,116 @@ fn fault_stats_are_reported_per_plan() {
     let f = result.stats.faults;
     assert!(f.injected() > 0, "no faults injected at 5% rates: {f:?}");
     assert_eq!(f.recovered(), f.injected(), "{f:?}");
+}
+
+#[test]
+fn injected_oom_during_persistent_bitmap_build_degrades_to_per_level() {
+    // Rung zero of the ladder: an injected alloc fault while charging or
+    // building the solve-lifetime core bitmap must drop that solve to the
+    // per-level tier — same cliques, no abort, no retry storm — and the
+    // fallback must be book-kept as a recovery so the exact-recovery
+    // invariant still holds. The roll sequence is a pure function of
+    // (seed, step), so sweeping seeds deterministically lands some runs
+    // on the bitmap charge roll and leaves others clean.
+    let base = generators::gnp(150, 0.2, 11);
+    let mut config = fault_free(SolverConfig::default());
+    config.local_bits = LocalBitsMode::Persistent;
+    let baseline = MaxCliqueSolver::with_config(Device::unlimited(), config.clone())
+        .solve(&base)
+        .expect("fault-free persistent solve succeeds");
+    assert!(
+        baseline.stats.local_bits.persistent_bytes > 0,
+        "baseline must actually hold a persistent bitmap"
+    );
+
+    let mut bitmap_faults = 0u64;
+    let mut finished_per_level = 0u32;
+    for seed in 1..=20 {
+        let mut faulted_config = config.clone();
+        faulted_config.faults = Some(FaultPlan {
+            seed,
+            alloc_rate: 0.15,
+            launch_rate: 0.0,
+            max_retries: 512,
+        });
+        let device = Device::unlimited();
+        let faulted = MaxCliqueSolver::with_config(device.clone(), faulted_config)
+            .solve(&base)
+            .unwrap_or_else(|e| panic!("seed {seed}: bitmap fault must degrade, not abort: {e}"));
+        assert_eq!(faulted.cliques, baseline.cliques, "seed {seed}");
+        assert_eq!(faulted.clique_number, baseline.clique_number, "seed {seed}");
+        let f = faulted.stats.faults;
+        assert_eq!(f.recovered(), f.injected(), "seed {seed}: {f:?}");
+        assert_eq!(device.memory().live(), 0, "seed {seed}: leaked memory");
+        bitmap_faults += f.bitmap_fallbacks;
+        // A run whose *final* attempt degraded finishes the whole solve on
+        // the per-level tier: the stats show no resident bitmap bytes.
+        if f.bitmap_fallbacks > 0 && faulted.stats.local_bits.persistent_bytes == 0 {
+            finished_per_level += 1;
+        }
+    }
+    assert!(
+        bitmap_faults > 0,
+        "no seed ever faulted the persistent bitmap build — rates too low to test rung zero"
+    );
+    assert!(
+        finished_per_level > 0,
+        "no solve ever finished on the per-level tier after a bitmap fault"
+    );
+}
+
+#[test]
+fn cancellation_mid_bitmap_build_releases_every_charge() {
+    // Device level, mirroring the solver's charge-then-build flow: the
+    // footprint is charged first, then the build launches observe the
+    // token. Cancellation mid-build must surface `Cancelled` (never the
+    // degrade path) and dropping the guard must return memory to zero.
+    let graph = generators::gnp(80, 0.2, 21);
+    let device = Device::new(2, 64 << 20);
+    let keep = vec![true; graph.num_vertices()];
+    let footprint = CoreBitmap::footprint_for(graph.num_vertices(), graph.num_vertices());
+    let guard = device
+        .memory()
+        .try_charge(footprint)
+        .expect("bitmap footprint fits the partition");
+    let token = CancelToken::new();
+    device.set_cancel_token(Some(token.clone()));
+    token.cancel();
+    match CoreBitmap::try_build(device.exec(), &graph, &keep) {
+        Err(DeviceError::Cancelled(_)) => {}
+        Err(other) => panic!("cancelled build must surface Cancelled, got: {other}"),
+        Ok(_) => panic!("cancelled build must not succeed"),
+    }
+    drop(guard);
+    assert_eq!(
+        device.memory().live(),
+        0,
+        "cancelled bitmap build left device memory charged"
+    );
+
+    // Solver level: a deadline that has already passed cancels the solve
+    // wherever the next check lands — before, during, or after the bitmap
+    // build — and every byte (bitmap included) must be released.
+    device.set_cancel_token(Some(CancelToken::with_deadline(std::time::Instant::now())));
+    let mut config = fault_free(SolverConfig::default());
+    config.local_bits = LocalBitsMode::Persistent;
+    match MaxCliqueSolver::with_config(device.clone(), config.clone()).solve(&graph) {
+        Err(SolveError::Cancelled(_)) => {}
+        Err(other) => panic!("expired deadline must surface Cancelled, got: {other}"),
+        Ok(_) => panic!("a deadline in the past must cancel the solve"),
+    }
+    assert_eq!(
+        device.memory().live(),
+        0,
+        "cancelled persistent solve left device memory charged"
+    );
+
+    // And with the token cleared the same device solves normally, holding
+    // (then releasing) a real persistent bitmap.
+    device.set_cancel_token(None);
+    let done = MaxCliqueSolver::with_config(device.clone(), config)
+        .solve(&graph)
+        .expect("solve succeeds once the token is cleared");
+    assert!(done.stats.local_bits.persistent_bytes > 0);
+    assert_eq!(device.memory().live(), 0);
 }

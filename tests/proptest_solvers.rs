@@ -495,6 +495,97 @@ fn local_bitmaps_cross_the_inline_spill_boundary() {
 }
 
 #[test]
+fn persistent_tier_is_indistinguishable_across_oracles_workers_and_windows() {
+    // Three-way equivalence of the local-bits tiers: the persistent core
+    // bitmap, the per-level sublist bitmaps and the scalar walk must be
+    // bit-for-bit interchangeable — same cliques, same level shapes, same
+    // early exits — across edge oracles, worker counts, and the windowed
+    // and unwindowed drivers, with exact probe reconciliation throughout.
+    // An armed fault plan rides along on one worker count: injected OOM or
+    // launch faults during the one-time bitmap build must degrade to the
+    // per-level tier (or recover by retry), never abort or change output.
+    use gpu_max_clique::mce::{EdgeIndexKind, LocalBitsMode};
+    use gpu_max_clique::prelude::FaultPlan;
+    prop::check_with(
+        config_with(12),
+        "persistent_tier_is_indistinguishable_across_oracles_workers_and_windows",
+        |rng| arb_graph(rng, 16),
+        shrink_graph,
+        |case| {
+            let graph = csr(case);
+            for workers in [1usize, 2, 8] {
+                for kind in [
+                    EdgeIndexKind::BinarySearch,
+                    EdgeIndexKind::Bitset,
+                    EdgeIndexKind::Hash,
+                ] {
+                    for windowed in [false, true] {
+                        let solve = |local: LocalBitsMode, faults: Option<FaultPlan>| {
+                            let mut solver = MaxCliqueSolver::new(Device::new(workers, usize::MAX))
+                                .edge_index(kind)
+                                .fused(true)
+                                .local_bits(local)
+                                .faults(faults);
+                            if windowed {
+                                solver = solver.windowed(WindowConfig {
+                                    size: 8,
+                                    enumerate_all: true,
+                                    ..WindowConfig::default()
+                                });
+                            }
+                            solver.solve(&graph).unwrap()
+                        };
+                        let off = solve(LocalBitsMode::Off, None);
+                        let on = solve(LocalBitsMode::On, None);
+                        let per = solve(LocalBitsMode::Persistent, None);
+                        for run in [&on, &per] {
+                            prop_assert_eq!(run.clique_number, off.clique_number);
+                            prop_assert_eq!(&run.cliques, &off.cliques);
+                            prop_assert_eq!(&run.stats.level_entries, &off.stats.level_entries);
+                            prop_assert_eq!(run.stats.early_exit, off.stats.early_exit);
+                            prop_assert_eq!(
+                                run.stats.oracle_queries + run.stats.local_bits.probes_avoided,
+                                off.stats.oracle_queries
+                            );
+                        }
+                        // The persistent tier never plans or builds
+                        // per-level rows, and every avoided probe came
+                        // from the core bitmap.
+                        prop_assert_eq!(per.stats.local_bits.rows_built, 0);
+                        prop_assert_eq!(per.stats.local_bits.words_anded, 0);
+                        prop_assert_eq!(
+                            per.stats.local_bits.persistent_probes,
+                            per.stats.local_bits.probes_avoided
+                        );
+                        // Tiny graphs can resolve before any window runs
+                        // (no window stats block); when windows did run,
+                        // the solve-level block must mirror theirs.
+                        if let Some(w) = per.stats.window.as_ref() {
+                            prop_assert_eq!(per.stats.local_bits, w.local_bits);
+                        }
+                        if workers == 2 {
+                            let plan: FaultPlan = "seed=5,alloc=0.02,launch=0.02,retries=64"
+                                .parse()
+                                .expect("plan parses");
+                            let faulted = solve(LocalBitsMode::Persistent, Some(plan));
+                            prop_assert_eq!(&faulted.cliques, &off.cliques);
+                            prop_assert_eq!(
+                                faulted.stats.oracle_queries
+                                    + faulted.stats.local_bits.probes_avoided,
+                                off.stats.oracle_queries
+                            );
+                            let f = faulted.stats.faults;
+                            prop_assert_eq!(f.recovered(), f.injected());
+                        }
+                    }
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
 fn auto_threshold_edge_keeps_modes_equivalent() {
     // Wheels of 29–36 rim vertices under *index* orientation (so the hub at
     // vertex 0 sources one sublist of exactly m members) put the sublist
@@ -507,6 +598,13 @@ fn auto_threshold_edge_keeps_modes_equivalent() {
     // wheel's triangles bound ω at 3) cannot strip any hub member — a bare
     // star's degree-1 leaves would all be pruned before the BFS begins.
     use gpu_max_clique::mce::{LocalBitsMode, OrientationRule};
+    // Isolated padding vertices are pruned by setup, so they change nothing
+    // about the search — but they inflate the persistent core bitmap's
+    // renumber-table footprint (4 bytes per original vertex) past the
+    // quarter-budget gate of a 64 KiB device, forcing Auto down to the
+    // per-level planner there while a roomy device picks the persistent
+    // tier for the very same graph.
+    const PAD: usize = 5000;
     prop::check_with(
         config_with(16),
         "auto_threshold_edge_keeps_modes_equivalent",
@@ -517,24 +615,25 @@ fn auto_threshold_edge_keeps_modes_equivalent() {
                 edges.push((v, v + 1));
             }
             edges.push((1, m as u32));
-            (m + 1, edges)
+            (m + 1 + PAD, edges)
         },
         |_case| Vec::new(),
         |case| {
             let graph = csr(case);
-            let m = case.0 - 1;
-            let solve = |local: LocalBitsMode| {
-                MaxCliqueSolver::new(Device::new(2, usize::MAX))
+            let m = case.0 - 1 - PAD;
+            let solve = |local: LocalBitsMode, capacity: usize| {
+                MaxCliqueSolver::new(Device::new(2, capacity))
                     .orientation(OrientationRule::Index)
                     .fused(true)
                     .local_bits(local)
                     .solve(&graph)
                     .unwrap()
             };
-            let off = solve(LocalBitsMode::Off);
-            let on = solve(LocalBitsMode::On);
-            let auto = solve(LocalBitsMode::Auto);
-            for run in [&on, &auto] {
+            let off = solve(LocalBitsMode::Off, usize::MAX);
+            let on = solve(LocalBitsMode::On, usize::MAX);
+            let auto_persistent = solve(LocalBitsMode::Auto, usize::MAX);
+            let auto_perlevel = solve(LocalBitsMode::Auto, 64 * 1024);
+            for run in [&on, &auto_persistent, &auto_perlevel] {
                 prop_assert_eq!(run.clique_number, off.clique_number);
                 prop_assert_eq!(&run.cliques, &off.cliques);
                 prop_assert_eq!(&run.stats.level_entries, &off.stats.level_entries);
@@ -544,14 +643,24 @@ fn auto_threshold_edge_keeps_modes_equivalent() {
                 );
             }
             prop_assert!(on.stats.local_bits.rows_built > 0);
-            // The hub sublist has exactly m members and deeper levels only
-            // shrink, so Auto fires iff m reaches the 32-member cutoff
-            // (with ω = 3 the bound is loose, so the triangular walk bound
-            // dwarfs the rim's m cycle edges + m² build cost).
+            // Roomy budget: the three-tier Auto prefers the persistent core
+            // bitmap — zero per-level rows, every walk probe a word test.
+            prop_assert_eq!(auto_persistent.stats.local_bits.rows_built, 0);
+            prop_assert!(auto_persistent.stats.local_bits.persistent_probes > 0);
+            prop_assert_eq!(
+                auto_persistent.stats.local_bits.persistent_probes,
+                auto_persistent.stats.local_bits.probes_avoided
+            );
+            // Gated budget: per-level Auto. The hub sublist has exactly m
+            // members and deeper levels only shrink, so it fires iff m
+            // reaches the 32-member cutoff (with ω = 3 the bound is loose,
+            // so the triangular walk bound dwarfs the rim's m cycle edges +
+            // m² build cost).
+            prop_assert_eq!(auto_perlevel.stats.local_bits.persistent_probes, 0);
             if m >= 32 {
-                prop_assert!(auto.stats.local_bits.rows_built > 0, "m={m}");
+                prop_assert!(auto_perlevel.stats.local_bits.rows_built > 0, "m={m}");
             } else {
-                prop_assert_eq!(auto.stats.local_bits.rows_built, 0);
+                prop_assert_eq!(auto_perlevel.stats.local_bits.rows_built, 0);
             }
             Ok(())
         },
