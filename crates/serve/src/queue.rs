@@ -210,6 +210,101 @@ mod tests {
     }
 
     #[test]
+    fn submitter_blocked_on_a_full_queue_wakes_with_closed() {
+        // A submitter parked in `submit`'s backpressure wait must be woken
+        // by `close()` and get the typed error — never hang, never slip a
+        // job into a closed queue.
+        let q = Arc::new(JobQueue::new(1));
+        q.submit(0, 0u32).unwrap();
+        let blocked = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.submit(0, 1u32))
+        };
+        // Give the submitter time to reach the condvar wait; close must
+        // wake it regardless of whether it got there yet.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(blocked.join().unwrap(), Err(QueueError::Closed));
+        // The job accepted before the close still drains.
+        assert_eq!(q.pop(), Some(0));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn submissions_racing_close_never_hang_or_drop_accepted_jobs() {
+        // Submitters (blocking and non-blocking) race `close()` while a
+        // consumer drains. The contract under test: every submission gets
+        // either Ok or a typed error, and every Ok'd job is popped exactly
+        // once — acceptance is a promise the queue keeps through shutdown.
+        use std::sync::Barrier;
+        for round in 0..16u64 {
+            let q = Arc::new(JobQueue::<u64>::new(4));
+            let accepted = Arc::new(Mutex::new(Vec::new()));
+            let submitters = 4u64;
+            let barrier = Arc::new(Barrier::new(submitters as usize + 1));
+            let handles: Vec<_> = (0..submitters)
+                .map(|t| {
+                    let q = Arc::clone(&q);
+                    let accepted = Arc::clone(&accepted);
+                    let barrier = Arc::clone(&barrier);
+                    std::thread::spawn(move || {
+                        barrier.wait();
+                        for i in 0..100u64 {
+                            let item = t * 1000 + i;
+                            let outcome = if i % 2 == 0 {
+                                q.try_submit((i % 3) as u8, item)
+                            } else {
+                                q.submit((i % 3) as u8, item)
+                            };
+                            match outcome {
+                                Ok(()) => accepted.lock().unwrap().push(item),
+                                Err(QueueError::Full) | Err(QueueError::Closed) => {}
+                            }
+                        }
+                    })
+                })
+                .collect();
+            let closer = {
+                let q = Arc::clone(&q);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    // Vary the race window across rounds: sometimes close
+                    // lands mid-burst, sometimes after it.
+                    for _ in 0..round * 3 {
+                        std::thread::yield_now();
+                    }
+                    q.close();
+                })
+            };
+            // Drain until closed-and-empty. `None` is only returned once
+            // the queue is closed with nothing left, so everything
+            // accepted before the close comes out first.
+            let mut drained = Vec::new();
+            while let Some(item) = q.pop() {
+                drained.push(item);
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            closer.join().unwrap();
+            // Late (post-close) submissions must all have failed typed.
+            assert_eq!(q.submit(0, 9999), Err(QueueError::Closed));
+            assert_eq!(q.try_submit(0, 9999), Err(QueueError::Closed));
+            let mut accepted = Arc::try_unwrap(accepted)
+                .expect("accepted list still shared")
+                .into_inner()
+                .unwrap();
+            accepted.sort_unstable();
+            drained.sort_unstable();
+            assert_eq!(
+                drained, accepted,
+                "round {round}: accepted jobs and drained jobs diverge"
+            );
+        }
+    }
+
+    #[test]
     fn submit_blocks_until_space_and_close_drains() {
         let q = Arc::new(JobQueue::new(1));
         q.submit(0, 0u32).unwrap();

@@ -1,0 +1,226 @@
+//! Seeded adversarial graph generation.
+//!
+//! Every case is a pure function of an [`Rng`] fork, so a failing case seed
+//! reproduces the exact graph on any machine. Sizes are deliberately small
+//! (tens of vertices): the sequential oracle must re-enumerate every graph
+//! — including once per shrink probe — so case cost, not case count, is
+//! what the budget buys. Adversarial *structure* matters more than scale
+//! here: ties, near-regular cores, planted optima the heuristic lower
+//! bound misses, and the degenerate shapes (empty, edgeless, complete)
+//! that exercise solver early-outs.
+
+use crate::CaseGraph;
+use gmc_dpp::Rng;
+use gmc_graph::{generators, Csr};
+
+/// Generator categories, reported with each failure so corpus files say
+/// where their graph came from.
+pub const CATEGORIES: &[&str] = &[
+    "planted",
+    "near-regular",
+    "wheel",
+    "union",
+    "complement",
+    "corpus-mutant",
+    "gnp-dense",
+    "gnm-sparse",
+    "degenerate",
+];
+
+/// Draws one case: picks a category and builds a graph in it.
+pub fn sample(rng: &mut Rng) -> (CaseGraph, &'static str) {
+    let category = CATEGORIES[rng.gen_range(0..CATEGORIES.len())];
+    let graph = sample_category(rng, category);
+    (graph, category)
+}
+
+/// Builds a graph in a specific category (used by `sample` and by tests
+/// that want a particular shape).
+pub fn sample_category(rng: &mut Rng, category: &str) -> CaseGraph {
+    let csr = match category {
+        "planted" => planted(rng),
+        "near-regular" => near_regular(rng),
+        "wheel" => wheel(rng),
+        "union" => union(rng),
+        "complement" => complement(rng),
+        "corpus-mutant" => corpus_mutant(rng),
+        "gnp-dense" => {
+            let n = rng.gen_range(4..40usize);
+            let p = 0.4 + rng.gen_f64() * 0.5;
+            generators::gnp(n, p, rng.next_u64())
+        }
+        "gnm-sparse" => {
+            let n = rng.gen_range(6..80usize);
+            let max_m = n * (n - 1) / 2;
+            let m = rng.gen_range(0..=3 * n).min(max_m);
+            generators::gnm(n, m, rng.next_u64())
+        }
+        "degenerate" => degenerate(rng),
+        other => panic!("unknown generator category {other:?}"),
+    };
+    CaseGraph::from_csr(&csr)
+}
+
+/// Sparse background noise with one or two planted cliques whose size is
+/// near (sometimes past) the background's natural clique number — the
+/// classic trap for greedy lower bounds and pruning thresholds.
+fn planted(rng: &mut Rng) -> Csr {
+    let n = rng.gen_range(10..60usize);
+    let p = 0.05 + rng.gen_f64() * 0.2;
+    let base = generators::gnp(n, p, rng.next_u64());
+    let k = rng.gen_range(3..(n / 2).max(4));
+    if rng.gen_bool(0.4) {
+        // Two planted cliques of equal size: forces a tie the enumerator
+        // must report both sides of.
+        let (g, _) = generators::plant_cliques(&base, &[k, k], rng.next_u64());
+        g
+    } else {
+        let (g, _) = generators::plant_clique(&base, k, rng.next_u64());
+        g
+    }
+}
+
+/// Near-regular cores: Moon–Moser complete multipartite graphs (the
+/// worst case for enumeration — exponentially many maximum cliques) and
+/// Watts–Strogatz ring lattices (every vertex degree within one of k).
+fn near_regular(rng: &mut Rng) -> Csr {
+    if rng.gen_bool(0.5) {
+        let parts = rng.gen_range(2..5usize);
+        let size = rng.gen_range(2..4usize);
+        generators::complete_multipartite(&vec![size; parts])
+    } else {
+        let k = 2 * rng.gen_range(1..4usize);
+        let n = k + 2 + rng.gen_range(0..30usize);
+        generators::watts_strogatz(n, k, rng.gen_f64() * 0.4, rng.next_u64())
+    }
+}
+
+/// A wheel: hub vertex 0 joined to every rim vertex of a cycle. Rim length
+/// 3 gives K4 (ω = 4); length ≥ 4 gives ω = 3 with one maximum clique per
+/// rim edge — a dense tie structure with a universal vertex.
+fn wheel(rng: &mut Rng) -> Csr {
+    let rim = rng.gen_range(3..20usize);
+    let mut edges = Vec::with_capacity(2 * rim);
+    for i in 0..rim {
+        let a = 1 + i as u32;
+        let b = 1 + ((i + 1) % rim) as u32;
+        edges.push((a, b));
+        edges.push((0, a));
+    }
+    Csr::from_edges(rim + 1, &edges)
+}
+
+/// Disjoint union of two independently generated components — checks that
+/// nothing leaks across components and ties across components are kept.
+fn union(rng: &mut Rng) -> Csr {
+    let a = small_component(rng);
+    let b = small_component(rng);
+    let offset = a.num_vertices() as u32;
+    let mut edges = CaseGraph::from_csr(&a).edges;
+    for (u, v) in CaseGraph::from_csr(&b).edges {
+        edges.push((u + offset, v + offset));
+    }
+    Csr::from_edges(a.num_vertices() + b.num_vertices(), &edges)
+}
+
+fn small_component(rng: &mut Rng) -> Csr {
+    match rng.gen_range(0..3u32) {
+        0 => generators::complete(rng.gen_range(1..8usize)),
+        1 => generators::gnp(rng.gen_range(2..20usize), 0.5, rng.next_u64()),
+        _ => {
+            let parts = rng.gen_range(2..4usize);
+            generators::complete_multipartite(&vec![rng.gen_range(1..4usize); parts])
+        }
+    }
+}
+
+/// Complement of a sparse graph: dense, with maximum cliques equal to the
+/// sparse graph's maximum independent sets — structure no direct generator
+/// here produces.
+fn complement(rng: &mut Rng) -> Csr {
+    let n = rng.gen_range(4..30usize);
+    let sparse = generators::gnp(n, 0.05 + rng.gen_f64() * 0.25, rng.next_u64());
+    sparse.complement()
+}
+
+/// A tiny instance from one of the experiment-corpus families, then
+/// mutated by random edge insertions/deletions — keeps realistic degree
+/// structure while breaking any invariant the family guarantees.
+fn corpus_mutant(rng: &mut Rng) -> Csr {
+    let base = match rng.gen_range(0..4u32) {
+        0 => generators::holme_kim(rng.gen_range(6..40usize), 2, 0.5, rng.next_u64()),
+        1 => generators::collaboration(
+            rng.gen_range(6..30usize),
+            rng.gen_range(2..10usize),
+            2,
+            4,
+            1.5,
+            rng.next_u64(),
+        ),
+        2 => generators::random_geometric(rng.gen_range(6..40usize), 0.35, rng.next_u64()),
+        _ => generators::rmat(rng.gen_range(3..6u32), 4, 0.57, 0.19, 0.19, rng.next_u64()),
+    };
+    let mut case = CaseGraph::from_csr(&base);
+    let mutations = rng.gen_range(1..8u32);
+    for _ in 0..mutations {
+        if rng.gen_bool(0.5) && !case.edges.is_empty() {
+            let i = rng.gen_range(0..case.edges.len());
+            case.edges.remove(i);
+        } else if case.n >= 2 {
+            let u = rng.gen_range(0..case.n) as u32;
+            let v = rng.gen_range(0..case.n) as u32;
+            case.edges.push((u, v));
+        }
+    }
+    CaseGraph::new(case.n, case.edges).to_csr()
+}
+
+/// The degenerate shapes every solver early-out must agree on.
+fn degenerate(rng: &mut Rng) -> Csr {
+    match rng.gen_range(0..5u32) {
+        0 => Csr::empty(0),
+        1 => Csr::empty(rng.gen_range(1..10usize)),
+        2 => Csr::from_edges(2, &[(0, 1)]),
+        3 => generators::complete(rng.gen_range(2..9usize)),
+        // A single edge floating among isolated vertices.
+        _ => {
+            let n = rng.gen_range(3..12usize);
+            Csr::from_edges(n, &[(0, 1)])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_category_generates() {
+        let mut rng = Rng::seed_from_u64(7);
+        for &cat in CATEGORIES {
+            for _ in 0..10 {
+                let g = sample_category(&mut rng, cat);
+                // Canonical form must round-trip through CSR.
+                assert_eq!(CaseGraph::from_csr(&g.to_csr()), g, "category {cat}");
+            }
+        }
+    }
+
+    #[test]
+    fn sample_is_deterministic() {
+        let a = sample(&mut Rng::seed_from_u64(42));
+        let b = sample(&mut Rng::seed_from_u64(42));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn wheel_has_expected_structure() {
+        let mut rng = Rng::seed_from_u64(3);
+        for _ in 0..20 {
+            let g = sample_category(&mut rng, "wheel");
+            let csr = g.to_csr();
+            // Hub is universal.
+            assert_eq!(csr.neighbors(0).len(), g.n - 1);
+        }
+    }
+}

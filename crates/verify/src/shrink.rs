@@ -1,0 +1,150 @@
+//! Greedy counterexample minimisation.
+//!
+//! Same discipline as `gmc_dpp::prop::shrink_failure`, specialised to
+//! graphs: propose structurally smaller candidates, keep the first one on
+//! which the failing check *still* fails, repeat until nothing smaller
+//! fails. Candidates move from coarse to fine — drop half the vertices,
+//! then single vertices, then half the edges, then single edges — so large
+//! accidental structure disappears in a few probes and the endgame trims
+//! one element at a time. Every probe re-runs solver lanes, so the loop is
+//! bounded both by an accepted-step cap and a wall-clock deadline.
+
+use crate::CaseGraph;
+use std::time::Instant;
+
+/// Minimises `initial` while `fails` keeps returning `true`, up to
+/// `max_steps` *accepted* shrinks or the `deadline`, whichever comes
+/// first. Returns the smallest failing graph found and the number of
+/// accepted steps. `initial` itself is assumed to fail.
+pub fn shrink_graph(
+    initial: CaseGraph,
+    mut fails: impl FnMut(&CaseGraph) -> bool,
+    max_steps: u32,
+    deadline: Instant,
+) -> (CaseGraph, u32) {
+    let mut current = initial;
+    let mut steps = 0u32;
+    'outer: while steps < max_steps && Instant::now() < deadline {
+        for candidate in candidates(&current) {
+            if Instant::now() >= deadline {
+                break 'outer;
+            }
+            debug_assert!(smaller(&candidate, &current));
+            if fails(&candidate) {
+                current = candidate;
+                steps += 1;
+                continue 'outer; // restart from the coarsest proposals
+            }
+        }
+        break; // no proposal fails: `current` is locally minimal
+    }
+    (current, steps)
+}
+
+/// Is `a` strictly structurally smaller than `b`?
+fn smaller(a: &CaseGraph, b: &CaseGraph) -> bool {
+    (a.n, a.num_edges()) < (b.n, b.num_edges())
+}
+
+/// Shrink proposals for one graph, coarsest first. Vertex removals
+/// re-index the survivors (via the induced subgraph), so every candidate
+/// is again a canonical [`CaseGraph`].
+fn candidates(graph: &CaseGraph) -> Vec<CaseGraph> {
+    let mut out = Vec::new();
+    let n = graph.n;
+
+    // Halve the vertex set (each half in turn).
+    if n >= 2 {
+        let all: Vec<u32> = (0..n as u32).collect();
+        let mid = n / 2;
+        out.push(induced(graph, &all[..mid]));
+        out.push(induced(graph, &all[mid..]));
+    }
+
+    // Drop single vertices — all of them when small, a spread sample when
+    // large (the halving proposals get us small quickly anyway).
+    if n >= 1 {
+        let stride = n.div_ceil(8).max(1);
+        for v in (0..n).step_by(stride) {
+            let keep: Vec<u32> = (0..n as u32).filter(|&u| u != v as u32).collect();
+            out.push(induced(graph, &keep));
+        }
+    }
+
+    // Halve the edge set (keeping all vertices: isolates may matter —
+    // DropTies-style bugs need the tied vertex, not its edges).
+    let m = graph.num_edges();
+    if m >= 2 {
+        let mid = m / 2;
+        out.push(CaseGraph::new(n, graph.edges[..mid].to_vec()));
+        out.push(CaseGraph::new(n, graph.edges[mid..].to_vec()));
+    }
+
+    // Drop single edges.
+    if m >= 1 {
+        let stride = m.div_ceil(16).max(1);
+        for i in (0..m).step_by(stride) {
+            let mut edges = graph.edges.clone();
+            edges.remove(i);
+            out.push(CaseGraph::new(n, edges));
+        }
+    }
+
+    out
+}
+
+/// The induced subgraph on `keep`, re-indexed to `0..keep.len()`.
+fn induced(graph: &CaseGraph, keep: &[u32]) -> CaseGraph {
+    let (sub, _) = graph.to_csr().induced_subgraph(keep);
+    CaseGraph::from_csr(&sub)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn far_deadline() -> Instant {
+        Instant::now() + Duration::from_secs(60)
+    }
+
+    #[test]
+    fn shrinks_triangle_bug_to_the_triangle() {
+        // A "bug" that fires whenever the graph contains a triangle: the
+        // minimal failing graph is K3 itself.
+        let noisy = CaseGraph::from_csr(&gmc_graph::generators::gnp(30, 0.4, 7));
+        let has_triangle = |g: &CaseGraph| {
+            let csr = g.to_csr();
+            gmc_pmc::ReferenceEnumerator::clique_number(&csr) >= 3
+        };
+        assert!(has_triangle(&noisy), "seed graph must contain a triangle");
+        let (minimal, steps) = shrink_graph(noisy, has_triangle, 256, far_deadline());
+        assert_eq!((minimal.n, minimal.num_edges()), (3, 3), "{minimal:?}");
+        assert!(steps > 0);
+    }
+
+    #[test]
+    fn shrinks_isolated_vertex_bug_keeping_isolates() {
+        // Fires when some vertex is isolated — edge-only shrinks must not
+        // be blocked by the vertex halving, and the result is one bare
+        // vertex.
+        let g = CaseGraph::new(10, vec![(0, 1), (2, 3), (4, 5)]);
+        let has_isolate = |g: &CaseGraph| {
+            let csr = g.to_csr();
+            (0..g.n as u32).any(|v| csr.neighbors(v).is_empty())
+        };
+        assert!(has_isolate(&g));
+        let (minimal, _) = shrink_graph(g, has_isolate, 256, far_deadline());
+        assert_eq!((minimal.n, minimal.num_edges()), (1, 0), "{minimal:?}");
+    }
+
+    #[test]
+    fn respects_the_step_cap() {
+        let g = CaseGraph::from_csr(&gmc_graph::generators::complete(12));
+        // Everything "fails", so shrinking only stops at the cap (or when
+        // proposals run dry at the empty graph).
+        let (minimal, steps) = shrink_graph(g, |_| true, 3, far_deadline());
+        assert_eq!(steps, 3);
+        assert!(minimal.n > 0);
+    }
+}

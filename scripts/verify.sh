@@ -14,6 +14,11 @@ cd "$(dirname "$0")/.."
 cargo build --release --locked --offline
 cargo test -q --locked --offline
 
+# Replay the regression corpus through the differential/metamorphic
+# harness (DESIGN.md §11): every once-found bug is re-checked on every
+# verify run. Cheap — a handful of shrunk graphs, no fuzzing budget.
+cargo run --release --bin gmc --locked --offline -- verify --replay-only
+
 if [ "${GMC_VERIFY_FAST:-0}" = "1" ]; then
     exit 0
 fi

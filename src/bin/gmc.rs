@@ -5,6 +5,7 @@
 //! gmc info <graph-file>              print graph statistics
 //! gmc generate <family> [options]    write a synthetic graph to a file
 //! gmc serve [options]                drive the batched solve service
+//! gmc verify [options]               differential + metamorphic fuzzing
 //! ```
 //!
 //! Run `gmc help` for the full option list. Graph files may be MatrixMarket
@@ -29,6 +30,7 @@ USAGE:
     gmc info <file>
     gmc generate <family> --out <file> [--param key=value ...]
     gmc serve [options]
+    gmc verify [options]
     gmc help
 
 SOLVE OPTIONS:
@@ -63,6 +65,21 @@ SERVE OPTIONS (deterministic closed-loop load generator):
     --seed <S>           master workload seed (default 42)
     --json               machine-readable output
 
+VERIFY OPTIONS (differential + metamorphic fuzzing harness):
+    --seed <S>           master seed (default GMC_VERIFY_SEED or built-in)
+    --budget-ms <N>      fuzzing wall-clock budget (default GMC_VERIFY_BUDGET_MS
+                         or 10000; 0 = no time limit, needs --max-cases)
+    --max-cases <N>      stop after N generated cases
+    --max-failures <N>   stop after N distinct shrunk failures (default 8)
+    --regressions <dir>  regression corpus directory (default tests/regressions);
+                         replayed first on every run, new failures persisted here
+    --replay-only        replay the regression corpus, skip fuzzing
+    --no-persist         do not write newly found failures to the corpus
+    --sabotage <drop-ties|under-report>
+                         deliberately corrupt the BFS lanes (self-test: the
+                         harness must catch and shrink the \"bug\")
+    --json               machine-readable output
+
 GENERATE FAMILIES (with --param defaults):
     gnp        n=1000 p=0.01 seed=1
     ba         n=1000 m=3 seed=1
@@ -78,6 +95,7 @@ fn main() -> ExitCode {
         Some("info") => cmd_info(&args[1..]),
         Some("generate") => cmd_generate(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("verify") => cmd_verify(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{HELP}");
             ExitCode::SUCCESS
@@ -96,7 +114,14 @@ struct Options {
 }
 
 /// Flags that never take a value.
-const BOOLEAN_FLAGS: &[&str] = &["enumerate-windows", "no-early-exit", "json", "verify"];
+const BOOLEAN_FLAGS: &[&str] = &[
+    "enumerate-windows",
+    "no-early-exit",
+    "json",
+    "verify",
+    "replay-only",
+    "no-persist",
+];
 
 impl Options {
     fn parse(args: &[String]) -> Result<Self, String> {
@@ -567,6 +592,133 @@ fn cmd_generate(args: &[String]) -> ExitCode {
         graph.num_edges()
     );
     ExitCode::SUCCESS
+}
+
+fn cmd_verify(args: &[String]) -> ExitCode {
+    use gpu_max_clique::verify::{self, Sabotage, VerifyConfig};
+
+    let opts = match Options::parse(args) {
+        Ok(o) => o,
+        Err(e) => return fail(e),
+    };
+
+    // Environment knobs (GMC_VERIFY_SEED / GMC_VERIFY_BUDGET_MS) are the
+    // baseline; explicit flags override them.
+    let mut config = VerifyConfig::from_env();
+    match opts.get_parsed::<u64>("seed") {
+        Ok(Some(seed)) => config.seed = seed,
+        Ok(None) => {}
+        Err(e) => return fail(e),
+    }
+    match opts.get_parsed::<u64>("budget-ms") {
+        Ok(Some(ms)) => config.budget = std::time::Duration::from_millis(ms),
+        Ok(None) => {}
+        Err(e) => return fail(e),
+    }
+    match opts.get_parsed::<u64>("max-cases") {
+        Ok(cap) => config.max_cases = cap.or(config.max_cases),
+        Err(e) => return fail(e),
+    }
+    match opts.get_parsed::<usize>("max-failures") {
+        Ok(Some(cap)) => config.max_failures = cap.max(1),
+        Ok(None) => {}
+        Err(e) => return fail(e),
+    }
+    match opts.get_parsed::<Sabotage>("sabotage") {
+        Ok(mode) => config.sabotage = mode,
+        Err(e) => return fail(format!("{e} (expected drop-ties or under-report)")),
+    }
+    config.replay_only = opts.has("replay-only");
+    config.persist_failures = !opts.has("no-persist");
+    config.regressions_dir = Some(
+        opts.get("regressions")
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(|| std::path::PathBuf::from("tests/regressions")),
+    );
+    if config.budget.is_zero() && config.max_cases.is_none() && !config.replay_only {
+        return fail("verify: --budget-ms 0 needs --max-cases (or --replay-only)".into());
+    }
+
+    let report = verify::run(&config);
+
+    if opts.has("json") {
+        let failures_json: Vec<String> = report
+            .failures
+            .iter()
+            .map(|f| {
+                format!(
+                    "{{\"check\":{:?},\"category\":{:?},\"case_seed\":{},\"vertices\":{},\
+                     \"edges\":{},\"shrink_steps\":{},\"detail\":{:?}}}",
+                    f.check,
+                    f.category,
+                    f.case_seed,
+                    f.graph.n,
+                    f.graph.num_edges(),
+                    f.shrink_steps,
+                    f.detail
+                )
+            })
+            .collect();
+        println!(
+            "{{\"seed\":{},\"cases\":{},\"replayed\":{},\"solves\":{},\
+             \"differential_checks\":{},\"metamorphic_checks\":{},\"elapsed_ms\":{:.1},\
+             \"clean\":{},\"failures\":[{}]}}",
+            config.seed,
+            report.cases,
+            report.replayed,
+            report.solves,
+            report.differential_checks,
+            report.metamorphic_checks,
+            report.elapsed.as_secs_f64() * 1e3,
+            report.is_clean(),
+            failures_json.join(",")
+        );
+    } else {
+        println!(
+            "verify: seed {}, {} regression case(s) replayed, {} case(s) generated \
+             in {:.1} s",
+            config.seed,
+            report.replayed,
+            report.cases,
+            report.elapsed.as_secs_f64()
+        );
+        println!(
+            "checked {} differential lane(s) and {} metamorphic relation(s) \
+             across {} solver run(s)",
+            report.differential_checks, report.metamorphic_checks, report.solves
+        );
+        if report.is_clean() {
+            println!("clean: zero lane disagreements, zero metamorphic violations");
+        } else {
+            for f in &report.failures {
+                println!();
+                println!("FAILED: {}", f.check);
+                println!(
+                    "  category {}, case seed {}, shrunk to {} vertices / {} edges \
+                     in {} step(s)",
+                    f.category,
+                    f.case_seed,
+                    f.graph.n,
+                    f.graph.num_edges(),
+                    f.shrink_steps
+                );
+                println!("  {}", f.detail);
+                match &f.persisted {
+                    Some(path) => println!("  reproducer: {}", path.display()),
+                    None => {
+                        for line in verify::corpus::render_graph(&f.graph).lines() {
+                            println!("    {line}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 fn cmd_serve(args: &[String]) -> ExitCode {

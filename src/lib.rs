@@ -20,6 +20,8 @@
 //! * [`serve`] — batched solve service: executor pool, admission control,
 //!   exact result cache, deadline cancellation.
 //! * [`corpus`] — the synthetic 58-dataset evaluation corpus.
+//! * [`verify`] — differential + metamorphic fuzzing harness with a
+//!   persistent regression corpus (`gmc verify`).
 //!
 //! # Quickstart
 //!
@@ -50,6 +52,7 @@ pub use gmc_mce as mce;
 pub use gmc_pmc as pmc;
 pub use gmc_serve as serve;
 pub use gmc_trace as trace;
+pub use gmc_verify as verify;
 
 /// Commonly used items in one import.
 pub mod prelude {

@@ -75,6 +75,91 @@ fn traced_parallel_windowed_solve_is_well_nested_per_worker() {
 }
 
 #[test]
+fn log_histogram_quantiles_are_ordered_and_bracketed() {
+    // Property: across arbitrary seeded value streams, the histogram's
+    // quantile estimates are ordered (p50 ≤ p99) and bracketed by the exact
+    // extremes (min ≤ p50, p99 ≤ max), count/sum/min/max are exact, and
+    // merging a split stream reproduces the whole-stream histogram.
+    use gpu_max_clique::dpp::prop;
+    use gpu_max_clique::trace::LogHistogram;
+
+    prop::check(
+        "log_histogram_quantile_order",
+        |rng| {
+            // Values across many octaves: shift a full-width draw so some
+            // streams are tiny counters and some span nanosecond scales.
+            let len = rng.gen_range(1..200usize);
+            (0..len)
+                .map(|_| rng.next_u64() >> rng.gen_range(0..64u32))
+                .collect::<Vec<u64>>()
+        },
+        prop::shrinks::vec,
+        |values: &Vec<u64>| {
+            if values.is_empty() {
+                return Ok(()); // shrinking may empty the stream
+            }
+            let mut h = LogHistogram::new();
+            let mut left = LogHistogram::new();
+            let mut right = LogHistogram::new();
+            for (i, &v) in values.iter().enumerate() {
+                h.record(v);
+                if i % 2 == 0 {
+                    left.record(v);
+                } else {
+                    right.record(v);
+                }
+            }
+
+            let exact_min = *values.iter().min().unwrap();
+            let exact_max = *values.iter().max().unwrap();
+            if h.count() != values.len() as u64 {
+                return Err(format!("count {} != {}", h.count(), values.len()));
+            }
+            let exact_sum = values.iter().fold(0u64, |a, &v| a.saturating_add(v));
+            if h.sum() != exact_sum {
+                return Err(format!("sum {} != {}", h.sum(), exact_sum));
+            }
+            if h.min() != exact_min || h.max() != exact_max {
+                return Err(format!(
+                    "extremes [{}, {}] != exact [{exact_min}, {exact_max}]",
+                    h.min(),
+                    h.max()
+                ));
+            }
+
+            let p50 = h.quantile(0.5);
+            let p99 = h.quantile(0.99);
+            if p50 > p99 {
+                return Err(format!("p50 {p50} > p99 {p99}"));
+            }
+            if p50 < exact_min || p99 > exact_max {
+                return Err(format!(
+                    "quantiles [{p50}, {p99}] escape [{exact_min}, {exact_max}]"
+                ));
+            }
+
+            // Merging the even/odd split must reproduce the whole stream.
+            let mut merged = LogHistogram::new();
+            merged.merge(&left);
+            merged.merge(&right);
+            if merged.count() != h.count() || merged.sum() != h.sum() {
+                return Err("merge loses samples".into());
+            }
+            for q in [0.0, 0.5, 0.99, 1.0] {
+                if merged.quantile(q) != h.quantile(q) {
+                    return Err(format!(
+                        "merge changes q={q}: {} != {}",
+                        merged.quantile(q),
+                        h.quantile(q)
+                    ));
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
 fn untraced_solve_records_nothing_into_a_live_session() {
     // A solver whose config tracer is disabled must not touch a session
     // that exists in the same process.
